@@ -1,0 +1,271 @@
+//! The AUDITPROCESS: a process-pair that owns one audit trail.
+//!
+//! "All audited discs on a given controller share an AUDITPROCESS and an
+//! audit trail" — several DISCPROCESSes send their image records here.
+//! Records are *buffered* in the pair's memory (each append is checkpointed
+//! to the backup, so a single processor failure loses nothing) and *forced*
+//! to the trail media:
+//!
+//! * lazily, at phase one of commit (`ForceTxn`) — concurrent force
+//!   requests are **group-committed** under a single physical write;
+//! * eagerly, when a DISCPROCESS in the Write-Ahead-Log baseline appends
+//!   with `force: true`.
+
+use crate::trail::{trail_key, TrailMedia};
+use encompass_sim::{Payload, Pid, World};
+use encompass_storage::audit_api::{AuditMsg, AuditReply, ImageRecord};
+use encompass_storage::types::Transid;
+use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request};
+use std::collections::HashSet;
+
+const TAG_FORCE: u64 = 1;
+
+/// Configuration for one AUDITPROCESS.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Service name, e.g. `"$AUDIT"`.
+    pub service: String,
+    /// Trail-file rotation threshold (records per file).
+    pub rotate_every: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            service: "$AUDIT".into(),
+            rotate_every: 4096,
+        }
+    }
+}
+
+struct Waiter {
+    req_id: u64,
+    from: Pid,
+    /// Total forced-record count that satisfies this waiter.
+    needed: u64,
+    /// The reply to send when satisfied.
+    reply: AuditReply,
+}
+
+enum AuditDelta {
+    Append { req_id: u64, records: Vec<ImageRecord> },
+    Forced { count: usize },
+}
+
+struct AuditSnapshot {
+    buffer: Vec<ImageRecord>,
+    forced_count: u64,
+    replies: Vec<(u64, AuditReply)>,
+}
+
+/// The AUDITPROCESS application.
+pub struct AuditProcess {
+    cfg: AuditConfig,
+    /// Appended but not yet forced.
+    buffer: Vec<ImageRecord>,
+    /// Total records forced to the trail over all time.
+    forced_count: u64,
+    force_in_progress: Option<usize>,
+    waiters: Vec<Waiter>,
+    replies: ReplyCache<AuditReply>,
+    in_progress: HashSet<u64>,
+}
+
+impl AuditProcess {
+    pub fn new(cfg: AuditConfig) -> AuditProcess {
+        AuditProcess {
+            cfg,
+            buffer: Vec::new(),
+            forced_count: 0,
+            force_in_progress: None,
+            waiters: Vec::new(),
+            replies: ReplyCache::new(8192),
+            in_progress: HashSet::new(),
+        }
+    }
+
+    fn with_trail<R>(&self, ctx: &mut PairCtx<'_, '_>, f: impl FnOnce(&mut TrailMedia) -> R) -> R {
+        let key = trail_key(ctx.node(), &self.cfg.service);
+        let rotate = self.cfg.rotate_every;
+        let trail = ctx
+            .stable()
+            .get_or_create::<TrailMedia, _>(&key, move || TrailMedia::new(rotate));
+        f(trail)
+    }
+
+    fn buffered_for(&self, transid: Transid) -> bool {
+        self.buffer.iter().any(|r| r.transid == transid)
+    }
+
+    /// Enqueue a waiter that needs everything currently buffered to be on
+    /// the trail, and kick the force machinery.
+    fn enqueue_force(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, r: AuditReply) {
+        let needed = self.forced_count + self.buffer.len() as u64;
+        self.in_progress.insert(req_id);
+        self.waiters.push(Waiter {
+            req_id,
+            from,
+            needed,
+            reply: r,
+        });
+        self.maybe_start_force(ctx);
+    }
+
+    fn maybe_start_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        if self.force_in_progress.is_some() || self.buffer.is_empty() || self.waiters.is_empty() {
+            return;
+        }
+        let upto = self.buffer.len();
+        self.force_in_progress = Some(upto);
+        ctx.count("audit.force_started", 1);
+        // one rotating-media write per force, regardless of batch size:
+        // this is the group commit
+        let latency = ctx.config().disc_access;
+        ctx.set_timer(latency, TAG_FORCE);
+    }
+
+    fn complete_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        let Some(upto) = self.force_in_progress.take() else {
+            return;
+        };
+        let batch: Vec<ImageRecord> = self.buffer.drain(..upto).collect();
+        ctx.count("audit.forces", 1);
+        ctx.count("audit.forced_records", batch.len() as u64);
+        ctx.count("audit.group_size_total", batch.len() as u64);
+        self.with_trail(ctx, |t| t.force(batch));
+        self.forced_count += upto as u64;
+        ctx.checkpoint(Payload::new(AuditDelta::Forced { count: upto }));
+        // satisfy waiters
+        let forced = self.forced_count;
+        let (done, rest): (Vec<Waiter>, Vec<Waiter>) =
+            self.waiters.drain(..).partition(|w| w.needed <= forced);
+        self.waiters = rest;
+        for w in done {
+            self.in_progress.remove(&w.req_id);
+            self.replies.store(w.req_id, w.reply.clone());
+            reply(ctx, w.req_id, w.from, w.reply);
+        }
+        self.maybe_start_force(ctx);
+    }
+}
+
+impl PairApp for AuditProcess {
+    fn service_name(&self) -> String {
+        self.cfg.service.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "auditprocess"
+    }
+
+    fn on_request(&mut self, ctx: &mut PairCtx<'_, '_>, _src: Pid, payload: Payload) {
+        if !payload.is::<Request<AuditMsg>>() {
+            return;
+        }
+        let req = payload.expect::<Request<AuditMsg>>();
+        if let Some(cached) = self.replies.check(req.id) {
+            reply(ctx, req.id, req.from, cached);
+            return;
+        }
+        if self.in_progress.contains(&req.id) {
+            return;
+        }
+        match req.body {
+            AuditMsg::Append { records, force } => {
+                ctx.count("audit.appends", 1);
+                ctx.count("audit.records", records.len() as u64);
+                ctx.checkpoint(Payload::new(AuditDelta::Append {
+                    req_id: req.id,
+                    records: records.clone(),
+                }));
+                self.buffer.extend(records);
+                if force {
+                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Appended);
+                } else {
+                    self.replies.store(req.id, AuditReply::Appended);
+                    reply(ctx, req.id, req.from, AuditReply::Appended);
+                }
+            }
+            AuditMsg::ForceTxn { transid } => {
+                ctx.count("audit.force_txn", 1);
+                if self.buffered_for(transid) {
+                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Forced);
+                } else {
+                    self.replies.store(req.id, AuditReply::Forced);
+                    reply(ctx, req.id, req.from, AuditReply::Forced);
+                }
+            }
+            AuditMsg::ReadTxnImages { transid } => {
+                let mut images = self.with_trail(ctx, |t| t.txn_images(transid));
+                images.extend(
+                    self.buffer
+                        .iter()
+                        .filter(|r| r.transid == transid)
+                        .cloned(),
+                );
+                images.sort_by_key(|r| r.seq);
+                reply(ctx, req.id, req.from, AuditReply::Images(images));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
+        if tag == TAG_FORCE {
+            self.complete_force(ctx);
+        }
+    }
+
+    fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        // an in-flight force died with the primary; requesters retransmit
+        self.force_in_progress = None;
+        self.waiters.clear();
+        self.in_progress.clear();
+        ctx.count("audit.takeovers", 1);
+    }
+
+    fn apply_checkpoint(&mut self, delta: Payload) {
+        match delta.expect::<AuditDelta>() {
+            AuditDelta::Append { req_id, records } => {
+                self.buffer.extend(records);
+                self.replies.store(req_id, AuditReply::Appended);
+            }
+            AuditDelta::Forced { count } => {
+                self.buffer.drain(..count.min(self.buffer.len()));
+                self.forced_count += count as u64;
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Payload {
+        Payload::new(AuditSnapshot {
+            buffer: self.buffer.clone(),
+            forced_count: self.forced_count,
+            replies: self.replies.entries(),
+        })
+    }
+
+    fn restore(&mut self, snapshot: Payload) {
+        let s = snapshot.expect::<AuditSnapshot>();
+        self.buffer = s.buffer;
+        self.forced_count = s.forced_count;
+        self.replies = ReplyCache::restore(8192, s.replies);
+    }
+}
+
+/// Spawn an AUDITPROCESS pair and create its trail media if absent.
+pub fn spawn_audit_process(
+    world: &mut World,
+    node: encompass_sim::NodeId,
+    cpu_primary: u8,
+    cpu_backup: u8,
+    cfg: AuditConfig,
+) -> PairHandle {
+    let key = trail_key(node, &cfg.service);
+    let rotate = cfg.rotate_every;
+    world
+        .stable_mut()
+        .get_or_create::<TrailMedia, _>(&key, move || TrailMedia::new(rotate));
+    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, move || {
+        AuditProcess::new(cfg.clone())
+    })
+}

@@ -1,0 +1,211 @@
+//! The BACKOUTPROCESS: a process-pair that reverses a transaction's
+//! data-base updates "using the transaction's before-images recorded in
+//! the audit trails".
+//!
+//! Backout is strictly node-local: the images for records on this node are
+//! in this node's trails, so no network communication is needed — exactly
+//! the property the paper's distributed audit-trail placement buys.
+//!
+//! The process is deliberately stateless across failures: its jobs are
+//! reconstructible, so a takeover simply drops them and the requesting TMP
+//! retries (its Backout request is safe-delivery).
+
+use encompass_sim::{Payload, Pid, SimDuration, World};
+use encompass_storage::audit_api::{AuditMsg, AuditReply};
+use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::types::{Transid, VolumeRef};
+use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
+use std::collections::HashMap;
+
+/// Requests to the BACKOUTPROCESS.
+#[derive(Clone, Debug)]
+pub enum BackoutMsg {
+    /// Back out `transid` on the given local volumes, then reply `Done`.
+    /// `audit_service_of[i]` is the audit service of `volumes[i]`.
+    Backout {
+        transid: Transid,
+        volumes: Vec<VolumeRef>,
+        audit_services: Vec<String>,
+    },
+}
+
+/// Reply from the BACKOUTPROCESS.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackoutReply {
+    Done,
+}
+
+struct Job {
+    req_id: u64,
+    from: Pid,
+    outstanding: usize,
+}
+
+/// The BACKOUTPROCESS application.
+pub struct BackoutProcess {
+    service: String,
+    audit_rpc: Rpc<AuditMsg, AuditReply>,
+    disc_rpc: Rpc<DiscRequest, DiscReply>,
+    jobs: HashMap<Transid, Job>,
+    /// audit-rpc id → (transid, volume) awaiting images
+    image_reads: HashMap<u64, (Transid, VolumeRef)>,
+    /// disc-rpc id → transid awaiting undo ack
+    undo_acks: HashMap<u64, Transid>,
+    replies: ReplyCache<BackoutReply>,
+}
+
+impl BackoutProcess {
+    pub fn new(service: &str) -> BackoutProcess {
+        BackoutProcess {
+            service: service.to_string(),
+            audit_rpc: Rpc::new(3),
+            disc_rpc: Rpc::new(4),
+            jobs: HashMap::new(),
+            image_reads: HashMap::new(),
+            undo_acks: HashMap::new(),
+            replies: ReplyCache::new(4096),
+        }
+    }
+
+    fn job_step_done(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(job) = self.jobs.get_mut(&transid) else {
+            return;
+        };
+        job.outstanding -= 1;
+        if job.outstanding == 0 {
+            let job = self.jobs.remove(&transid).expect("present");
+            ctx.count("backout.completed", 1);
+            self.replies.store(job.req_id, BackoutReply::Done);
+            reply(ctx, job.req_id, job.from, BackoutReply::Done);
+        }
+    }
+}
+
+impl PairApp for BackoutProcess {
+    fn service_name(&self) -> String {
+        self.service.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "backoutprocess"
+    }
+
+    fn on_request(&mut self, ctx: &mut PairCtx<'_, '_>, _src: Pid, payload: Payload) {
+        // completions of our own sub-requests
+        let payload = match self.audit_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                if let Some((transid, volume)) = self.image_reads.remove(&c.id) {
+                    let AuditReply::Images(images) = c.body else {
+                        // protocol mismatch: treat as nothing to undo
+                        self.job_step_done(ctx, transid);
+                        return;
+                    };
+                    let local: Vec<_> = images
+                        .into_iter()
+                        .filter(|img| img.volume == volume)
+                        .collect();
+                    ctx.count("backout.images", local.len() as u64);
+                    if local.is_empty() {
+                        self.job_step_done(ctx, transid);
+                        return;
+                    }
+                    let rpc_id = self.disc_rpc.call_persistent(
+                        ctx,
+                        Target::Named(volume.node, volume.volume.clone()),
+                        DiscRequest::Undo { images: local },
+                        SimDuration::from_millis(50),
+                        0,
+                    );
+                    self.undo_acks.insert(rpc_id, transid);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match self.disc_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                if let Some(transid) = self.undo_acks.remove(&c.id) {
+                    self.job_step_done(ctx, transid);
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+        if !payload.is::<Request<BackoutMsg>>() {
+            return;
+        }
+        let req = payload.expect::<Request<BackoutMsg>>();
+        if let Some(cached) = self.replies.check(req.id) {
+            reply(ctx, req.id, req.from, cached);
+            return;
+        }
+        let BackoutMsg::Backout {
+            transid,
+            volumes,
+            audit_services,
+        } = req.body;
+        if self.jobs.contains_key(&transid) {
+            return; // duplicate request while in progress
+        }
+        ctx.count("backout.requests", 1);
+        if volumes.is_empty() {
+            self.replies.store(req.id, BackoutReply::Done);
+            reply(ctx, req.id, req.from, BackoutReply::Done);
+            return;
+        }
+        self.jobs.insert(
+            transid,
+            Job {
+                req_id: req.id,
+                from: req.from,
+                outstanding: volumes.len(),
+            },
+        );
+        for (volume, svc) in volumes.into_iter().zip(audit_services) {
+            let rpc_id = self.audit_rpc.call_persistent(
+                ctx,
+                Target::Named(volume.node, svc),
+                AuditMsg::ReadTxnImages { transid },
+                SimDuration::from_millis(50),
+                0,
+            );
+            self.image_reads.insert(rpc_id, (transid, volume));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
+        let _ = self.audit_rpc.on_timer(ctx, tag);
+        let _ = self.disc_rpc.on_timer(ctx, tag);
+    }
+
+    fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        // jobs are reconstructible: the TMP's request is safe-delivery and
+        // will be retried against the new primary
+        self.jobs.clear();
+        self.image_reads.clear();
+        self.undo_acks.clear();
+        ctx.count("backout.takeovers", 1);
+    }
+
+    fn apply_checkpoint(&mut self, _delta: Payload) {
+        // stateless by design: nothing to mirror
+    }
+
+    fn snapshot(&self) -> Payload {
+        Payload::new(())
+    }
+
+    fn restore(&mut self, _snapshot: Payload) {}
+}
+
+/// Spawn a BACKOUTPROCESS pair named `$BACKOUT` on `node`.
+pub fn spawn_backout_process(
+    world: &mut World,
+    node: encompass_sim::NodeId,
+    cpu_primary: u8,
+    cpu_backup: u8,
+) -> PairHandle {
+    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, || {
+        BackoutProcess::new("$BACKOUT")
+    })
+}

@@ -1,0 +1,131 @@
+//! The Monitor Audit Trail: the per-node history of transaction completion
+//! statuses (commits and aborts).
+//!
+//! "A transaction commits at the time its commit record is written to the
+//! Monitor Audit Trail." The TMP owns this trail and *forces* every
+//! completion record — that single forced write is the commit point of the
+//! whole (possibly distributed) transaction, which is why ROLLFORWARD can
+//! resolve in-doubt transactions by consulting the home node's monitor
+//! trail.
+
+use encompass_sim::{NodeId, SimTime, StableStorage};
+use encompass_storage::types::Transid;
+
+/// Stable-storage key of a node's monitor audit trail.
+pub fn monitor_key(node: NodeId) -> String {
+    format!("{node}:monitor-trail")
+}
+
+/// One completion record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletionRecord {
+    pub transid: Transid,
+    pub committed: bool,
+    pub at: SimTime,
+}
+
+/// The persistent monitor trail of one node.
+#[derive(Default)]
+pub struct MonitorTrail {
+    pub records: Vec<CompletionRecord>,
+    /// Every record is a forced write.
+    pub forces: u64,
+}
+
+impl MonitorTrail {
+    pub fn new() -> MonitorTrail {
+        MonitorTrail::default()
+    }
+
+    /// Fetch (creating if needed) the trail of `node`.
+    pub fn of(stable: &mut StableStorage, node: NodeId) -> &mut MonitorTrail {
+        stable.get_or_create::<MonitorTrail, _>(&monitor_key(node), MonitorTrail::new)
+    }
+
+    /// Write a completion record (the commit point when `committed`).
+    pub fn record(&mut self, transid: Transid, committed: bool, at: SimTime) {
+        // idempotent against TMP retries: the first disposition stands
+        if self.outcome(transid).is_none() {
+            self.records.push(CompletionRecord {
+                transid,
+                committed,
+                at,
+            });
+            self.forces += 1;
+        }
+    }
+
+    /// The recorded outcome of a transaction, if it completed.
+    pub fn outcome(&self, transid: Transid) -> Option<bool> {
+        self.records
+            .iter()
+            .find(|r| r.transid == transid)
+            .map(|r| r.committed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of commit records (experiments).
+    pub fn commits(&self) -> usize {
+        self.records.iter().filter(|r| r.committed).count()
+    }
+
+    /// Count of abort records.
+    pub fn aborts(&self) -> usize {
+        self.records.iter().filter(|r| !r.committed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seq: u64) -> Transid {
+        Transid {
+            home_node: NodeId(1),
+            cpu: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn records_and_outcomes() {
+        let mut m = MonitorTrail::new();
+        m.record(t(1), true, SimTime::from_micros(10));
+        m.record(t(2), false, SimTime::from_micros(20));
+        assert_eq!(m.outcome(t(1)), Some(true));
+        assert_eq!(m.outcome(t(2)), Some(false));
+        assert_eq!(m.outcome(t(3)), None);
+        assert_eq!(m.commits(), 1);
+        assert_eq!(m.aborts(), 1);
+        assert_eq!(m.forces, 2);
+    }
+
+    #[test]
+    fn first_disposition_is_final() {
+        let mut m = MonitorTrail::new();
+        m.record(t(1), true, SimTime::from_micros(10));
+        // a retried (or conflicting) record cannot change the outcome
+        m.record(t(1), false, SimTime::from_micros(30));
+        assert_eq!(m.outcome(t(1)), Some(true));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.forces, 1);
+    }
+
+    #[test]
+    fn lives_in_stable_storage() {
+        let mut stable = StableStorage::new();
+        MonitorTrail::of(&mut stable, NodeId(3)).record(t(9), true, SimTime::ZERO);
+        assert_eq!(
+            MonitorTrail::of(&mut stable, NodeId(3)).outcome(t(9)),
+            Some(true)
+        );
+        assert!(stable.contains(&monitor_key(NodeId(3))));
+    }
+}

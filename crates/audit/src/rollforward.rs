@@ -1,0 +1,281 @@
+//! ROLLFORWARD: recovery from total node failure.
+//!
+//! "TMF's approach to recovery from total node failure is based on
+//! occasional archived copies of audited data base files, plus an archive
+//! of all audit trails written since the data base files were archived.
+//! … TMF reconstructs any files open at the time of a total node failure
+//! by using the after-images from the audit trail to reapply the updates
+//! of committed transactions. ROLLFORWARD negotiates with other nodes of
+//! the network about transactions which were in 'ending' state at the time
+//! of the node failure."
+//!
+//! This is an offline utility run by the operator (the experiment driver):
+//! it reads the archive and trail media directly from stable storage, and
+//! resolves each transaction's outcome against the **home node's monitor
+//! audit trail** — the "negotiation with other nodes" — since the commit
+//! record there is the commit point.
+//!
+//! The algorithm is idempotent because images carry absolute values:
+//!
+//! 1. restore the volume's files from the archive;
+//! 2. REDO: apply the after-images of every *committed* transaction, in
+//!    ascending audit-sequence order;
+//! 3. UNDO: apply the before-images of every *non-committed* transaction
+//!    (aborted, or still in flight at the failure), in descending order.
+//!
+//! Record locks serialize writers per key, so this reconstructs exactly
+//! the committed state.
+
+use crate::monitor::MonitorTrail;
+use crate::trail::TrailMedia;
+use encompass_sim::World;
+use encompass_storage::audit_api::ImageRecord;
+use encompass_storage::media::{archive_key, media_key, VolumeMedia};
+use encompass_storage::types::{Transid, VolumeRef};
+use std::collections::HashMap;
+
+/// What a ROLLFORWARD run did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RollforwardReport {
+    /// After-images reapplied (committed transactions).
+    pub redone: usize,
+    /// Before-images applied (non-committed transactions).
+    pub undone: usize,
+    /// Distinct committed transactions seen on the trails.
+    pub committed_txns: usize,
+    /// Distinct non-committed transactions rolled back.
+    pub rolled_back_txns: usize,
+    /// Records in the recovered volume, per file.
+    pub file_sizes: Vec<(String, usize)>,
+}
+
+/// Recover `volume` from archive `generation` plus the audit trails whose
+/// stable-storage keys are given (see [`crate::trail::trail_key`]).
+///
+/// Panics if the archive is missing — recovery without an archive is
+/// impossible, which is an operator error worth failing loudly on.
+pub fn rollforward_volume(
+    world: &mut World,
+    volume: &VolumeRef,
+    trail_keys: &[String],
+    generation: u64,
+) -> RollforwardReport {
+    // 1. the archived copy
+    let akey = archive_key(volume, generation);
+    let archive = world
+        .stable()
+        .get::<encompass_storage::media::ArchiveImage>(&akey)
+        .unwrap_or_else(|| panic!("no archive {akey} — cannot roll forward"))
+        .clone();
+
+    // 2. gather this volume's images from the trails
+    let mut images: Vec<ImageRecord> = Vec::new();
+    for tk in trail_keys {
+        if let Some(trail) = world.stable().get::<TrailMedia>(tk) {
+            images.extend(trail.volume_images(volume));
+        }
+    }
+    images.sort_by_key(|r| r.seq);
+
+    // 3. resolve outcomes against the home nodes' monitor trails
+    let mut outcomes: HashMap<Transid, bool> = HashMap::new();
+    for img in &images {
+        let t = img.transid;
+        if let std::collections::hash_map::Entry::Vacant(e) = outcomes.entry(t) {
+            let committed = MonitorTrail::of(world.stable_mut(), t.home_node)
+                .outcome(t)
+                .unwrap_or(false); // no completion record ⇒ never committed
+            e.insert(committed);
+        }
+    }
+
+    // 4. rebuild
+    let mut files = archive.files.clone();
+    let mut report = RollforwardReport::default();
+    let mut committed_seen: HashMap<Transid, ()> = HashMap::new();
+    let mut rolled_seen: HashMap<Transid, ()> = HashMap::new();
+    // REDO committed, ascending
+    for img in &images {
+        if outcomes[&img.transid] {
+            committed_seen.insert(img.transid, ());
+            files
+                .entry(img.file.clone())
+                .or_insert_with(|| encompass_storage::media::FileImage::new(img.organization))
+                .apply(&img.key, img.after.clone());
+            report.redone += 1;
+        }
+    }
+    // UNDO non-committed, descending
+    for img in images.iter().rev() {
+        if !outcomes[&img.transid] {
+            rolled_seen.insert(img.transid, ());
+            files
+                .entry(img.file.clone())
+                .or_insert_with(|| encompass_storage::media::FileImage::new(img.organization))
+                .apply(&img.key, img.before.clone());
+            report.undone += 1;
+        }
+    }
+    report.committed_txns = committed_seen.len();
+    report.rolled_back_txns = rolled_seen.len();
+
+    // 5. install the rebuilt files on the volume media
+    let mkey = media_key(volume.node, &volume.volume);
+    let vname = volume.volume.clone();
+    let media = world
+        .stable_mut()
+        .get_or_create::<VolumeMedia, _>(&mkey, move || VolumeMedia::new(&vname));
+    media.files = files;
+    media.mark_recovered();
+    report.file_sizes = media
+        .files
+        .iter()
+        .map(|(name, img)| (name.clone(), img.len()))
+        .collect();
+    world.metrics_mut().inc("rollforward.runs");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use encompass_sim::{NodeId, SimConfig, SimTime};
+    use encompass_storage::media::ArchiveImage;
+    use encompass_storage::types::FileOrganization;
+
+    fn t(seq: u64) -> Transid {
+        Transid {
+            home_node: NodeId(0),
+            cpu: 0,
+            seq,
+        }
+    }
+
+    fn img(
+        seq: u64,
+        txn: Transid,
+        key: &str,
+        before: Option<&str>,
+        after: Option<&str>,
+    ) -> ImageRecord {
+        ImageRecord {
+            seq,
+            transid: txn,
+            volume: VolumeRef::new(NodeId(0), "$D"),
+            file: "accounts".into(),
+            organization: FileOrganization::KeySequenced,
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            before: before.map(|s| Bytes::copy_from_slice(s.as_bytes())),
+            after: after.map(|s| Bytes::copy_from_slice(s.as_bytes())),
+        }
+    }
+
+    /// Build a world with an archive, a trail, and monitor outcomes, then
+    /// roll forward and inspect the result.
+    #[test]
+    fn redo_committed_undo_losers() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+
+        // archive: one pre-existing record, watermark 0
+        let mut archive_files = std::collections::BTreeMap::new();
+        let mut f = encompass_storage::media::FileImage::new(FileOrganization::KeySequenced);
+        f.apply(b"old", Some(Bytes::from_static(b"archived")));
+        archive_files.insert("accounts".to_string(), f);
+        let akey = archive_key(&vol, 1);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: archive_files,
+            audit_watermark: 0,
+            generation: 1,
+        });
+
+        // trail: t1 commits (insert + update), t2 aborts (overwrote "old"),
+        // t3 was in flight (inserted a record, no completion record)
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        let trail = w
+            .stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(100));
+        trail.force(vec![
+            img(1, t(1), "a", None, Some("1")),
+            img(2, t(2), "old", Some("archived"), Some("dirty")),
+            img(3, t(1), "a", Some("1"), Some("2")),
+            img(4, t(3), "ghost", None, Some("zzz")),
+        ]);
+
+        // monitor trail: t1 committed, t2 aborted, t3 has no record
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(2), false, SimTime::ZERO);
+
+        // simulate total loss of the volume
+        let mkey = media_key(n, "$D");
+        w.stable_mut()
+            .get_or_create::<VolumeMedia, _>(&mkey, || VolumeMedia::new("$D"));
+        let media = w.stable_mut().get_mut::<VolumeMedia>(&mkey).unwrap();
+        media.fail_drive(0);
+        media.fail_drive(1);
+        media.revive_drive(0);
+        media.revive_drive(1);
+        assert!(!media.available(), "lost until recovered");
+
+        let report = rollforward_volume(&mut w, &vol, &[tk], 1);
+        assert_eq!(report.redone, 2);
+        assert_eq!(report.undone, 2);
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.rolled_back_txns, 2);
+
+        let media = w.stable().get::<VolumeMedia>(&mkey).unwrap();
+        assert!(media.available());
+        let accounts = media.file("accounts").unwrap();
+        assert_eq!(accounts.read(b"a"), Some(Bytes::from_static(b"2")), "t1 redone");
+        assert_eq!(
+            accounts.read(b"old"),
+            Some(Bytes::from_static(b"archived")),
+            "t2 undone"
+        );
+        assert_eq!(accounts.read(b"ghost"), None, "t3 (in-flight) undone");
+    }
+
+    #[test]
+    fn rollforward_is_idempotent() {
+        // running recovery twice yields the same state
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+        let akey = archive_key(&vol, 1);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: std::collections::BTreeMap::new(),
+            audit_watermark: 0,
+            generation: 1,
+        });
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        w.stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(100))
+            .force(vec![img(1, t(1), "k", None, Some("v"))]);
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+
+        let r1 = rollforward_volume(&mut w, &vol, std::slice::from_ref(&tk), 1);
+        let r2 = rollforward_volume(&mut w, &vol, &[tk], 1);
+        assert_eq!(r1, r2);
+        let media = w
+            .stable()
+            .get::<VolumeMedia>(&media_key(n, "$D"))
+            .unwrap();
+        assert_eq!(
+            media.file("accounts").unwrap().read(b"k"),
+            Some(Bytes::from_static(b"v"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no archive")]
+    fn missing_archive_fails_loudly() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+        let _ = rollforward_volume(&mut w, &vol, &[], 9);
+    }
+}

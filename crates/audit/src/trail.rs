@@ -1,0 +1,184 @@
+//! Audit-trail media: "an audit trail is a numbered sequence of disc files
+//! whose volume of residence is configurable and whose creation and purging
+//! is managed by TMF".
+//!
+//! The media object lives in stable storage (it survives processor
+//! failures, like any disc). Only *forced* records appear here; buffered
+//! records live in the AUDITPROCESS pair's memory.
+
+use encompass_sim::NodeId;
+use encompass_storage::audit_api::ImageRecord;
+use encompass_storage::types::{Transid, VolumeRef};
+
+/// Stable-storage key of an audit trail owned by audit service `service`
+/// on `node`.
+pub fn trail_key(node: NodeId, service: &str) -> String {
+    format!("{node}.{service}:trail")
+}
+
+/// One file in the numbered sequence.
+#[derive(Clone, Debug, Default)]
+pub struct TrailFile {
+    pub number: u64,
+    pub records: Vec<ImageRecord>,
+}
+
+/// The persistent audit trail.
+pub struct TrailMedia {
+    pub files: Vec<TrailFile>,
+    /// Records per file before rotating to a new file.
+    pub rotate_every: usize,
+    /// Physical force operations performed (each models one disc write).
+    pub forces: u64,
+    next_file_number: u64,
+}
+
+impl TrailMedia {
+    pub fn new(rotate_every: usize) -> TrailMedia {
+        TrailMedia {
+            files: vec![TrailFile {
+                number: 0,
+                records: Vec::new(),
+            }],
+            rotate_every: rotate_every.max(1),
+            forces: 0,
+            next_file_number: 1,
+        }
+    }
+
+    /// Total records on the trail.
+    pub fn len(&self) -> usize {
+        self.files.iter().map(|f| f.records.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a batch of records as one physical force.
+    pub fn force(&mut self, records: Vec<ImageRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        self.forces += 1;
+        for rec in records {
+            if self.files.last().expect("at least one file").records.len() >= self.rotate_every {
+                self.files.push(TrailFile {
+                    number: self.next_file_number,
+                    records: Vec::new(),
+                });
+                self.next_file_number += 1;
+            }
+            self.files.last_mut().expect("just ensured").records.push(rec);
+        }
+    }
+
+    /// All records of one transaction, in ascending sequence order.
+    pub fn txn_images(&self, transid: Transid) -> Vec<ImageRecord> {
+        let mut out: Vec<ImageRecord> = self
+            .files
+            .iter()
+            .flat_map(|f| f.records.iter())
+            .filter(|r| r.transid == transid)
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// All records touching one volume, ascending by sequence.
+    pub fn volume_images(&self, volume: &VolumeRef) -> Vec<ImageRecord> {
+        let mut out: Vec<ImageRecord> = self
+            .files
+            .iter()
+            .flat_map(|f| f.records.iter())
+            .filter(|r| &r.volume == volume)
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Drop trail files whose records are all below `seq` (safe once every
+    /// archive's watermark is at or above `seq`).
+    pub fn purge_below(&mut self, seq: u64) -> usize {
+        let before = self.files.len();
+        self.files
+            .retain(|f| f.records.is_empty() || f.records.iter().any(|r| r.seq >= seq));
+        if self.files.is_empty() {
+            self.files.push(TrailFile {
+                number: self.next_file_number,
+                records: Vec::new(),
+            });
+            self.next_file_number += 1;
+        }
+        before - self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use encompass_storage::types::FileOrganization;
+
+    fn img(seq: u64, txn: u64, vol: &str) -> ImageRecord {
+        ImageRecord {
+            seq,
+            transid: Transid {
+                home_node: NodeId(0),
+                cpu: 0,
+                seq: txn,
+            },
+            volume: VolumeRef::new(NodeId(0), vol),
+            file: "f".into(),
+            organization: FileOrganization::KeySequenced,
+            key: Bytes::from(format!("k{seq}")),
+            before: None,
+            after: Some(Bytes::from_static(b"v")),
+        }
+    }
+
+    #[test]
+    fn force_appends_and_rotates() {
+        let mut t = TrailMedia::new(3);
+        t.force(vec![img(1, 1, "$D"), img(2, 1, "$D")]);
+        t.force(vec![img(3, 2, "$D"), img(4, 2, "$D")]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.forces, 2);
+        assert_eq!(t.files.len(), 2, "rotated after 3 records");
+        assert_eq!(t.files[1].number, 1);
+        // empty force is free
+        t.force(Vec::new());
+        assert_eq!(t.forces, 2);
+    }
+
+    #[test]
+    fn txn_and_volume_queries() {
+        let mut t = TrailMedia::new(100);
+        t.force(vec![img(2, 1, "$A"), img(1, 1, "$B"), img(3, 2, "$A")]);
+        let txn1 = Transid {
+            home_node: NodeId(0),
+            cpu: 0,
+            seq: 1,
+        };
+        let got = t.txn_images(txn1);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].seq < got[1].seq, "ascending");
+        assert_eq!(t.volume_images(&VolumeRef::new(NodeId(0), "$A")).len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_old_files() {
+        let mut t = TrailMedia::new(2);
+        t.force((1..=6).map(|i| img(i, 1, "$D")).collect());
+        assert_eq!(t.files.len(), 3);
+        let dropped = t.purge_below(5);
+        assert_eq!(dropped, 2);
+        assert_eq!(t.txn_images(Transid { home_node: NodeId(0), cpu: 0, seq: 1 }).len(), 2);
+        // purging everything leaves one fresh empty file
+        t.purge_below(100);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.files.len(), 1);
+    }
+}

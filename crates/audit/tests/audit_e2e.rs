@@ -1,0 +1,347 @@
+//! End-to-end audit tests: DISCPROCESS + AUDITPROCESS + BACKOUTPROCESS in
+//! one simulated node, including the Checkpoint-vs-WAL ablation and a full
+//! archive → crash → ROLLFORWARD cycle.
+
+use bytes::Bytes;
+use encompass_audit::auditprocess::{spawn_audit_process, AuditConfig};
+use encompass_audit::backout::{spawn_backout_process, BackoutMsg, BackoutReply};
+use encompass_audit::monitor::MonitorTrail;
+use encompass_audit::rollforward::rollforward_volume;
+use encompass_audit::trail::{trail_key, TrailMedia};
+use encompass_sim::{CpuId, Fault, NodeId, Payload, Pid, Process, SimConfig, SimDuration, World};
+use encompass_storage::discprocess::{
+    spawn_disc_process, DiscConfig, DiscReply, DiscRequest,
+};
+use encompass_storage::media::{media_key, VolumeMedia};
+use encompass_storage::testkit::run_script;
+use encompass_storage::types::{FileDef, RecoveryMode, Transid, VolumeRef};
+use encompass_storage::Catalog;
+use guardian::{Rpc, Target, TimerOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn txn(seq: u64) -> Transid {
+    Transid {
+        home_node: NodeId(0),
+        cpu: 0,
+        seq,
+    }
+}
+
+const WAIT: SimDuration = SimDuration::from_millis(200);
+
+fn setup(mode: RecoveryMode) -> (World, NodeId, Target) {
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol = VolumeRef::new(n, "$DATA");
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", vol.clone()));
+    spawn_audit_process(&mut w, n, 2, 3, AuditConfig::default());
+    let cfg = DiscConfig {
+        recovery_mode: mode,
+        audit_service: Some("$AUDIT".into()),
+        ..DiscConfig::default()
+    };
+    let h = spawn_disc_process(&mut w, 0, 1, vol, catalog, cfg);
+    (w, n, h.target())
+}
+
+fn write_workload(t: Transid) -> Vec<DiscRequest> {
+    vec![
+        DiscRequest::Insert {
+            file: "accounts".into(),
+            key: b("a"),
+            value: b("1"),
+            transid: Some(t),
+            lock_wait: WAIT,
+        },
+        DiscRequest::Update {
+            file: "accounts".into(),
+            key: b("a"),
+            value: b("2"),
+            transid: Some(t),
+        },
+        DiscRequest::Insert {
+            file: "accounts".into(),
+            key: b("b"),
+            value: b("9"),
+            transid: Some(t),
+            lock_wait: WAIT,
+        },
+        DiscRequest::EndPhase1 { transid: t },
+        DiscRequest::ReleaseLocks { transid: t },
+    ]
+}
+
+#[test]
+fn nonstop_mode_defers_forces_to_phase_one() {
+    let (mut w, n, target) = setup(RecoveryMode::NonStopCheckpoint);
+    let replies = run_script(&mut w, n, 0, target, write_workload(txn(1)));
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(replies.borrow().len(), 5, "{:?}", replies.borrow());
+    assert_eq!(replies.borrow()[3], DiscReply::Phase1Done);
+    // exactly one group force for the whole transaction
+    assert_eq!(w.metrics().get("audit.forces"), 1);
+    // and the trail now has the three images
+    let trail = w
+        .stable()
+        .get::<TrailMedia>(&trail_key(n, "$AUDIT"))
+        .unwrap();
+    assert_eq!(trail.txn_images(txn(1)).len(), 3);
+}
+
+#[test]
+fn wal_mode_forces_every_update() {
+    let (mut w, n, target) = setup(RecoveryMode::WalForce);
+    let replies = run_script(&mut w, n, 0, target, write_workload(txn(1)));
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(replies.borrow().len(), 5, "{:?}", replies.borrow());
+    // one force per write (3 writes), none needed at phase one
+    assert_eq!(w.metrics().get("audit.forces"), 3);
+    assert_eq!(w.metrics().get("disc.wal_forced_writes"), 3);
+}
+
+#[test]
+fn group_commit_batches_concurrent_phase_ones() {
+    let (mut w, n, target) = setup(RecoveryMode::NonStopCheckpoint);
+    // four concurrent transactions from different client processes
+    let mut all = Vec::new();
+    for i in 0..4u64 {
+        let t = txn(i + 1);
+        let key = Bytes::from(format!("k{i}"));
+        all.push(run_script(
+            &mut w,
+            n,
+            (i % 4) as u8,
+            target.clone(),
+            vec![
+                DiscRequest::Insert {
+                    file: "accounts".into(),
+                    key,
+                    value: b("v"),
+                    transid: Some(t),
+                    lock_wait: WAIT,
+                },
+                DiscRequest::EndPhase1 { transid: t },
+                DiscRequest::ReleaseLocks { transid: t },
+            ],
+        ));
+    }
+    w.run_for(SimDuration::from_secs(5));
+    for r in &all {
+        assert_eq!(r.borrow().len(), 3);
+    }
+    // group commit: far fewer physical forces than transactions is the
+    // point; with near-simultaneous arrivals we expect ≤ 2 forces
+    assert!(
+        w.metrics().get("audit.forces") <= 2,
+        "forces = {}",
+        w.metrics().get("audit.forces")
+    );
+}
+
+/// Drives a Backout request and records the reply.
+struct BackoutDriver {
+    node: NodeId,
+    transid: Transid,
+    rpc: Rpc<BackoutMsg, BackoutReply>,
+    done: Rc<RefCell<bool>>,
+}
+impl Process for BackoutDriver {
+    fn on_start(&mut self, ctx: &mut encompass_sim::Ctx<'_>) {
+        self.rpc.call_persistent(
+            ctx,
+            Target::Named(self.node, "$BACKOUT".into()),
+            BackoutMsg::Backout {
+                transid: self.transid,
+                volumes: vec![VolumeRef::new(self.node, "$DATA")],
+                audit_services: vec!["$AUDIT".into()],
+            },
+            SimDuration::from_millis(100),
+            0,
+        );
+    }
+    fn on_message(&mut self, ctx: &mut encompass_sim::Ctx<'_>, _src: Pid, payload: Payload) {
+        if let Ok(c) = self.rpc.accept(ctx, payload) {
+            assert_eq!(c.body, BackoutReply::Done);
+            *self.done.borrow_mut() = true;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut encompass_sim::Ctx<'_>, _t: encompass_sim::TimerId, tag: u64) {
+        let _ = matches!(self.rpc.on_timer(ctx, tag), TimerOutcome::Resent);
+    }
+}
+
+#[test]
+fn backout_restores_before_images_via_audit_trail() {
+    let (mut w, n, target) = setup(RecoveryMode::NonStopCheckpoint);
+    spawn_backout_process(&mut w, n, 0, 1);
+    // committed base value
+    let t1 = txn(1);
+    let _ = run_script(
+        &mut w,
+        n,
+        0,
+        target.clone(),
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("acct"),
+                value: b("100"),
+                transid: Some(t1),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: t1 },
+            DiscRequest::ReleaseLocks { transid: t1 },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    // t2 updates then is backed out
+    let t2 = txn(2);
+    let _ = run_script(
+        &mut w,
+        n,
+        1,
+        target.clone(),
+        vec![
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("acct"),
+                transid: t2,
+                lock_wait: WAIT,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("acct"),
+                value: b("999"),
+                transid: Some(t2),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    let done = Rc::new(RefCell::new(false));
+    w.spawn(
+        n,
+        2,
+        Box::new(BackoutDriver {
+            node: n,
+            transid: t2,
+            rpc: Rpc::new(7),
+            done: done.clone(),
+        }),
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert!(*done.borrow(), "backout completed");
+    // after lock release, the committed value is visible again
+    let r = run_script(
+        &mut w,
+        n,
+        3,
+        target,
+        vec![
+            DiscRequest::ReleaseLocks { transid: t2 },
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("acct"),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(r.borrow()[1], DiscReply::Value(Some(b("100"))));
+}
+
+#[test]
+fn archive_crash_rollforward_cycle() {
+    let (mut w, n, target) = setup(RecoveryMode::NonStopCheckpoint);
+    // committed transaction before the archive
+    let t1 = txn(1);
+    let mut script = write_workload(t1);
+    script.push(DiscRequest::Archive { generation: 1 });
+    let _ = run_script(&mut w, n, 0, target.clone(), script);
+    w.run_for(SimDuration::from_secs(2));
+    // record commit outcomes in the monitor trail (normally the TMP's job)
+    let now = w.now();
+    MonitorTrail::of(w.stable_mut(), n).record(t1, true, now);
+
+    // post-archive: t2 commits, t3 updates but never commits
+    let t2 = txn(2);
+    let _ = run_script(
+        &mut w,
+        n,
+        1,
+        target.clone(),
+        vec![
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("a"),
+                transid: t2,
+                lock_wait: WAIT,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("a"),
+                value: b("42"),
+                transid: Some(t2),
+            },
+            DiscRequest::EndPhase1 { transid: t2 },
+            DiscRequest::ReleaseLocks { transid: t2 },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let now = w.now();
+    MonitorTrail::of(w.stable_mut(), n).record(t2, true, now);
+    let t3 = txn(3);
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("b"),
+                transid: t3,
+                lock_wait: WAIT,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("b"),
+                value: b("dirty"),
+                transid: Some(t3),
+            },
+            // t3's images must reach the trail for rollforward to see them
+            DiscRequest::EndPhase1 { transid: t3 },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+
+    // total node failure: both DISCPROCESS CPUs die, volume content lost
+    w.inject(Fault::KillCpu(n, CpuId(0)));
+    w.inject(Fault::KillCpu(n, CpuId(1)));
+    w.run_for(SimDuration::from_millis(100));
+    {
+        let media = w
+            .stable_mut()
+            .get_mut::<VolumeMedia>(&media_key(n, "$DATA"))
+            .unwrap();
+        media.fail_drive(0);
+        media.fail_drive(1);
+        media.revive_drive(0);
+        media.revive_drive(1);
+        assert!(!media.available());
+    }
+
+    let vol = VolumeRef::new(n, "$DATA");
+    let report = rollforward_volume(&mut w, &vol, &[trail_key(n, "$AUDIT")], 1);
+    assert!(report.redone >= 1, "t2's post-archive update redone: {report:?}");
+    assert!(report.rolled_back_txns >= 1, "t3 rolled back: {report:?}");
+
+    let media = w.stable().get::<VolumeMedia>(&media_key(n, "$DATA")).unwrap();
+    let accounts = media.file("accounts").unwrap();
+    assert_eq!(accounts.read(b"a"), Some(b("42")), "committed t2 survives");
+    assert_eq!(accounts.read(b"b"), Some(b("9")), "t3's dirty update undone");
+}

@@ -1,0 +1,66 @@
+//! Audit-trail microbenches: append/force throughput and transaction
+//! image queries.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use encompass_audit::trail::TrailMedia;
+use encompass_sim::NodeId;
+use encompass_storage::audit_api::ImageRecord;
+use encompass_storage::types::{FileOrganization, Transid, VolumeRef};
+
+fn img(seq: u64, txn: u64) -> ImageRecord {
+    ImageRecord {
+        seq,
+        transid: Transid {
+            home_node: NodeId(0),
+            cpu: 0,
+            seq: txn,
+        },
+        volume: VolumeRef::new(NodeId(0), "$D"),
+        file: "accounts".into(),
+        organization: FileOrganization::KeySequenced,
+        key: Bytes::from(format!("k{}", seq % 512)),
+        before: Some(Bytes::from_static(b"before-value")),
+        after: Some(Bytes::from_static(b"after-value")),
+    }
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit");
+    g.sample_size(20);
+
+    g.bench_function("force_batches_of_16", |b| {
+        b.iter_batched(
+            || TrailMedia::new(4096),
+            |mut trail| {
+                for batch in 0..64u64 {
+                    let records = (0..16).map(|i| img(batch * 16 + i, batch)).collect();
+                    trail.force(records);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("txn_images_query", |b| {
+        let mut trail = TrailMedia::new(4096);
+        for batch in 0..64u64 {
+            let records = (0..16).map(|i| img(batch * 16 + i, batch % 8)).collect();
+            trail.force(records);
+        }
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn = (txn + 1) % 8;
+            std::hint::black_box(trail.txn_images(Transid {
+                home_node: NodeId(0),
+                cpu: 0,
+                seq: txn,
+            }));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the key-sequenced file (B+tree): insert, point
+//! read, and ordered scan.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use encompass_storage::btree::BPlusTree;
+
+fn key(i: u64) -> Bytes {
+    Bytes::from(format!("customer/{i:010}"))
+}
+
+fn populated(n: u64) -> BPlusTree {
+    let mut t = BPlusTree::new(32);
+    for i in 0..n {
+        t.insert(key(i), Bytes::from(format!("record-{i}")));
+    }
+    t
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    g.bench_function("insert_10k_sequential", |b| {
+        b.iter_batched(
+            || (),
+            |_| populated(10_000),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let t = populated(10_000);
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            std::hint::black_box(t.get(&key(i)));
+        })
+    });
+
+    g.bench_function("scan_100", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 9_000;
+            std::hint::black_box(t.range(&key(i), None, 100));
+        })
+    });
+
+    g.bench_function("remove_insert_churn", |b| {
+        let mut t = populated(10_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            t.remove(&key(i));
+            t.insert(key(i), Bytes::from_static(b"fresh"));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end commit-protocol benches: one full transaction through TMF
+//! (single-node abbreviated 2PC vs distributed 2PC), measuring simulator
+//! wall time per committed transaction.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use encompass::app::AppBuilder;
+use encompass_bench::driver::{run_txn_script, Step};
+use encompass_sim::{NodeId, SimDuration};
+use encompass_storage::types::{FileDef, VolumeRef};
+use encompass_storage::Catalog;
+
+fn commit_on_n_nodes(participants: usize) {
+    let node_ids: Vec<NodeId> = (0..4u8).map(NodeId).collect();
+    let mut catalog = Catalog::new();
+    for &node in &node_ids {
+        catalog.add(FileDef::key_sequenced(
+            &format!("f{}", node.0),
+            VolumeRef::new(node, format!("$D{}", node.0).as_str()),
+        ));
+    }
+    let mut builder = AppBuilder::new();
+    for _ in 0..4 {
+        builder = builder.node(4);
+    }
+    let mut app = builder.mesh(SimDuration::from_millis(2)).build(catalog);
+    let mut script = vec![Step::Begin];
+    for i in 0..participants {
+        script.push(Step::Insert(
+            format!("f{i}"),
+            Bytes::from_static(b"key"),
+            Bytes::from_static(b"value"),
+        ));
+    }
+    script.push(Step::End);
+    let log = run_txn_script(&mut app.world, node_ids[0], 0, app.catalog.clone(), script);
+    app.world.run_for(SimDuration::from_secs(10));
+    assert_eq!(log.borrow().last().map(|s| s.as_str()), Some("committed"));
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit");
+    g.sample_size(10);
+    for p in [1usize, 2, 4] {
+        g.bench_function(format!("txn_{p}_participant_nodes"), |b| {
+            b.iter(|| commit_on_n_nodes(p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

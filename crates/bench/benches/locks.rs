@@ -1,0 +1,72 @@
+//! Microbenchmarks of the decentralized lock manager: grant, conflict
+//! queueing, and bulk release.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use encompass_sim::NodeId;
+use encompass_storage::locks::{LockManager, LockScope};
+use encompass_storage::types::Transid;
+
+fn t(seq: u64) -> Transid {
+    Transid {
+        home_node: NodeId(0),
+        cpu: 0,
+        seq,
+    }
+}
+
+fn rec(i: u64) -> LockScope {
+    LockScope::Record {
+        file: "accounts".into(),
+        key: Bytes::from(format!("k{i}")),
+    }
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.sample_size(20);
+
+    g.bench_function("acquire_release_100", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                for i in 0..100 {
+                    let _ = lm.acquire(t(1), rec(i), i);
+                }
+                let _ = lm.release_all(t(1));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("contended_queue_then_release", |b| {
+        b.iter_batched(
+            || {
+                let mut lm = LockManager::new();
+                let _ = lm.acquire(t(0), rec(0), 0);
+                // 50 waiters on the hot record
+                for w in 1..=50 {
+                    let _ = lm.acquire(t(w), rec(0), w);
+                }
+                lm
+            },
+            |mut lm| {
+                // cascading grants: each release wakes the next waiter
+                let mut holder = t(0);
+                for _ in 0..50 {
+                    let granted = lm.release_all(holder);
+                    match granted.first() {
+                        Some(g) => holder = g.txn,
+                        None => break,
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Process-pair takeover bench: a full DISCPROCESS-primary failure and
+//! recovery cycle under load, per iteration (the T8 scenario as a timing
+//! bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encompass::app::{launch_bank_app, BankAppParams};
+use encompass_sim::{CpuId, Fault, SimDuration};
+
+fn takeover_cycle() {
+    let mut app = launch_bank_app(BankAppParams {
+        terminals_per_node: 4,
+        transactions_per_terminal: 8,
+        accounts: 200,
+        think: SimDuration::from_millis(1),
+        ..BankAppParams::default()
+    });
+    let n = app.nodes[0];
+    app.world.run_for(SimDuration::from_millis(300));
+    app.world.inject(Fault::KillCpu(n, CpuId(2))); // DISCPROCESS primary
+    app.world.run_for(SimDuration::from_secs(60));
+    assert_eq!(app.world.metrics().get("tcp.commits"), 32);
+    assert!(app.world.metrics().get("pair.takeovers") >= 1);
+}
+
+fn bench_takeover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("takeover");
+    g.sample_size(10);
+    g.bench_function("disc_primary_failure_full_recovery", |b| {
+        b.iter(takeover_cycle)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_takeover);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Full-stack throughput bench: a complete bank workload (terminals →
+//! TCP → servers → TMF → DISCPROCESSes) per iteration, in both recovery
+//! modes (the T3 ablation as a timing bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encompass::app::{launch_bank_app, BankAppParams};
+use encompass_sim::SimDuration;
+use encompass_storage::types::RecoveryMode;
+
+fn run_bank(mode: RecoveryMode) -> u64 {
+    let mut app = launch_bank_app(BankAppParams {
+        terminals_per_node: 4,
+        transactions_per_terminal: 10,
+        accounts: 200,
+        think: SimDuration::from_millis(1),
+        recovery_mode: mode,
+        ..BankAppParams::default()
+    });
+    app.world.run_for(SimDuration::from_secs(60));
+    let commits = app.world.metrics().get("tcp.commits");
+    assert_eq!(commits, 40);
+    commits
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    g.bench_function("bank_40_txns_nonstop_checkpoint", |b| {
+        b.iter(|| run_bank(RecoveryMode::NonStopCheckpoint))
+    });
+    g.bench_function("bank_40_txns_wal_force", |b| {
+        b.iter(|| run_bank(RecoveryMode::WalForce))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

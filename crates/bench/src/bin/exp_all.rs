@@ -1,0 +1,6 @@
+//! Run every experiment in EXPERIMENTS.md in order.
+fn main() {
+    for table in encompass_bench::experiments::all() {
+        println!("{table}");
+    }
+}

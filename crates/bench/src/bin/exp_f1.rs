@@ -1,0 +1,6 @@
+//! Experiment f1 of EXPERIMENTS.md — see `encompass_bench::experiments::f1`.
+fn main() {
+    for table in encompass_bench::experiments::f1() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment f2 of EXPERIMENTS.md — see `encompass_bench::experiments::f2`.
+fn main() {
+    for table in encompass_bench::experiments::f2() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment f3 of EXPERIMENTS.md — see `encompass_bench::experiments::f3`.
+fn main() {
+    for table in encompass_bench::experiments::f3() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment f4 of EXPERIMENTS.md — see `encompass_bench::experiments::f4`.
+fn main() {
+    for table in encompass_bench::experiments::f4() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment t1 of EXPERIMENTS.md — see `encompass_bench::experiments::t1`.
+fn main() {
+    for table in encompass_bench::experiments::t1() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment t2 of EXPERIMENTS.md — see `encompass_bench::experiments::t2`.
+fn main() {
+    for table in encompass_bench::experiments::t2() {
+        println!("{table}");
+    }
+}

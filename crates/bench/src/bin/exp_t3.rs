@@ -1,0 +1,6 @@
+//! Experiment t3 of EXPERIMENTS.md — see `encompass_bench::experiments::t3`.
+fn main() {
+    for table in encompass_bench::experiments::t3() {
+        println!("{table}");
+    }
+}

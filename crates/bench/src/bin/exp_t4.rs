@@ -1,0 +1,6 @@
+//! Experiment t4 of EXPERIMENTS.md — see `encompass_bench::experiments::t4`.
+fn main() {
+    for table in encompass_bench::experiments::t4() {
+        println!("{table}");
+    }
+}

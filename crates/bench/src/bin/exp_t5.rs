@@ -1,0 +1,6 @@
+//! Experiment t5 of EXPERIMENTS.md — see `encompass_bench::experiments::t5`.
+fn main() {
+    for table in encompass_bench::experiments::t5() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment t6 of EXPERIMENTS.md — see `encompass_bench::experiments::t6`.
+fn main() {
+    for table in encompass_bench::experiments::t6() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment t7 of EXPERIMENTS.md — see `encompass_bench::experiments::t7`.
+fn main() {
+    for table in encompass_bench::experiments::t7() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment t8 of EXPERIMENTS.md — see `encompass_bench::experiments::t8`.
+fn main() {
+    for table in encompass_bench::experiments::t8() {
+        println!("{table}");
+    }
+}

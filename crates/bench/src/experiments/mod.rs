@@ -1,0 +1,46 @@
+//! One function per experiment in EXPERIMENTS.md. Each returns one or
+//! more [`crate::Table`]s ready to print; the `exp_*` binaries are thin
+//! wrappers.
+
+mod claims;
+mod figures;
+
+pub use claims::{t1, t2, t3, t4, t5, t6, t7, t8};
+pub use figures::{f1, f2, f3, f4};
+
+/// Run every experiment (the `exp_all` binary), in parallel — each
+/// experiment builds its own simulated worlds, so they are independent;
+/// results are returned in the canonical F1..T8 order.
+pub fn all() -> Vec<crate::Table> {
+    type ExpFn = fn() -> Vec<crate::Table>;
+    let experiments: Vec<(usize, ExpFn)> = vec![
+        (0, f1 as ExpFn),
+        (1, f2),
+        (2, f3),
+        (3, f4),
+        (4, t1),
+        (5, t2),
+        (6, t3),
+        (7, t4),
+        (8, t5),
+        (9, t6),
+        (10, t7),
+        (11, t8),
+    ];
+    let results: parking_lot::Mutex<Vec<(usize, Vec<crate::Table>)>> =
+        parking_lot::Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (idx, f) in &experiments {
+            let results = &results;
+            let (idx, f) = (*idx, *f);
+            scope.spawn(move |_| {
+                let tables = f();
+                results.lock().push((idx, tables));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().flat_map(|(_, t)| t).collect()
+}

@@ -1,0 +1,188 @@
+//! Wiring: spawn a complete TMF node in one call.
+//!
+//! A TMF node consists of (Figure 2 of the paper, minus the application
+//! layer that `encompass` adds):
+//!
+//! * one `$TMP` pair,
+//! * one `$AUDIT` AUDITPROCESS pair (more can be added manually),
+//! * one `$BACKOUT` pair,
+//! * one DISCPROCESS pair per volume the catalog places on this node,
+//! * one transaction table per processor,
+//! * one operator process.
+
+use crate::table::TxTableProcess;
+use crate::tmp::{spawn_tmp, TmpConfig};
+use encompass_audit::auditprocess::{spawn_audit_process, AuditConfig};
+use encompass_audit::backout::spawn_backout_process;
+use encompass_sim::{NodeId, SimDuration, World};
+use encompass_storage::discprocess::{spawn_disc_process, DiscConfig};
+use encompass_storage::types::RecoveryMode;
+use encompass_storage::Catalog;
+use guardian::{OperatorProcess, PairHandle};
+use std::collections::HashMap;
+
+/// Per-node configuration.
+#[derive(Clone, Debug)]
+pub struct TmfNodeConfig {
+    pub recovery_mode: RecoveryMode,
+    /// Base audit service name; with `audit_processes > 1` the services
+    /// are `<name>0`, `<name>1`, … and volumes are assigned round-robin —
+    /// the paper's "all audited discs on a given controller share an
+    /// AUDITPROCESS and an audit trail; multiple controllers may be
+    /// configured to use the same or different AUDITPROCESSes".
+    pub audit_service: String,
+    /// Number of AUDITPROCESS pairs (and trails) per node.
+    pub audit_processes: usize,
+    /// Critical-response timeout/retries and safe-delivery retry interval.
+    pub critical_timeout: SimDuration,
+    pub critical_retries: u32,
+    pub safe_retry: SimDuration,
+    /// DISCPROCESS cache flush interval.
+    pub flush_interval: SimDuration,
+}
+
+impl Default for TmfNodeConfig {
+    fn default() -> Self {
+        TmfNodeConfig {
+            recovery_mode: RecoveryMode::NonStopCheckpoint,
+            audit_service: "$AUDIT".into(),
+            audit_processes: 1,
+            critical_timeout: SimDuration::from_millis(100),
+            critical_retries: 3,
+            safe_retry: SimDuration::from_millis(100),
+            flush_interval: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Handles to a node's TMF processes.
+pub struct NodeHandles {
+    pub node: NodeId,
+    pub tmp: PairHandle,
+    pub audits: Vec<PairHandle>,
+    pub backout: PairHandle,
+    pub discs: Vec<PairHandle>,
+    /// Stable-storage keys of this node's audit trails (for ROLLFORWARD).
+    pub trail_keys: Vec<String>,
+}
+
+/// Spawn the full TMF process set for `node`. The node must have at least
+/// two CPUs; pairs are spread round-robin over the available processors.
+pub fn spawn_tmf_node(
+    world: &mut World,
+    node: NodeId,
+    catalog: &Catalog,
+    cfg: TmfNodeConfig,
+) -> NodeHandles {
+    let cpus = world.cpu_count(node);
+    assert!(cpus >= 2, "a node needs at least two processors");
+    let pair_cpus = |i: u8| -> (u8, u8) {
+        let p = i % cpus;
+        let b = (i + 1) % cpus;
+        (p, b)
+    };
+
+    // per-CPU transaction tables + operator
+    for cpu in 0..cpus {
+        world.spawn(node, cpu, Box::new(TxTableProcess::new()));
+    }
+    world.spawn(node, 0, Box::new(OperatorProcess::default()));
+
+    // audit processes (one per simulated controller group) + backout
+    let audit_count = cfg.audit_processes.max(1);
+    let service_name = |i: usize| -> String {
+        if audit_count == 1 {
+            cfg.audit_service.clone()
+        } else {
+            format!("{}{}", cfg.audit_service, i)
+        }
+    };
+    let mut audits = Vec::new();
+    let mut trail_keys = Vec::new();
+    for i in 0..audit_count {
+        let (ap, ab) = pair_cpus(i as u8);
+        let svc = service_name(i);
+        trail_keys.push(encompass_audit::trail::trail_key(node, &svc));
+        audits.push(spawn_audit_process(
+            world,
+            node,
+            ap,
+            ab,
+            AuditConfig {
+                service: svc,
+                rotate_every: 4096,
+            },
+        ));
+    }
+    let (bp, bb) = pair_cpus(audit_count as u8);
+    let backout = spawn_backout_process(world, node, bp, bb);
+
+    // one DISCPROCESS pair per local volume; volumes share audit services
+    // round-robin
+    let mut discs = Vec::new();
+    let mut audit_service_of = HashMap::new();
+    let volumes: Vec<_> = catalog
+        .all_volumes()
+        .into_iter()
+        .filter(|v| v.node == node)
+        .collect();
+    for (i, volume) in volumes.iter().enumerate() {
+        let (dp, db) = pair_cpus(1 + audit_count as u8 + i as u8);
+        let svc = service_name(i % audit_count);
+        audit_service_of.insert(volume.volume.clone(), svc.clone());
+        discs.push(spawn_disc_process(
+            world,
+            dp,
+            db,
+            volume.clone(),
+            catalog.clone(),
+            DiscConfig {
+                recovery_mode: cfg.recovery_mode,
+                audit_service: Some(svc),
+                flush_interval: cfg.flush_interval,
+                ..DiscConfig::default()
+            },
+        ));
+    }
+
+    // the TMP itself
+    let (tp, tb) = pair_cpus(1 + audit_count as u8 + volumes.len() as u8);
+    let tmp = spawn_tmp(
+        world,
+        node,
+        tp,
+        tb,
+        TmpConfig {
+            audit_service_of,
+            backout_service: "$BACKOUT".into(),
+            critical_timeout: cfg.critical_timeout,
+            critical_retries: cfg.critical_retries,
+            safe_retry: cfg.safe_retry,
+        },
+    );
+
+    NodeHandles {
+        node,
+        tmp,
+        audits,
+        backout,
+        discs,
+        trail_keys,
+    }
+}
+
+/// Spawn TMF on every node the catalog references (nodes must already
+/// exist in the world, fully linked by the caller).
+pub fn spawn_tmf_network(
+    world: &mut World,
+    catalog: &Catalog,
+    cfg: TmfNodeConfig,
+) -> Vec<NodeHandles> {
+    let mut nodes: Vec<NodeId> = catalog.all_volumes().into_iter().map(|v| v.node).collect();
+    nodes.sort();
+    nodes.dedup();
+    nodes
+        .into_iter()
+        .map(|n| spawn_tmf_node(world, n, catalog, cfg.clone()))
+        .collect()
+}

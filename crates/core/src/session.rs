@@ -1,0 +1,516 @@
+//! The application-side File System extension for TMF.
+//!
+//! In real ENCOMPASS the File System transparently appends the *current
+//! process transid* to every interprocess request, notifies the TMP before
+//! the first transmission of a transid to a remote node, and routes
+//! data-base requests to the DISCPROCESS owning the key's partition. The
+//! [`TmfSession`] struct packages those duties for a simulated process:
+//!
+//! * `begin` / `end` / `abort` implement the Screen COBOL verbs against
+//!   the *home* TMP;
+//! * `adopt` sets the current process transid from an incoming request
+//!   (the server side of a SEND);
+//! * the data-base operations resolve the partition from the catalog,
+//!   perform **remote transaction begin** and **volume registration**
+//!   bookkeeping with the TMPs, and then issue the request to the right
+//!   DISCPROCESS.
+//!
+//! The session is deliberately single-outstanding-operation: the paper's
+//! servers are "simple and single-threaded: (1) read the transaction
+//! request message; (2) perform the data base function requested;
+//! (3) reply".
+
+use crate::tmp::{TmpMsg, TmpReply};
+use bytes::Bytes;
+use encompass_sim::{Ctx, NodeId, Payload, SimDuration};
+use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::types::{Transid, VolumeRef};
+use encompass_storage::Catalog;
+use guardian::{Rpc, Target, TimerOutcome};
+use std::collections::HashSet;
+
+/// What a session operation produced.
+#[derive(Debug)]
+pub enum SessionEvent {
+    /// `begin` completed.
+    Began { transid: Transid, cookie: u64 },
+    /// A data-base operation completed.
+    OpDone { reply: DiscReply, cookie: u64 },
+    /// `end` completed with a commit.
+    Committed { cookie: u64 },
+    /// `end`/`abort` completed with an abort (the transaction's updates
+    /// were backed out).
+    Aborted { cookie: u64 },
+    /// The operation could not be carried out (remote node unreachable,
+    /// registration refused, or repeated timeouts). The caller should
+    /// abort or restart the transaction.
+    Failed { cookie: u64 },
+}
+
+impl SessionEvent {
+    pub fn cookie(&self) -> u64 {
+        match self {
+            SessionEvent::Began { cookie, .. }
+            | SessionEvent::OpDone { cookie, .. }
+            | SessionEvent::Committed { cookie }
+            | SessionEvent::Aborted { cookie }
+            | SessionEvent::Failed { cookie } => *cookie,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Stage {
+    EnsureRemote,
+    Register,
+    Execute,
+    TmpVerb,
+    /// A bare remote-begin before a SEND to a remote server (no data op).
+    EnsureOnly,
+}
+
+struct Pending {
+    cookie: u64,
+    op: Option<DiscRequest>,
+    volume: Option<VolumeRef>,
+    stage: Stage,
+}
+
+/// Per-process TMF session state.
+pub struct TmfSession {
+    catalog: Catalog,
+    tmp_rpc: Rpc<TmpMsg, TmpReply>,
+    disc_rpc: Rpc<DiscRequest, DiscReply>,
+    current: Option<Transid>,
+    registered_volumes: HashSet<VolumeRef>,
+    ensured_nodes: HashSet<NodeId>,
+    pending: Option<Pending>,
+    /// Default lock-wait (deadlock timeout) attached to lock requests.
+    pub lock_wait: SimDuration,
+    /// Per-attempt timeout of requests.
+    pub attempt_timeout: SimDuration,
+    /// Retries before an operation is reported as Failed.
+    pub retries: u32,
+}
+
+impl TmfSession {
+    /// `id_space` must be distinct among `Rpc` users within one process.
+    pub fn new(catalog: Catalog, id_space: u64) -> TmfSession {
+        TmfSession {
+            catalog,
+            tmp_rpc: Rpc::new(32 + id_space * 2),
+            disc_rpc: Rpc::new(33 + id_space * 2),
+            current: None,
+            registered_volumes: HashSet::new(),
+            ensured_nodes: HashSet::new(),
+            pending: None,
+            lock_wait: SimDuration::from_millis(500),
+            attempt_timeout: SimDuration::from_millis(300),
+            retries: 10,
+        }
+    }
+
+    /// The current process transid, if in transaction mode.
+    pub fn transid(&self) -> Option<Transid> {
+        self.current
+    }
+
+    /// Is an operation outstanding?
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Adopt a transid delivered with an incoming request (server side);
+    /// the File System made it the "current process transid".
+    pub fn adopt(&mut self, transid: Transid) {
+        self.current = Some(transid);
+        self.registered_volumes.clear();
+        self.ensured_nodes.clear();
+    }
+
+    /// Drop transaction mode without talking to the TMP (a context-free
+    /// server finishing a request).
+    pub fn clear(&mut self) {
+        debug_assert!(self.pending.is_none(), "clear() while an op is pending");
+        self.current = None;
+        self.registered_volumes.clear();
+        self.ensured_nodes.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Verbs
+    // ------------------------------------------------------------------
+
+    /// BEGIN-TRANSACTION.
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>, cookie: u64) {
+        assert!(self.pending.is_none(), "session is single-threaded");
+        assert!(self.current.is_none(), "already in transaction mode");
+        self.registered_volumes.clear();
+        self.ensured_nodes.clear();
+        self.pending = Some(Pending {
+            cookie,
+            op: None,
+            volume: None,
+            stage: Stage::TmpVerb,
+        });
+        let node = ctx.node();
+        let cpu = ctx.pid().cpu.0;
+        self.call_tmp(ctx, node, TmpMsg::Begin { cpu });
+    }
+
+    /// END-TRANSACTION (routed to the transaction's home TMP).
+    pub fn end(&mut self, ctx: &mut Ctx<'_>, cookie: u64) {
+        assert!(self.pending.is_none(), "session is single-threaded");
+        let transid = self.current.expect("not in transaction mode");
+        self.pending = Some(Pending {
+            cookie,
+            op: None,
+            volume: None,
+            stage: Stage::TmpVerb,
+        });
+        self.call_tmp(ctx, transid.home_node, TmpMsg::End { transid });
+    }
+
+    /// ABORT-TRANSACTION / RESTART-TRANSACTION (restart policy lives in
+    /// the caller — typically the TCP's restart limit).
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>, reason: crate::state::AbortReason, cookie: u64) {
+        assert!(self.pending.is_none(), "session is single-threaded");
+        let transid = self.current.expect("not in transaction mode");
+        self.pending = Some(Pending {
+            cookie,
+            op: None,
+            volume: None,
+            stage: Stage::TmpVerb,
+        });
+        self.call_tmp(ctx, transid.home_node, TmpMsg::Abort { transid, reason });
+    }
+
+    /// Must [`Self::ensure_remote`] run before transmitting the current
+    /// transid to `dest` (a SEND to a remote server class)?
+    pub fn needs_remote(&self, my_node: NodeId, dest: NodeId) -> bool {
+        self.current.is_some() && dest != my_node && !self.ensured_nodes.contains(&dest)
+    }
+
+    /// Perform remote transaction begin for `dest` before a SEND: "this
+    /// 'remote transaction begin' occurs prior to any transmission of the
+    /// transid by the File System to a server or DISCPROCESS on the
+    /// destination node." Completes with `OpDone(DiscReply::Ok)`.
+    pub fn ensure_remote(&mut self, ctx: &mut Ctx<'_>, dest: NodeId, cookie: u64) {
+        assert!(self.pending.is_none(), "session is single-threaded");
+        let transid = self.current.expect("ensure_remote requires transaction mode");
+        self.pending = Some(Pending {
+            cookie,
+            op: None,
+            volume: None,
+            stage: Stage::EnsureOnly,
+        });
+        let my_node = ctx.node();
+        self.call_tmp(ctx, my_node, TmpMsg::EnsureRemoteSend { transid, dest });
+        // remember optimistically; a Failed reply clears transaction state
+        self.ensured_nodes.insert(dest);
+    }
+
+    // ------------------------------------------------------------------
+    // Data-base operations
+    // ------------------------------------------------------------------
+
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
+        let op = DiscRequest::Read {
+            file: file.into(),
+            key,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn read_lock(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
+        let transid = self.current.expect("read_lock requires transaction mode");
+        let op = DiscRequest::ReadLock {
+            file: file.into(),
+            key,
+            transid,
+            lock_wait: self.lock_wait,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn insert(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
+        let op = DiscRequest::Insert {
+            file: file.into(),
+            key,
+            value,
+            transid: self.current,
+            lock_wait: self.lock_wait,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn update(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
+        let op = DiscRequest::Update {
+            file: file.into(),
+            key,
+            value,
+            transid: self.current,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn delete(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
+        let op = DiscRequest::Delete {
+            file: file.into(),
+            key,
+            transid: self.current,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn insert_entry(&mut self, ctx: &mut Ctx<'_>, file: &str, value: Bytes, cookie: u64) {
+        let op = DiscRequest::InsertEntry {
+            file: file.into(),
+            value,
+            transid: self.current,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    pub fn read_range(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        file: &str,
+        low: Bytes,
+        high: Option<Bytes>,
+        limit: usize,
+        cookie: u64,
+    ) {
+        let op = DiscRequest::ReadRange {
+            file: file.into(),
+            low,
+            high,
+            limit,
+        };
+        self.submit(ctx, op, cookie);
+    }
+
+    /// Route an already-built request (advanced callers). Panics on files
+    /// not in the catalog — that is a configuration bug, not a runtime
+    /// condition.
+    pub fn submit(&mut self, ctx: &mut Ctx<'_>, op: DiscRequest, cookie: u64) {
+        assert!(self.pending.is_none(), "session is single-threaded");
+        let volume = self
+            .volume_of(&op)
+            .unwrap_or_else(|| panic!("file of {op:?} not in the catalog"));
+        self.pending = Some(Pending {
+            cookie,
+            op: Some(op),
+            volume: Some(volume),
+            stage: Stage::EnsureRemote,
+        });
+        self.advance(ctx);
+    }
+
+    fn volume_of(&self, op: &DiscRequest) -> Option<VolumeRef> {
+        let (file, key) = match op {
+            DiscRequest::Read { file, key }
+            | DiscRequest::ReadLock { file, key, .. }
+            | DiscRequest::Insert { file, key, .. }
+            | DiscRequest::Update { file, key, .. }
+            | DiscRequest::Delete { file, key, .. } => (file.as_str(), key.as_ref()),
+            // scans address the partition holding `low`; cross-partition
+            // scans are the application's concern
+            DiscRequest::ReadRange { file, low, .. } => (file.as_str(), low.as_ref()),
+            DiscRequest::InsertEntry { file, .. } | DiscRequest::LockFile { file, .. } => {
+                (file.as_str(), &[][..])
+            }
+            _ => return None,
+        };
+        self.catalog.volume_for(file, key)
+    }
+
+    /// Drive the pending op through its stages: remote-begin →
+    /// registration → execution. Each network step returns and resumes
+    /// when its ack arrives.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let Some(p) = &mut self.pending else { return };
+            let Some(volume) = p.volume.clone() else {
+                return;
+            };
+            let transactional = self.current.is_some();
+            match p.stage {
+                Stage::EnsureRemote => {
+                    let my_node = ctx.node();
+                    if !transactional
+                        || volume.node == my_node
+                        || self.ensured_nodes.contains(&volume.node)
+                    {
+                        p.stage = Stage::Register;
+                        continue;
+                    }
+                    let transid = self.current.expect("transactional");
+                    p.stage = Stage::Register; // resumed by the ack
+                    let dest = volume.node;
+                    self.call_tmp(ctx, my_node, TmpMsg::EnsureRemoteSend { transid, dest });
+                    return;
+                }
+                Stage::Register => {
+                    if !transactional || self.registered_volumes.contains(&volume) {
+                        p.stage = Stage::Execute;
+                        continue;
+                    }
+                    let transid = self.current.expect("transactional");
+                    p.stage = Stage::Execute; // resumed by the ack
+                    self.call_tmp(
+                        ctx,
+                        volume.node,
+                        TmpMsg::RegisterVolume {
+                            transid,
+                            volume: volume.clone(),
+                        },
+                    );
+                    return;
+                }
+                Stage::Execute => {
+                    let op = p.op.clone().expect("data op present");
+                    let cookie = p.cookie;
+                    let target = Target::Named(volume.node, volume.volume.clone());
+                    if self
+                        .disc_rpc
+                        .call(ctx, target, op, self.attempt_timeout, self.retries, cookie)
+                        .is_err()
+                    {
+                        // the DISCPROCESS name is unresolvable right now
+                        // (takeover window): retry persistently
+                        let op = self.pending.as_ref().and_then(|p| p.op.clone());
+                        if let Some(op) = op {
+                            self.disc_rpc.call_persistent(
+                                ctx,
+                                Target::Named(volume.node, volume.volume.clone()),
+                                op,
+                                self.attempt_timeout,
+                                cookie,
+                            );
+                        }
+                    }
+                    return;
+                }
+                Stage::TmpVerb | Stage::EnsureOnly => return,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion plumbing
+    // ------------------------------------------------------------------
+
+    fn call_tmp(&mut self, ctx: &mut Ctx<'_>, node: NodeId, msg: TmpMsg) {
+        // the TMP name survives takeovers, and persistent retry rides out
+        // the takeover window; critical-response semantics for sessions
+        // come from the TMP's own replies (Failed / Phase1Refused)
+        let _ = self.tmp_rpc.call_persistent(
+            ctx,
+            Target::Named(node, "$TMP".into()),
+            msg,
+            self.attempt_timeout,
+            0,
+        );
+    }
+
+    /// Offer an incoming payload; `Ok(Some(event))` when the pending
+    /// operation completed, `Ok(None)` if consumed but still in progress,
+    /// `Err(payload)` if not ours.
+    pub fn accept(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        payload: Payload,
+    ) -> Result<Option<SessionEvent>, Payload> {
+        let payload = match self.tmp_rpc.accept(ctx, payload) {
+            Ok(c) => return Ok(self.on_tmp_reply(ctx, c.body)),
+            Err(p) => p,
+        };
+        match self.disc_rpc.accept(ctx, payload) {
+            Ok(c) => match self.pending.take() {
+                Some(p) => Ok(Some(SessionEvent::OpDone {
+                    reply: c.body,
+                    cookie: p.cookie,
+                })),
+                None => Ok(None), // stale completion
+            },
+            Err(p) => Err(p),
+        }
+    }
+
+    fn on_tmp_reply(&mut self, ctx: &mut Ctx<'_>, body: TmpReply) -> Option<SessionEvent> {
+        let cookie = self.pending.as_ref().map(|p| p.cookie)?;
+        match body {
+            TmpReply::Began { transid } => {
+                self.current = Some(transid);
+                self.pending = None;
+                Some(SessionEvent::Began { transid, cookie })
+            }
+            TmpReply::Committed => {
+                self.current = None;
+                self.pending = None;
+                self.registered_volumes.clear();
+                self.ensured_nodes.clear();
+                Some(SessionEvent::Committed { cookie })
+            }
+            TmpReply::Aborted => {
+                self.current = None;
+                self.pending = None;
+                self.registered_volumes.clear();
+                self.ensured_nodes.clear();
+                Some(SessionEvent::Aborted { cookie })
+            }
+            TmpReply::Ok => {
+                // a registration step completed: record it and continue.
+                // stage was advanced when the request was sent, so the
+                // *current* stage names the step after the acked one.
+                let (stage, volume) = match &self.pending {
+                    Some(p) => (p.stage, p.volume.clone()),
+                    None => return None,
+                };
+                if stage == Stage::EnsureOnly {
+                    self.pending = None;
+                    return Some(SessionEvent::OpDone {
+                        reply: DiscReply::Ok,
+                        cookie,
+                    });
+                }
+                match (stage, volume) {
+                    (Stage::Register, Some(v)) => {
+                        self.ensured_nodes.insert(v.node);
+                    }
+                    (Stage::Execute, Some(v)) => {
+                        self.registered_volumes.insert(v);
+                    }
+                    _ => {}
+                }
+                self.advance(ctx);
+                None
+            }
+            TmpReply::Failed | TmpReply::Phase1Refused | TmpReply::Phase1Ok
+            | TmpReply::Disposition { .. } => {
+                self.pending = None;
+                ctx.count("tmf.session_failures", 1);
+                Some(SessionEvent::Failed { cookie })
+            }
+        }
+    }
+
+    /// Drive timers; returns an event if a request finally expired.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> Option<SessionEvent> {
+        let expired = matches!(
+            self.tmp_rpc.on_timer(ctx, tag),
+            TimerOutcome::Expired { .. }
+        ) || matches!(
+            self.disc_rpc.on_timer(ctx, tag),
+            TimerOutcome::Expired { .. }
+        );
+        if expired {
+            if let Some(p) = self.pending.take() {
+                ctx.count("tmf.session_failures", 1);
+                return Some(SessionEvent::Failed { cookie: p.cookie });
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,165 @@
+//! The transaction state machine (Figure 3 of the paper).
+//!
+//! ```text
+//!            BEGIN
+//!              │
+//!              ▼        END (phase one)          (phase two)
+//!           ACTIVE ───────────────────► ENDING ───────────► ENDED
+//!              │                           │
+//!              │ FAILURE / ABORT           │ FAILURE before commit record
+//!              ▼                           ▼
+//!           ABORTING ──────────────────► ABORTED
+//!                         (backout)
+//! ```
+//!
+//! "Aborting" and "ending" are parallel states, as are "aborted" and
+//! "ended". Once "ended" or "aborted" completes, the transid leaves the
+//! system.
+
+use std::fmt;
+
+/// The five states of Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TxState {
+    /// After BEGIN-TRANSACTION, before commit or abort is requested.
+    Active,
+    /// Phase one of commit: audit records being forced to the trails.
+    Ending,
+    /// The commit record is on the Monitor Audit Trail; locks being
+    /// released (phase two). Terminal.
+    Ended,
+    /// The decision to back out has been taken; backout in progress.
+    Aborting,
+    /// Backout complete; locks being released. Terminal.
+    Aborted,
+}
+
+impl TxState {
+    /// The legal next states (exactly Figure 3's edges).
+    pub fn successors(self) -> &'static [TxState] {
+        match self {
+            TxState::Active => &[TxState::Ending, TxState::Aborting],
+            TxState::Ending => &[TxState::Ended, TxState::Aborting],
+            TxState::Ended => &[],
+            TxState::Aborting => &[TxState::Aborted],
+            TxState::Aborted => &[],
+        }
+    }
+
+    /// Is `next` a legal transition from `self`?
+    pub fn can_become(self, next: TxState) -> bool {
+        self.successors().contains(&next)
+    }
+
+    /// Terminal states: the transid leaves the system after these.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TxState::Ended | TxState::Aborted)
+    }
+
+    /// All states, for exhaustive enumeration (experiment F3).
+    pub fn all() -> [TxState; 5] {
+        [
+            TxState::Active,
+            TxState::Ending,
+            TxState::Ended,
+            TxState::Aborting,
+            TxState::Aborted,
+        ]
+    }
+}
+
+impl fmt::Display for TxState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxState::Active => "active",
+            TxState::Ending => "ending",
+            TxState::Ended => "ended",
+            TxState::Aborting => "aborting",
+            TxState::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a transaction was aborted — the paper's causes of automatic abort
+/// plus the voluntary verbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortReason {
+    /// ABORT-TRANSACTION: the application decided to back out, without
+    /// automatic restart.
+    Voluntary,
+    /// RESTART-TRANSACTION: transient problem (e.g. lock timeout /
+    /// presumed deadlock); back out and restart at BEGIN-TRANSACTION.
+    Restart,
+    /// Failure of the processor hosting the requester (primary TCP) or a
+    /// server working on the transaction.
+    CpuFailure,
+    /// Complete loss of communication with a participating node.
+    NetworkPartition,
+    /// A participating node was inaccessible or refused at phase one.
+    Phase1Failure,
+    /// An operator forced the disposition (the manual override).
+    OperatorOverride,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_edges_exactly() {
+        use TxState::*;
+        let expect = [
+            (Active, vec![Ending, Aborting]),
+            (Ending, vec![Ended, Aborting]),
+            (Ended, vec![]),
+            (Aborting, vec![Aborted]),
+            (Aborted, vec![]),
+        ];
+        for (s, succ) in expect {
+            assert_eq!(s.successors(), succ.as_slice(), "{s}");
+        }
+    }
+
+    #[test]
+    fn terminality() {
+        assert!(TxState::Ended.is_terminal());
+        assert!(TxState::Aborted.is_terminal());
+        assert!(!TxState::Active.is_terminal());
+        assert!(!TxState::Ending.is_terminal());
+        assert!(!TxState::Aborting.is_terminal());
+    }
+
+    #[test]
+    fn reachability_from_active_covers_all_states() {
+        // BFS over the transition graph reaches every state
+        let mut seen = vec![TxState::Active];
+        let mut frontier = vec![TxState::Active];
+        while let Some(s) = frontier.pop() {
+            for &n in s.successors() {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                    frontier.push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), TxState::all().len());
+    }
+
+    #[test]
+    fn no_transition_out_of_terminal_states() {
+        for s in TxState::all() {
+            if s.is_terminal() {
+                for n in TxState::all() {
+                    assert!(!s.can_become(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TxState::Active.to_string(), "active");
+        assert_eq!(TxState::Aborting.to_string(), "aborting");
+    }
+}

@@ -1,0 +1,1022 @@
+//! The Transaction Monitor Process (TMP): one process-pair per network
+//! node, coordinating distributed transactions.
+//!
+//! Responsibilities, following the paper:
+//!
+//! * generate transids at `BEGIN-TRANSACTION` and broadcast "active" state
+//!   to every processor of the node;
+//! * track, per transaction, the **local participating volumes** (reported
+//!   by the File System session layer) and the **remote nodes this node
+//!   directly transmitted the transid to** (its *children*);
+//! * perform **remote transaction begin**: before the first transmission
+//!   of a transid to another node, notify that node's TMP so it broadcasts
+//!   "active" state on its processors — a *critical response* message;
+//! * run the **abbreviated two-phase commit** (single node: force audit,
+//!   write the commit record, release locks) and the **distributed
+//!   two-phase commit**: phase one is critical-response down the
+//!   transmission tree (each node forces its local audit and asks its own
+//!   children transitively); phase two and abort/backout notifications are
+//!   *safe-delivery* — retried until deliverable, never blocking commit
+//!   completion on the home node;
+//! * honor **unilateral abort**: a non-home node may abort until it has
+//!   acknowledged phase one; afterwards it holds locks until the final
+//!   disposition arrives (or an operator forces one — the manual
+//!   override);
+//! * write the **Monitor Audit Trail**: the forced commit record *is* the
+//!   commit point;
+//! * drive the BACKOUTPROCESS for aborting transactions and release locks
+//!   on the participating DISCPROCESSes afterwards;
+//! * abort the active transactions of a failed processor (the paper's
+//!   automatic abort on "failure of the primary TCP's processor").
+
+use crate::state::{AbortReason, TxState};
+use crate::table::StateBroadcast;
+use encompass_audit::backout::{BackoutMsg, BackoutReply};
+use encompass_audit::monitor::MonitorTrail;
+use encompass_sim::{NodeId, Payload, Pid, SimDuration, SystemEvent, World};
+use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::types::{Transid, VolumeRef};
+use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
+use std::collections::{BTreeSet, HashMap};
+
+const TAG_MONITOR_BASE: u64 = 1 << 16;
+
+/// Requests handled by a TMP (from sessions, operators, and other TMPs).
+#[derive(Clone, Debug)]
+pub enum TmpMsg {
+    // ---- session-facing ----
+    /// BEGIN-TRANSACTION from a process on CPU `cpu` of this node.
+    Begin { cpu: u8 },
+    /// The File System reports that `transid` touches `volume` (local).
+    RegisterVolume { transid: Transid, volume: VolumeRef },
+    /// The File System is about to transmit `transid` to `dest` for the
+    /// first time from this node: ensure remote transaction begin.
+    EnsureRemoteSend { transid: Transid, dest: NodeId },
+    /// END-TRANSACTION (home node only).
+    End { transid: Transid },
+    /// ABORT-TRANSACTION / RESTART-TRANSACTION backout request.
+    Abort { transid: Transid, reason: AbortReason },
+    /// TMF utility: what happened to this transaction?
+    QueryDisposition { transid: Transid },
+    /// TMF utility: operator override for an in-doubt transaction on a
+    /// node cut off after acknowledging phase one.
+    ForceDisposition { transid: Transid, commit: bool },
+    // ---- TMP ↔ TMP (network) ----
+    /// Remote transaction begin (critical response).
+    RemoteBegin { transid: Transid },
+    /// Phase one of distributed commit (critical response).
+    Phase1 { transid: Transid },
+    /// Phase two: release locks (safe delivery).
+    Phase2 { transid: Transid },
+    /// Abort/backout notification (safe delivery).
+    AbortTxn { transid: Transid },
+}
+
+/// Replies from a TMP.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TmpReply {
+    Began { transid: Transid },
+    Ok,
+    /// Registration / remote begin could not be performed (e.g. the remote
+    /// node is unreachable); the requester should abort.
+    Failed,
+    Phase1Ok,
+    Phase1Refused,
+    Committed,
+    Aborted,
+    Disposition { state: Option<TxState> },
+}
+
+/// Configuration for one node's TMP.
+#[derive(Clone, Debug)]
+pub struct TmpConfig {
+    /// Audit service for each local volume name (for backout requests).
+    pub audit_service_of: HashMap<String, String>,
+    /// The local BACKOUTPROCESS service name.
+    pub backout_service: String,
+    /// Per-attempt timeout of critical-response messages.
+    pub critical_timeout: SimDuration,
+    /// Retry budget of critical-response messages.
+    pub critical_retries: u32,
+    /// Retry interval of safe-delivery messages.
+    pub safe_retry: SimDuration,
+}
+
+impl Default for TmpConfig {
+    fn default() -> Self {
+        TmpConfig {
+            audit_service_of: HashMap::new(),
+            backout_service: "$BACKOUT".into(),
+            critical_timeout: SimDuration::from_millis(100),
+            critical_retries: 3,
+            safe_retry: SimDuration::from_millis(100),
+        }
+    }
+}
+
+struct Txn {
+    state: TxState,
+    home: bool,
+    volumes: Vec<VolumeRef>,
+    children: BTreeSet<NodeId>,
+    /// Outstanding phase-one acknowledgements (local volumes + children).
+    outstanding_phase1: usize,
+    /// The requester awaiting End (home) or Phase1 (non-home).
+    end_waiter: Option<(u64, Pid)>,
+    abort_waiters: Vec<(u64, Pid)>,
+    abort_reason: Option<AbortReason>,
+}
+
+impl Txn {
+    fn new(home: bool) -> Txn {
+        Txn {
+            state: TxState::Active,
+            home,
+            volumes: Vec::new(),
+            children: BTreeSet::new(),
+            outstanding_phase1: 0,
+            end_waiter: None,
+            abort_waiters: Vec::new(),
+            abort_reason: None,
+        }
+    }
+}
+
+/// Checkpoint delta: the replicated fraction of a transaction entry.
+struct TmpDelta {
+    transid: Transid,
+    state: TxState,
+    home: bool,
+    volumes: Vec<VolumeRef>,
+    children: Vec<NodeId>,
+    seq: u64,
+    drop: bool,
+}
+
+/// One transaction's replicated fields: (transid, state, home, volumes,
+/// children).
+type TxnSnapshot = (Transid, TxState, bool, Vec<VolumeRef>, Vec<NodeId>);
+
+struct TmpSnapshot {
+    seq: u64,
+    txns: Vec<TxnSnapshot>,
+    replies: Vec<(u64, TmpReply)>,
+}
+
+/// The TMP application (hosted in a `guardian` process-pair, named `$TMP`).
+pub struct TmpProcess {
+    cfg: TmpConfig,
+    seq: u64,
+    txns: HashMap<Transid, Txn>,
+    replies: ReplyCache<TmpReply>,
+    disc_rpc: Rpc<DiscRequest, DiscReply>,
+    tmp_rpc: Rpc<TmpMsg, TmpReply>,
+    backout_rpc: Rpc<BackoutMsg, BackoutReply>,
+    /// critical EndPhase1 rpc → transid
+    phase1_disc: HashMap<u64, Transid>,
+    /// critical Phase1 rpc → (transid, child)
+    phase1_tmp: HashMap<u64, (Transid, NodeId)>,
+    /// critical RemoteBegin rpc → (transid, dest, requester)
+    remote_begins: HashMap<u64, (Transid, NodeId, u64, Pid)>,
+    backouts: HashMap<u64, Transid>,
+    monitor_timers: HashMap<u64, (Transid, bool)>,
+    next_tag: u64,
+}
+
+impl TmpProcess {
+    pub fn new(cfg: TmpConfig) -> TmpProcess {
+        TmpProcess {
+            cfg,
+            seq: 0,
+            txns: HashMap::new(),
+            replies: ReplyCache::new(16384),
+            disc_rpc: Rpc::new(10),
+            tmp_rpc: Rpc::new(11),
+            backout_rpc: Rpc::new(12),
+            phase1_disc: HashMap::new(),
+            phase1_tmp: HashMap::new(),
+            remote_begins: HashMap::new(),
+            backouts: HashMap::new(),
+            monitor_timers: HashMap::new(),
+            next_tag: 0,
+        }
+    }
+
+    fn audit_service(&self, volume: &VolumeRef) -> String {
+        self.cfg
+            .audit_service_of
+            .get(&volume.volume)
+            .cloned()
+            .unwrap_or_else(|| "$AUDIT".to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast + checkpoint
+    // ------------------------------------------------------------------
+
+    /// Broadcast a state change to the transaction table of *every*
+    /// processor in this node (the paper's intra-node design).
+    fn broadcast(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, state: TxState) {
+        let node = ctx.node();
+        let cpus = ctx.cpu_count(node);
+        for cpu in 0..cpus {
+            if let Some(pid) = ctx.lookup_name(node, &format!("$TXTABLE{cpu}")) {
+                let _ = ctx.send(pid, Payload::new(StateBroadcast { transid, state }));
+                ctx.count("tmf.state_broadcasts", 1);
+            }
+        }
+    }
+
+    fn checkpoint_txn(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, drop: bool) {
+        let (state, home, volumes, children) = match self.txns.get(&transid) {
+            Some(t) => (
+                t.state,
+                t.home,
+                t.volumes.clone(),
+                t.children.iter().copied().collect(),
+            ),
+            None => (TxState::Aborted, false, Vec::new(), Vec::new()),
+        };
+        ctx.checkpoint(Payload::new(TmpDelta {
+            transid,
+            state,
+            home,
+            volumes,
+            children,
+            seq: self.seq,
+            drop,
+        }));
+    }
+
+    fn set_state(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, state: TxState) {
+        if let Some(t) = self.txns.get_mut(&transid) {
+            debug_assert!(
+                t.state.can_become(state) || t.state == state,
+                "illegal transition {} -> {} for {transid}",
+                t.state,
+                state
+            );
+            t.state = state;
+        }
+        self.broadcast(ctx, transid, state);
+        self.checkpoint_txn(ctx, transid, false);
+    }
+
+    fn answer(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, r: TmpReply) {
+        self.replies.store(req_id, r.clone());
+        reply(ctx, req_id, from, r);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit protocol
+    // ------------------------------------------------------------------
+
+    fn start_phase1(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get(&transid) else {
+            return;
+        };
+        let volumes = t.volumes.clone();
+        let children: Vec<NodeId> = t.children.iter().copied().collect();
+        let outstanding = volumes.len() + children.len();
+        if let Some(t) = self.txns.get_mut(&transid) {
+            t.outstanding_phase1 = outstanding;
+        }
+        if outstanding == 0 {
+            self.phase1_complete(ctx, transid);
+            return;
+        }
+        for v in volumes {
+            ctx.count("tmf.msgs.phase1_local", 1);
+            match self.disc_rpc.call(
+                ctx,
+                Target::Named(v.node, v.volume.clone()),
+                DiscRequest::EndPhase1 { transid },
+                self.cfg.critical_timeout,
+                self.cfg.critical_retries,
+                0,
+            ) {
+                Ok(id) => {
+                    self.phase1_disc.insert(id, transid);
+                }
+                Err(_) => {
+                    self.phase1_failed(ctx, transid);
+                    return;
+                }
+            }
+        }
+        for child in children {
+            ctx.count("tmf.msgs.phase1_net", 1);
+            match self.tmp_rpc.call(
+                ctx,
+                Target::Named(child, "$TMP".into()),
+                TmpMsg::Phase1 { transid },
+                self.cfg.critical_timeout,
+                self.cfg.critical_retries,
+                0,
+            ) {
+                Ok(id) => {
+                    self.phase1_tmp.insert(id, (transid, child));
+                }
+                Err(_) => {
+                    // "the destination TMP must be accessible at the time
+                    // the message is initiated"
+                    self.phase1_failed(ctx, transid);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn phase1_ack(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get_mut(&transid) else {
+            return;
+        };
+        if t.state != TxState::Ending {
+            return; // aborted meanwhile
+        }
+        t.outstanding_phase1 = t.outstanding_phase1.saturating_sub(1);
+        if t.outstanding_phase1 == 0 {
+            self.phase1_complete(ctx, transid);
+        }
+    }
+
+    fn phase1_failed(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        if matches!(
+            self.txns.get(&transid).map(|t| t.state),
+            Some(TxState::Ending) | Some(TxState::Active)
+        ) {
+            self.abort_txn(ctx, transid, AbortReason::Phase1Failure);
+        }
+    }
+
+    /// Every participant has forced its audit: the transaction reaches its
+    /// commit (home) or phase-one-acknowledged (non-home) point.
+    fn phase1_complete(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get(&transid) else {
+            return;
+        };
+        if t.home {
+            // write the commit record: one forced monitor-trail write
+            self.schedule_monitor_write(ctx, transid, true);
+        } else {
+            // acknowledge phase one to the parent; from here on this node
+            // cannot unilaterally abort
+            if let Some((req_id, from)) = self.txns.get_mut(&transid).and_then(|t| t.end_waiter.take())
+            {
+                self.answer(ctx, req_id, from, TmpReply::Phase1Ok);
+            }
+        }
+    }
+
+    fn schedule_monitor_write(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, commit: bool) {
+        let tag = TAG_MONITOR_BASE + self.next_tag;
+        self.next_tag += 1;
+        self.monitor_timers.insert(tag, (transid, commit));
+        let latency = ctx.config().disc_access;
+        ctx.set_timer(latency, tag);
+        ctx.count("tmf.monitor_forces", 1);
+    }
+
+    /// The commit/abort record is now on the Monitor Audit Trail.
+    fn monitor_written(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, commit: bool) {
+        // the write was scheduled when the decision was taken, but an
+        // abort may have overtaken a pending commit (e.g. the requester's
+        // processor failed while the record was in flight): the state at
+        // write completion is authoritative, and a commit record may only
+        // be written for a transaction still in "ending" state
+        let state = self.txns.get(&transid).map(|t| t.state);
+        if commit && state != Some(TxState::Ending) {
+            ctx.count("tmf.commit_overtaken_by_abort", 1);
+            return;
+        }
+        if !commit && state != Some(TxState::Aborting) {
+            return;
+        }
+        let node = ctx.node();
+        let now = ctx.now();
+        MonitorTrail::of(ctx.stable(), node).record(transid, commit, now);
+        if commit {
+            ctx.count("tmf.commits", 1);
+            self.finish_commit(ctx, transid);
+        } else {
+            ctx.count("tmf.aborts", 1);
+            self.finish_abort_home(ctx, transid);
+        }
+    }
+
+    /// Phase two: release locks everywhere, complete END-TRANSACTION.
+    fn finish_commit(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        self.set_state(ctx, transid, TxState::Ended);
+        let Some(t) = self.txns.get_mut(&transid) else {
+            return;
+        };
+        let waiter = t.end_waiter.take();
+        let volumes = t.volumes.clone();
+        let children: Vec<NodeId> = t.children.iter().copied().collect();
+        // END-TRANSACTION completes now; phase two is safe-delivery and
+        // its completion is not awaited
+        if let Some((req_id, from)) = waiter {
+            self.answer(ctx, req_id, from, TmpReply::Committed);
+        }
+        for v in volumes {
+            ctx.count("tmf.msgs.release_local", 1);
+            self.disc_rpc.call_persistent(
+                ctx,
+                Target::Named(v.node, v.volume.clone()),
+                DiscRequest::ReleaseLocks { transid },
+                self.cfg.safe_retry,
+                0,
+            );
+        }
+        for child in children {
+            ctx.count("tmf.msgs.phase2_net", 1);
+            self.tmp_rpc.call_persistent(
+                ctx,
+                Target::Named(child, "$TMP".into()),
+                TmpMsg::Phase2 { transid },
+                self.cfg.safe_retry,
+                0,
+            );
+        }
+        self.txns.remove(&transid);
+        self.checkpoint_txn(ctx, transid, true);
+    }
+
+    // ------------------------------------------------------------------
+    // Abort protocol
+    // ------------------------------------------------------------------
+
+    fn abort_txn(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, reason: AbortReason) {
+        let Some(t) = self.txns.get_mut(&transid) else {
+            return;
+        };
+        if !t.state.can_become(TxState::Aborting) {
+            return;
+        }
+        t.abort_reason = Some(reason);
+        let volumes = t.volumes.clone();
+        let children: Vec<NodeId> = t.children.iter().copied().collect();
+        self.set_state(ctx, transid, TxState::Aborting);
+        ctx.count("tmf.abort_started", 1);
+        // abort notifications to children are safe-delivery
+        for child in children {
+            ctx.count("tmf.msgs.abort_net", 1);
+            self.tmp_rpc.call_persistent(
+                ctx,
+                Target::Named(child, "$TMP".into()),
+                TmpMsg::AbortTxn { transid },
+                self.cfg.safe_retry,
+                0,
+            );
+        }
+        if volumes.is_empty() {
+            self.backout_done(ctx, transid);
+        } else {
+            let audit_services = volumes.iter().map(|v| self.audit_service(v)).collect();
+            let node = ctx.node();
+            let id = self.backout_rpc.call_persistent(
+                ctx,
+                Target::Named(node, self.cfg.backout_service.clone()),
+                BackoutMsg::Backout {
+                    transid,
+                    volumes,
+                    audit_services,
+                },
+                self.cfg.safe_retry,
+                0,
+            );
+            self.backouts.insert(id, transid);
+        }
+    }
+
+    fn backout_done(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get(&transid) else {
+            return;
+        };
+        if t.state != TxState::Aborting {
+            return;
+        }
+        let volumes = t.volumes.clone();
+        let home = t.home;
+        // release the backed-out transaction's locks
+        for v in volumes {
+            ctx.count("tmf.msgs.release_local", 1);
+            self.disc_rpc.call_persistent(
+                ctx,
+                Target::Named(v.node, v.volume.clone()),
+                DiscRequest::ReleaseLocks { transid },
+                self.cfg.safe_retry,
+                0,
+            );
+        }
+        if home {
+            // record the abort on the monitor trail, then answer waiters
+            self.schedule_monitor_write(ctx, transid, false);
+        } else {
+            self.finish_abort_nonhome(ctx, transid);
+        }
+    }
+
+    fn finish_abort_home(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        self.set_state(ctx, transid, TxState::Aborted);
+        if let Some(t) = self.txns.get_mut(&transid) {
+            let waiters: Vec<(u64, Pid)> = t
+                .end_waiter
+                .take()
+                .into_iter()
+                .chain(t.abort_waiters.drain(..))
+                .collect();
+            for (req_id, from) in waiters {
+                self.answer(ctx, req_id, from, TmpReply::Aborted);
+            }
+        }
+        self.txns.remove(&transid);
+        self.checkpoint_txn(ctx, transid, true);
+    }
+
+    fn finish_abort_nonhome(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        self.set_state(ctx, transid, TxState::Aborted);
+        if let Some(t) = self.txns.get_mut(&transid) {
+            // a pending Phase1 request is answered with refusal — forcing
+            // network consensus to abort
+            let waiters: Vec<(u64, Pid)> = t
+                .end_waiter
+                .take()
+                .into_iter()
+                .chain(t.abort_waiters.drain(..))
+                .collect();
+            for (req_id, from) in waiters {
+                self.answer(ctx, req_id, from, TmpReply::Phase1Refused);
+            }
+        }
+        self.txns.remove(&transid);
+        self.checkpoint_txn(ctx, transid, true);
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, msg: TmpMsg) {
+        match msg {
+            TmpMsg::Begin { cpu } => {
+                self.seq += 1;
+                let transid = Transid {
+                    home_node: ctx.node(),
+                    cpu,
+                    seq: self.seq,
+                };
+                self.txns.insert(transid, Txn::new(true));
+                ctx.count("tmf.begins", 1);
+                self.set_state(ctx, transid, TxState::Active);
+                self.answer(ctx, req_id, from, TmpReply::Began { transid });
+            }
+            TmpMsg::RegisterVolume { transid, volume } => {
+                let home = transid.home_node == volume.node;
+                let (ok, changed) = {
+                    let t = self.txns.entry(transid).or_insert_with(|| Txn::new(home));
+                    if t.state != TxState::Active {
+                        (false, false)
+                    } else if t.volumes.contains(&volume) {
+                        (true, false)
+                    } else {
+                        t.volumes.push(volume);
+                        (true, true)
+                    }
+                };
+                if changed {
+                    self.checkpoint_txn(ctx, transid, false);
+                }
+                let r = if ok { TmpReply::Ok } else { TmpReply::Failed };
+                self.answer(ctx, req_id, from, r);
+            }
+            TmpMsg::EnsureRemoteSend { transid, dest } => {
+                let my_node = ctx.node();
+                let Some(t) = self.txns.get(&transid) else {
+                    self.answer(ctx, req_id, from, TmpReply::Failed);
+                    return;
+                };
+                if t.state != TxState::Active {
+                    self.answer(ctx, req_id, from, TmpReply::Failed);
+                    return;
+                }
+                if dest == my_node || t.children.contains(&dest) {
+                    self.answer(ctx, req_id, from, TmpReply::Ok);
+                    return;
+                }
+                ctx.count("tmf.msgs.remote_begin", 1);
+                match self.tmp_rpc.call(
+                    ctx,
+                    Target::Named(dest, "$TMP".into()),
+                    TmpMsg::RemoteBegin { transid },
+                    self.cfg.critical_timeout,
+                    self.cfg.critical_retries,
+                    0,
+                ) {
+                    Ok(id) => {
+                        self.remote_begins.insert(id, (transid, dest, req_id, from));
+                    }
+                    Err(_) => self.answer(ctx, req_id, from, TmpReply::Failed),
+                }
+            }
+            TmpMsg::End { transid } => {
+                match self.txns.get(&transid).map(|t| t.state) {
+                    None => {
+                        // already completed: the monitor trail is the truth
+                        let node = ctx.node();
+                        let outcome = MonitorTrail::of(ctx.stable(), node).outcome(transid);
+                        let r = match outcome {
+                            Some(true) => TmpReply::Committed,
+                            _ => TmpReply::Aborted,
+                        };
+                        self.answer(ctx, req_id, from, r);
+                    }
+                    Some(TxState::Active) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.end_waiter = Some((req_id, from));
+                        }
+                        self.set_state(ctx, transid, TxState::Ending);
+                        ctx.count("tmf.ends", 1);
+                        self.start_phase1(ctx, transid);
+                    }
+                    Some(TxState::Ending) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.end_waiter = Some((req_id, from)); // retried End
+                        }
+                    }
+                    Some(TxState::Aborting) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.abort_waiters.push((req_id, from));
+                        }
+                    }
+                    Some(TxState::Ended) => self.answer(ctx, req_id, from, TmpReply::Committed),
+                    Some(TxState::Aborted) => self.answer(ctx, req_id, from, TmpReply::Aborted),
+                }
+            }
+            TmpMsg::Abort { transid, reason } => {
+                match self.txns.get(&transid).map(|t| (t.state, t.home)) {
+                    None => {
+                        let node = ctx.node();
+                        let outcome = MonitorTrail::of(ctx.stable(), node).outcome(transid);
+                        let r = match outcome {
+                            Some(true) => TmpReply::Committed,
+                            _ => TmpReply::Aborted,
+                        };
+                        self.answer(ctx, req_id, from, r);
+                    }
+                    Some((TxState::Ended, _)) => {
+                        self.answer(ctx, req_id, from, TmpReply::Committed)
+                    }
+                    Some((TxState::Aborted, _)) => {
+                        self.answer(ctx, req_id, from, TmpReply::Aborted)
+                    }
+                    Some((TxState::Ending, false)) => {
+                        // after phase-one ack a non-home node may not
+                        // unilaterally abort
+                        self.answer(ctx, req_id, from, TmpReply::Failed);
+                    }
+                    Some(_) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.abort_waiters.push((req_id, from));
+                        }
+                        self.abort_txn(ctx, transid, reason);
+                    }
+                }
+            }
+            TmpMsg::QueryDisposition { transid } => {
+                let state = match self.txns.get(&transid) {
+                    Some(t) => Some(t.state),
+                    None => {
+                        let node = ctx.node();
+                        MonitorTrail::of(ctx.stable(), node)
+                            .outcome(transid)
+                            .map(|c| if c { TxState::Ended } else { TxState::Aborted })
+                    }
+                };
+                // utility query: not cached (idempotent)
+                reply(ctx, req_id, from, TmpReply::Disposition { state });
+            }
+            TmpMsg::ForceDisposition { transid, commit } => {
+                ctx.count("tmf.force_disposition", 1);
+                let state = self.txns.get(&transid).map(|t| t.state);
+                if commit {
+                    if state == Some(TxState::Ending) {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.end_waiter = None;
+                        }
+                        self.monitor_written(ctx, transid, true);
+                    }
+                } else if state.is_some() {
+                    // break the in-doubt hold
+                    if let Some(t) = self.txns.get_mut(&transid) {
+                        t.state = TxState::Active; // permit Aborting transition
+                    }
+                    self.abort_txn(ctx, transid, AbortReason::OperatorOverride);
+                }
+                self.answer(ctx, req_id, from, TmpReply::Ok);
+            }
+            TmpMsg::RemoteBegin { transid } => {
+                ctx.count("tmf.remote_begins_received", 1);
+                let known = self.txns.contains_key(&transid);
+                if !known {
+                    self.txns.insert(transid, Txn::new(false));
+                    self.set_state(ctx, transid, TxState::Active);
+                }
+                self.answer(ctx, req_id, from, TmpReply::Ok);
+            }
+            TmpMsg::Phase1 { transid } => {
+                match self.txns.get(&transid).map(|t| t.state) {
+                    None => {
+                        // the monitor trail may know a completed outcome
+                        let node = ctx.node();
+                        let outcome = MonitorTrail::of(ctx.stable(), node).outcome(transid);
+                        let r = match outcome {
+                            Some(true) => TmpReply::Phase1Ok,
+                            _ => TmpReply::Phase1Refused,
+                        };
+                        self.answer(ctx, req_id, from, r);
+                    }
+                    Some(TxState::Active) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.end_waiter = Some((req_id, from));
+                        }
+                        self.set_state(ctx, transid, TxState::Ending);
+                        self.start_phase1(ctx, transid);
+                    }
+                    Some(TxState::Ending) => {
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.end_waiter = Some((req_id, from));
+                        }
+                    }
+                    Some(TxState::Ended) => self.answer(ctx, req_id, from, TmpReply::Phase1Ok),
+                    Some(TxState::Aborting) | Some(TxState::Aborted) => {
+                        self.answer(ctx, req_id, from, TmpReply::Phase1Refused)
+                    }
+                }
+            }
+            TmpMsg::Phase2 { transid } => {
+                // safe-delivery: ack receipt, then apply
+                self.answer(ctx, req_id, from, TmpReply::Ok);
+                if let Some(t) = self.txns.get(&transid) {
+                    if t.state == TxState::Ending {
+                        // the home node committed: record it here too and
+                        // release local locks
+                        let node = ctx.node();
+                        let now = ctx.now();
+                        MonitorTrail::of(ctx.stable(), node).record(transid, true, now);
+                        self.finish_commit(ctx, transid);
+                    }
+                }
+            }
+            TmpMsg::AbortTxn { transid } => {
+                // safe-delivery: ack receipt, then apply
+                self.answer(ctx, req_id, from, TmpReply::Ok);
+                if self.txns.contains_key(&transid) {
+                    self.abort_txn(ctx, transid, AbortReason::Phase1Failure);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RPC completion routing
+    // ------------------------------------------------------------------
+
+    fn on_disc_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64, body: DiscReply) {
+        if let Some(transid) = self.phase1_disc.remove(&id) {
+            match body {
+                DiscReply::Phase1Done => self.phase1_ack(ctx, transid),
+                _ => self.phase1_failed(ctx, transid),
+            }
+        }
+        // ReleaseLocks acks need no action
+    }
+
+    fn on_tmp_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64, body: TmpReply) {
+        if let Some((transid, _child)) = self.phase1_tmp.remove(&id) {
+            match body {
+                TmpReply::Phase1Ok => self.phase1_ack(ctx, transid),
+                _ => self.phase1_failed(ctx, transid),
+            }
+            return;
+        }
+        if let Some((transid, dest, req_id, from)) = self.remote_begins.remove(&id) {
+            match body {
+                TmpReply::Ok => {
+                    if let Some(t) = self.txns.get_mut(&transid) {
+                        t.children.insert(dest);
+                        self.checkpoint_txn(ctx, transid, false);
+                        self.answer(ctx, req_id, from, TmpReply::Ok);
+                    } else {
+                        self.answer(ctx, req_id, from, TmpReply::Failed);
+                    }
+                }
+                _ => self.answer(ctx, req_id, from, TmpReply::Failed),
+            }
+        }
+        // Phase2 / AbortTxn acks need no action
+    }
+
+    fn on_backout_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64) {
+        if let Some(transid) = self.backouts.remove(&id) {
+            self.backout_done(ctx, transid);
+        }
+    }
+
+    fn on_rpc_expired(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64) {
+        if let Some(transid) = self.phase1_disc.remove(&id) {
+            self.phase1_failed(ctx, transid);
+        } else if let Some((transid, _)) = self.phase1_tmp.remove(&id) {
+            ctx.count("tmf.phase1_timeouts", 1);
+            self.phase1_failed(ctx, transid);
+        } else if let Some((transid, _dest, req_id, from)) = self.remote_begins.remove(&id) {
+            ctx.count("tmf.remote_begin_timeouts", 1);
+            let _ = transid;
+            self.answer(ctx, req_id, from, TmpReply::Failed);
+        }
+    }
+}
+
+impl PairApp for TmpProcess {
+    fn service_name(&self) -> String {
+        "$TMP".into()
+    }
+
+    fn kind(&self) -> &'static str {
+        "tmp"
+    }
+
+    fn on_request(&mut self, ctx: &mut PairCtx<'_, '_>, _src: Pid, payload: Payload) {
+        let payload = match self.disc_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                self.on_disc_completion(ctx, c.id, c.body);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match self.tmp_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                self.on_tmp_completion(ctx, c.id, c.body);
+                return;
+            }
+            Err(p) => p,
+        };
+        let payload = match self.backout_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                self.on_backout_completion(ctx, c.id);
+                return;
+            }
+            Err(p) => p,
+        };
+        if !payload.is::<Request<TmpMsg>>() {
+            return;
+        }
+        let req = payload.expect::<Request<TmpMsg>>();
+        if let Some(cached) = self.replies.check(req.id) {
+            reply(ctx, req.id, req.from, cached);
+            return;
+        }
+        self.handle(ctx, req.id, req.from, req.body);
+    }
+
+    fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
+        if let Some((transid, commit)) = self.monitor_timers.remove(&tag) {
+            self.monitor_written(ctx, transid, commit);
+            return;
+        }
+        if let guardian::TimerOutcome::Expired { id, .. } = self.disc_rpc.on_timer(ctx, tag) {
+            self.on_rpc_expired(ctx, id);
+            return;
+        }
+        if let guardian::TimerOutcome::Expired { id, .. } = self.tmp_rpc.on_timer(ctx, tag) {
+            self.on_rpc_expired(ctx, id);
+            return;
+        }
+        if let guardian::TimerOutcome::Expired { id, .. } = self.backout_rpc.on_timer(ctx, tag) {
+            self.on_rpc_expired(ctx, id);
+        }
+    }
+
+    fn on_system(&mut self, ctx: &mut PairCtx<'_, '_>, ev: SystemEvent) {
+        if let SystemEvent::CpuDown(node, cpu) = ev {
+            if node != ctx.node() {
+                return;
+            }
+            // "failure of the primary TCP's processor" — abort the active
+            // transactions begun on the failed CPU
+            let affected: Vec<Transid> = self
+                .txns
+                .iter()
+                .filter(|(t, e)| {
+                    e.home && t.cpu == cpu.0 && matches!(e.state, TxState::Active)
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for transid in affected {
+                ctx.count("tmf.cpu_failure_aborts", 1);
+                self.abort_txn(ctx, transid, AbortReason::CpuFailure);
+            }
+        }
+    }
+
+    fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        ctx.count("tmf.takeovers", 1);
+        // re-drive in-flight protocol work from checkpointed state; client
+        // rpcs retry so lost waiters re-attach
+        self.phase1_disc.clear();
+        self.phase1_tmp.clear();
+        self.remote_begins.clear();
+        self.backouts.clear();
+        self.monitor_timers.clear();
+        let in_flight: Vec<(Transid, TxState, bool)> = self
+            .txns
+            .iter()
+            .map(|(t, e)| (*t, e.state, e.home))
+            .collect();
+        for (transid, state, home) in in_flight {
+            match state {
+                TxState::Ending if home => {
+                    // no commit record was written (the monitor write and
+                    // the reply happen in one handler): presume abort
+                    if let Some(t) = self.txns.get_mut(&transid) {
+                        t.state = TxState::Active;
+                    }
+                    self.abort_txn(ctx, transid, AbortReason::CpuFailure);
+                }
+                TxState::Ending => { /* wait for the home node's disposition */ }
+                TxState::Aborting => {
+                    // re-drive the backout
+                    if let Some(t) = self.txns.get_mut(&transid) {
+                        t.state = TxState::Active;
+                    }
+                    self.abort_txn(ctx, transid, AbortReason::CpuFailure);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn apply_checkpoint(&mut self, delta: Payload) {
+        let d = delta.expect::<TmpDelta>();
+        self.seq = self.seq.max(d.seq);
+        if d.drop {
+            self.txns.remove(&d.transid);
+            return;
+        }
+        let t = self
+            .txns
+            .entry(d.transid)
+            .or_insert_with(|| Txn::new(d.home));
+        t.state = d.state;
+        t.home = d.home;
+        t.volumes = d.volumes;
+        t.children = d.children.into_iter().collect();
+    }
+
+    fn snapshot(&self) -> Payload {
+        Payload::new(TmpSnapshot {
+            seq: self.seq,
+            txns: self
+                .txns
+                .iter()
+                .map(|(t, e)| {
+                    (
+                        *t,
+                        e.state,
+                        e.home,
+                        e.volumes.clone(),
+                        e.children.iter().copied().collect(),
+                    )
+                })
+                .collect(),
+            replies: self.replies.entries(),
+        })
+    }
+
+    fn restore(&mut self, snapshot: Payload) {
+        let s = snapshot.expect::<TmpSnapshot>();
+        self.seq = s.seq;
+        self.txns.clear();
+        for (transid, state, home, volumes, children) in s.txns {
+            let mut t = Txn::new(home);
+            t.state = state;
+            t.volumes = volumes;
+            t.children = children.into_iter().collect();
+            self.txns.insert(transid, t);
+        }
+        self.replies = ReplyCache::restore(16384, s.replies);
+    }
+}
+
+/// Spawn a `$TMP` pair on `node`.
+pub fn spawn_tmp(
+    world: &mut World,
+    node: NodeId,
+    cpu_primary: u8,
+    cpu_backup: u8,
+    cfg: TmpConfig,
+) -> PairHandle {
+    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, move || {
+        TmpProcess::new(cfg.clone())
+    })
+}

@@ -1,0 +1,648 @@
+//! End-to-end TMF tests: full nodes (TMP + AUDITPROCESS + BACKOUTPROCESS +
+//! DISCPROCESSes + transaction tables) driven by scripted transaction
+//! programs, with faults injected at every interesting protocol point.
+
+use bytes::Bytes;
+use encompass_audit::monitor::MonitorTrail;
+use encompass_sim::{
+    Ctx, CpuId, Fault, NodeId, Payload, Pid, Process, SimConfig, SimDuration, SimTime, TimerId,
+    World,
+};
+use encompass_storage::discprocess::{DiscError, DiscReply};
+use encompass_storage::types::{FileDef, PartitionSpec, VolumeRef};
+use encompass_storage::Catalog;
+use tmf::facility::{spawn_tmf_network, TmfNodeConfig};
+use tmf::session::{SessionEvent, TmfSession};
+use tmf::state::AbortReason;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+/// One step of a scripted transaction program.
+#[derive(Clone)]
+enum Step {
+    Begin,
+    Read(&'static str, &'static str),
+    ReadLock(&'static str, &'static str),
+    Insert(&'static str, &'static str, &'static str),
+    Update(&'static str, &'static str, &'static str),
+    Delete(&'static str, &'static str),
+    End,
+    Abort,
+    /// Idle for a duration (lets the driver line faults up between steps).
+    Pause(SimDuration),
+}
+
+type Log = Rc<RefCell<Vec<String>>>;
+
+struct TxnDriver {
+    session: TmfSession,
+    script: Vec<Step>,
+    next: usize,
+    log: Log,
+}
+
+impl TxnDriver {
+    fn new(catalog: Catalog, script: Vec<Step>, log: Log) -> TxnDriver {
+        TxnDriver {
+            session: TmfSession::new(catalog, 0),
+            script,
+            next: 0,
+            log,
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next < self.script.len() {
+            let step = self.script[self.next].clone();
+            self.next += 1;
+            match step {
+                Step::Begin => self.session.begin(ctx, 0),
+                Step::Read(f, k) => self.session.read(ctx, f, b(k), 0),
+                Step::ReadLock(f, k) => self.session.read_lock(ctx, f, b(k), 0),
+                Step::Insert(f, k, v) => self.session.insert(ctx, f, b(k), b(v), 0),
+                Step::Update(f, k, v) => self.session.update(ctx, f, b(k), b(v), 0),
+                Step::Delete(f, k) => self.session.delete(ctx, f, b(k), 0),
+                Step::End => self.session.end(ctx, 0),
+                Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
+                Step::Pause(d) => {
+                    ctx.set_timer(d, 1);
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
+        let entry = match &ev {
+            SessionEvent::Began { .. } => "began".to_string(),
+            SessionEvent::OpDone { reply, .. } => match reply {
+                DiscReply::Value(Some(v)) => {
+                    format!("value:{}", String::from_utf8_lossy(v))
+                }
+                DiscReply::Value(None) => "value:<none>".to_string(),
+                DiscReply::Ok => "ok".to_string(),
+                DiscReply::Err(e) => format!("err:{e:?}"),
+                other => format!("{other:?}"),
+            },
+            SessionEvent::Committed { .. } => "committed".to_string(),
+            SessionEvent::Aborted { .. } => "aborted".to_string(),
+            SessionEvent::Failed { .. } => "failed".to_string(),
+        };
+        self.log.borrow_mut().push(entry);
+        self.kick(ctx);
+    }
+}
+
+impl Process for TxnDriver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.kick(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        if let Ok(Some(ev)) = self.session.accept(ctx, payload) {
+            self.on_event(ctx, ev);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if tag == 1 {
+            self.kick(ctx);
+            return;
+        }
+        if let Some(ev) = self.session.on_timer(ctx, tag) {
+            self.on_event(ctx, ev);
+        }
+    }
+    fn kind(&self) -> &'static str {
+        "txn-driver"
+    }
+}
+
+fn drive(world: &mut World, node: NodeId, cpu: u8, catalog: Catalog, script: Vec<Step>) -> Log {
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    world.spawn(
+        node,
+        cpu,
+        Box::new(TxnDriver::new(catalog, script, log.clone())),
+    );
+    log
+}
+
+/// One node, one volume, one audited file.
+fn single_node() -> (World, NodeId, Catalog) {
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", VolumeRef::new(n, "$DATA")));
+    spawn_tmf_network(&mut w, &catalog, TmfNodeConfig::default());
+    (w, n, catalog)
+}
+
+/// Three linked nodes; `accounts` partitioned across nodes 0 and 1, and a
+/// `remote` file on node 2.
+fn three_nodes() -> (World, [NodeId; 3], Catalog) {
+    let mut w = World::new(SimConfig::default());
+    let n0 = w.add_node(4);
+    let n1 = w.add_node(4);
+    let n2 = w.add_node(4);
+    w.add_link(n0, n1, SimDuration::from_millis(2));
+    w.add_link(n1, n2, SimDuration::from_millis(2));
+    w.add_link(n0, n2, SimDuration::from_millis(5));
+    let mut catalog = Catalog::new();
+    catalog.add(
+        FileDef::key_sequenced("accounts", VolumeRef::new(n0, "$D0")).partitioned(vec![
+            PartitionSpec {
+                low_key: Bytes::new(),
+                volume: VolumeRef::new(n0, "$D0"),
+            },
+            PartitionSpec {
+                low_key: b("m"),
+                volume: VolumeRef::new(n1, "$D1"),
+            },
+        ]),
+    );
+    catalog.add(FileDef::key_sequenced("remote", VolumeRef::new(n2, "$D2")));
+    spawn_tmf_network(&mut w, &catalog, TmfNodeConfig::default());
+    (w, [n0, n1, n2], catalog)
+}
+
+#[test]
+fn single_node_commit() {
+    let (mut w, n, catalog) = single_node();
+    let log = drive(
+        &mut w,
+        n,
+        0,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "alice", "100"),
+            Step::Update("accounts", "alice", "150"),
+            Step::End,
+            Step::Read("accounts", "alice"),
+        ],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "ok", "committed", "value:150"]
+    );
+    assert_eq!(w.metrics().get("tmf.commits"), 1);
+    // the commit record is on the monitor trail
+    assert_eq!(MonitorTrail::of(w.stable_mut(), n).commits(), 1);
+}
+
+#[test]
+fn voluntary_abort_backs_out_updates() {
+    let (mut w, n, catalog) = single_node();
+    // committed baseline
+    let log1 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "bob", "500"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log1.borrow().last().unwrap(), "committed");
+    // update then ABORT-TRANSACTION
+    let log2 = drive(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::ReadLock("accounts", "bob"),
+            Step::Update("accounts", "bob", "0"),
+            Step::Abort,
+            Step::Read("accounts", "bob"),
+        ],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["began", "value:500", "ok", "aborted", "value:500"],
+        "backout restored the before-image"
+    );
+    assert_eq!(w.metrics().get("tmf.aborts"), 1);
+    assert!(w.metrics().get("backout.completed") >= 1);
+    assert_eq!(MonitorTrail::of(w.stable_mut(), n).aborts(), 1);
+}
+
+#[test]
+fn distributed_commit_across_three_nodes() {
+    let (mut w, [n0, _n1, _n2], catalog) = three_nodes();
+    let log = drive(
+        &mut w,
+        n0,
+        0,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "alpha", "1"), // node 0 partition
+            Step::Insert("accounts", "zulu", "2"),  // node 1 partition
+            Step::Insert("remote", "r1", "3"),      // node 2
+            Step::End,
+            Step::Read("accounts", "zulu"),
+            Step::Read("remote", "r1"),
+        ],
+    );
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "ok", "ok", "committed", "value:2", "value:3"]
+    );
+    // remote begins went to two nodes; phase 1 fanned out over the network
+    assert_eq!(w.metrics().get("tmf.msgs.remote_begin"), 2);
+    assert_eq!(w.metrics().get("tmf.msgs.phase1_net"), 2);
+    assert_eq!(w.metrics().get("tmf.msgs.phase2_net"), 2);
+    assert_eq!(w.metrics().get("tmf.commits"), 1);
+}
+
+#[test]
+fn partition_before_phase_one_aborts_everywhere() {
+    let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+    let log = drive(
+        &mut w,
+        n0,
+        0,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "alpha", "1"),
+            Step::Insert("remote", "r1", "3"),
+            Step::Pause(SimDuration::from_millis(500)),
+            Step::End,
+            Step::Read("accounts", "alpha"),
+        ],
+    );
+    // cut node 2 off after its insert landed but before END-TRANSACTION
+    // (the driver pauses 500ms between the last insert and END)
+    while log.borrow().len() < 3 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(log.borrow().len(), 3, "both inserts landed: {:?}", log.borrow());
+    w.inject(Fault::Partition(vec![n2]));
+    // wait for END + abort to play out
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "ok", "aborted", "value:<none>"],
+        "phase-one failure backed out node 0's insert too"
+    );
+    assert_eq!(w.metrics().get("tmf.commits"), 0);
+    // node 2 is still partitioned; its abort arrives when the partition
+    // heals (safe delivery)
+    w.inject(Fault::HealAllLinks);
+    w.run_for(SimDuration::from_secs(10));
+    let log2 = drive(
+        &mut w,
+        n0,
+        1,
+        {
+            let mut c = Catalog::new();
+            c.add(FileDef::key_sequenced("remote", VolumeRef::new(n2, "$D2")));
+            c
+        },
+        vec![Step::Read("remote", "r1")],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["value:<none>"],
+        "node 2's insert was backed out after the heal"
+    );
+}
+
+#[test]
+fn partition_during_phase_two_holds_locks_until_heal() {
+    let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+    let log = drive(
+        &mut w,
+        n0,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("remote", "r2", "v"),
+            Step::End,
+        ],
+    );
+    // partition node 2 right after the commit record is written: node 2
+    // has acknowledged phase one, and phase 2 is safe-delivery, so
+    // END-TRANSACTION still completes on the home node while node 2's
+    // locks stay held until the heal. Run until the commit record is
+    // written (the metric flips), then cut.
+    while w.metrics().get("tmf.commits") == 0 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(w.metrics().get("tmf.commits"), 1, "transaction committed");
+    w.inject(Fault::Partition(vec![n2]));
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "committed"],
+        "END-TRANSACTION completed despite the phase-2 partition"
+    );
+    // while partitioned, the record on node 2 is still locked: another
+    // transaction's lock attempt times out
+    let probe_catalog = catalog.clone();
+    let log2 = drive(
+        &mut w,
+        n2,
+        0,
+        probe_catalog,
+        vec![Step::Begin, Step::ReadLock("remote", "r2"), Step::Abort],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        log2.borrow()[1],
+        format!("err:{:?}", DiscError::LockTimeout),
+        "locks held on the cut-off node: {:?}",
+        log2.borrow()
+    );
+    // heal: safe-delivery phase 2 arrives, locks release
+    w.inject(Fault::HealAllLinks);
+    w.run_for(SimDuration::from_secs(3));
+    let log3 = drive(
+        &mut w,
+        n2,
+        1,
+        catalog,
+        vec![Step::Begin, Step::ReadLock("remote", "r2"), Step::Abort],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        log3.borrow().as_slice(),
+        &["began", "value:v", "aborted"],
+        "after the heal the lock is free and the commit is visible"
+    );
+}
+
+#[test]
+fn cpu_failure_aborts_only_affected_transactions() {
+    let (mut w, n, catalog) = single_node();
+    // transaction A runs on cpu 0 and stays open
+    let log_a = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "a", "1"),
+            Step::Pause(SimDuration::from_secs(10)), // still open when cpu dies
+            Step::End,
+        ],
+    );
+    // transaction B runs on cpu 2 and also stays open across the failure
+    let log_b = drive(
+        &mut w,
+        n,
+        2,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "b", "2"),
+            Step::Pause(SimDuration::from_secs(10)),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    // kill cpu 0: A's requester dies with it
+    w.inject(Fault::KillCpu(n, CpuId(0)));
+    w.run_for(SimDuration::from_secs(15));
+    assert!(log_a.borrow().len() <= 2, "A never completed: {:?}", log_a.borrow());
+    assert_eq!(
+        log_b.borrow().last().unwrap(),
+        "committed",
+        "B was uninvolved in the failure and committed: {:?}",
+        log_b.borrow()
+    );
+    assert!(w.metrics().get("tmf.cpu_failure_aborts") >= 1);
+    // A's insert was backed out
+    let log_c = drive(
+        &mut w,
+        n,
+        3,
+        catalog,
+        vec![Step::Read("accounts", "a"), Step::Read("accounts", "b")],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log_c.borrow().as_slice(), &["value:<none>", "value:2"]);
+}
+
+#[test]
+fn lock_timeout_then_restart_transaction_succeeds() {
+    let (mut w, n, catalog) = single_node();
+    // T1 holds the lock for a while
+    let log1 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "hot", "1"),
+            Step::Pause(SimDuration::from_secs(2)),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_millis(200));
+    // T2 wants the same record; its lock wait (500ms) times out, it
+    // restarts (abort + begin again), and succeeds after T1 commits
+    let log2 = drive(
+        &mut w,
+        n,
+        1,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::ReadLock("accounts", "hot"),
+            // first attempt will log err:LockTimeout; the driver script is
+            // linear, so model RESTART-TRANSACTION explicitly:
+            Step::Abort,
+            Step::Pause(SimDuration::from_secs(3)),
+            Step::Begin,
+            Step::ReadLock("accounts", "hot"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(log1.borrow().last().unwrap(), "committed");
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &[
+            "began",
+            &format!("err:{:?}", DiscError::LockTimeout),
+            "aborted",
+            "began",
+            "value:1",
+            "committed"
+        ]
+    );
+}
+
+#[test]
+fn delete_is_backed_out_and_its_key_lock_persists() {
+    let (mut w, n, catalog) = single_node();
+    let log = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "doomed", "v"),
+            Step::End,
+            // delete it, then abort: the before-image resurrects it
+            Step::Begin,
+            Step::ReadLock("accounts", "doomed"),
+            Step::Delete("accounts", "doomed"),
+            Step::Read("accounts", "doomed"),
+            Step::Abort,
+            Step::Read("accounts", "doomed"),
+        ],
+    );
+    w.run_for(SimDuration::from_secs(8));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &[
+            "began",
+            "ok",
+            "committed",
+            "began",
+            "value:v",
+            "ok",
+            "value:<none>", // browse read sees the uncommitted delete
+            "aborted",
+            "value:v" // backout restored the record
+        ]
+    );
+}
+
+#[test]
+fn file_lock_blocks_other_transactions_until_commit() {
+    use encompass_storage::discprocess::DiscRequest;
+    // a driver that takes a FILE lock via the raw submit API
+    struct FileLocker {
+        session: TmfSession,
+        step: u8,
+        log: Log,
+    }
+    impl Process for FileLocker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.step = 1;
+            self.session.begin(ctx, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+            let Ok(Some(ev)) = self.session.accept(ctx, payload) else {
+                return;
+            };
+            match (self.step, ev) {
+                (1, SessionEvent::Began { .. }) => {
+                    self.step = 2;
+                    let transid = self.session.transid().unwrap();
+                    self.session.submit(
+                        ctx,
+                        DiscRequest::LockFile {
+                            file: "accounts".into(),
+                            transid,
+                            lock_wait: SimDuration::from_millis(200),
+                        },
+                        0,
+                    );
+                }
+                (2, SessionEvent::OpDone { .. }) => {
+                    self.log.borrow_mut().push("file-locked".into());
+                    self.step = 3;
+                    ctx.set_timer(SimDuration::from_millis(800), 1);
+                }
+                (4, SessionEvent::Committed { .. }) => {
+                    self.log.borrow_mut().push("committed".into());
+                }
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+            if tag == 1 && self.step == 3 {
+                self.step = 4;
+                self.session.end(ctx, 0);
+                return;
+            }
+            let _ = self.session.on_timer(ctx, tag);
+        }
+    }
+
+    let (mut w, n, catalog) = single_node();
+    let log1: Log = Rc::new(RefCell::new(Vec::new()));
+    w.spawn(
+        n,
+        0,
+        Box::new(FileLocker {
+            session: TmfSession::new(catalog.clone(), 0),
+            step: 0,
+            log: log1.clone(),
+        }),
+    );
+    w.run_for(SimDuration::from_millis(150));
+    assert_eq!(log1.borrow().as_slice(), &["file-locked"]);
+    // while the file lock is held, another transaction's record insert
+    // into the same file times out
+    let log2 = drive(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        vec![Step::Begin, Step::Insert("accounts", "x", "1"), Step::Abort],
+    );
+    w.run_for(SimDuration::from_millis(650));
+    assert_eq!(
+        log2.borrow()[1],
+        format!("err:{:?}", DiscError::LockTimeout),
+        "{:?}",
+        log2.borrow()
+    );
+    // after the locker commits, inserts flow again
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(log1.borrow().last().unwrap(), "committed");
+    let log3 = drive(
+        &mut w,
+        n,
+        2,
+        catalog,
+        vec![Step::Begin, Step::Insert("accounts", "x", "1"), Step::End],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(log3.borrow().last().unwrap(), "committed");
+}
+
+#[test]
+fn deterministic_distributed_run() {
+    fn run() -> u64 {
+        let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+        let _ = drive(
+            &mut w,
+            n0,
+            0,
+            catalog,
+            vec![
+                Step::Begin,
+                Step::Insert("accounts", "alpha", "1"),
+                Step::Insert("remote", "r", "2"),
+                Step::End,
+            ],
+        );
+        w.schedule_fault(SimTime::from_micros(500_000), Fault::Partition(vec![n2]));
+        w.schedule_fault(SimTime::from_micros(900_000), Fault::HealAllLinks);
+        w.run_until(SimTime::from_micros(3_000_000));
+        w.trace_hash()
+    }
+    assert_eq!(run(), run());
+}

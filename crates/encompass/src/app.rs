@@ -1,0 +1,322 @@
+//! Application wiring: one builder that assembles a complete ENCOMPASS
+//! system — nodes, links, catalog, the full TMF process set, server
+//! classes, and TCPs with terminal programs — ready to run.
+
+use crate::appmon::{spawn_server_class, ServerClassConfig};
+use crate::manufacturing::{self, manufacturing_catalog, MfgServer, SuspenseMonitor};
+use crate::screen::ScreenProgram;
+use crate::tcp::{spawn_tcp, TcpConfig};
+use crate::workload::{preload_accounts, BankProgram, BankServer, BankWorkload};
+use bytes::Bytes;
+use encompass_sim::{NodeId, SimConfig, SimDuration, World};
+use encompass_storage::types::{FileDef, PartitionSpec, RecoveryMode, VolumeRef};
+use encompass_storage::Catalog;
+use tmf::facility::{spawn_tmf_network, NodeHandles, TmfNodeConfig};
+
+/// Everything a built application exposes to the driver.
+pub struct AppHandles {
+    pub world: World,
+    pub nodes: Vec<NodeId>,
+    pub catalog: Catalog,
+    pub tmf: Vec<NodeHandles>,
+}
+
+/// Builder for simulated ENCOMPASS systems.
+pub struct AppBuilder {
+    sim: SimConfig,
+    node_cpus: Vec<u8>,
+    links: Vec<(usize, usize, SimDuration)>,
+    tmf: TmfNodeConfig,
+}
+
+impl Default for AppBuilder {
+    fn default() -> Self {
+        AppBuilder::new()
+    }
+}
+
+impl AppBuilder {
+    pub fn new() -> AppBuilder {
+        AppBuilder {
+            sim: SimConfig::default(),
+            node_cpus: Vec::new(),
+            links: Vec::new(),
+            tmf: TmfNodeConfig::default(),
+        }
+    }
+
+    pub fn sim_config(mut self, cfg: SimConfig) -> AppBuilder {
+        self.sim = cfg;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> AppBuilder {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Add a node with the given processor count (2..=16).
+    pub fn node(mut self, cpus: u8) -> AppBuilder {
+        self.node_cpus.push(cpus);
+        self
+    }
+
+    /// Link two nodes (indices in add order).
+    pub fn link(mut self, a: usize, b: usize, latency: SimDuration) -> AppBuilder {
+        self.links.push((a, b, latency));
+        self
+    }
+
+    /// Fully connect all nodes with the same latency.
+    pub fn mesh(mut self, latency: SimDuration) -> AppBuilder {
+        for a in 0..self.node_cpus.len() {
+            for b in (a + 1)..self.node_cpus.len() {
+                self.links.push((a, b, latency));
+            }
+        }
+        self
+    }
+
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> AppBuilder {
+        self.tmf.recovery_mode = mode;
+        self
+    }
+
+    pub fn tmf_config(mut self, cfg: TmfNodeConfig) -> AppBuilder {
+        self.tmf = cfg;
+        self
+    }
+
+    /// Create the world + nodes + links and spawn TMF for `catalog`.
+    pub fn build(self, catalog: Catalog) -> AppHandles {
+        let mut world = World::new(self.sim);
+        let nodes: Vec<NodeId> = self.node_cpus.iter().map(|&c| world.add_node(c)).collect();
+        for (a, b, lat) in self.links {
+            world.add_link(nodes[a], nodes[b], lat);
+        }
+        let tmf = spawn_tmf_network(&mut world, &catalog, self.tmf);
+        AppHandles {
+            world,
+            nodes,
+            catalog,
+            tmf,
+        }
+    }
+}
+
+/// Parameters of the ready-made bank (debit-credit) application.
+#[derive(Clone, Debug)]
+pub struct BankAppParams {
+    /// CPUs per node (one entry per node; accounts are partitioned evenly
+    /// across nodes when there is more than one).
+    pub node_cpus: Vec<u8>,
+    pub accounts: u64,
+    pub terminals_per_node: usize,
+    pub transactions_per_terminal: u64,
+    pub think: SimDuration,
+    pub hot_fraction: f64,
+    pub hot_set: u64,
+    pub recovery_mode: RecoveryMode,
+    pub servers_min: usize,
+    pub servers_max: usize,
+    pub seed: u64,
+    /// Deadlock timeout used by the bank servers' lock requests.
+    pub lock_wait: SimDuration,
+    /// Simulator cost model (latencies, jitter); the seed field above
+    /// overrides `sim.seed`.
+    pub sim: SimConfig,
+}
+
+impl Default for BankAppParams {
+    fn default() -> Self {
+        BankAppParams {
+            node_cpus: vec![4],
+            accounts: 1000,
+            terminals_per_node: 4,
+            transactions_per_terminal: 25,
+            think: SimDuration::from_millis(10),
+            hot_fraction: 0.0,
+            hot_set: 10,
+            recovery_mode: RecoveryMode::NonStopCheckpoint,
+            servers_min: 2,
+            servers_max: 8,
+            seed: 42,
+            lock_wait: SimDuration::from_millis(500),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Build the complete bank application: catalog (accounts + history),
+/// TMF, one `bank` server class per node, one TCP per node running
+/// [`BankProgram`] terminals, and preloaded accounts.
+pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
+    let mut builder = AppBuilder::new()
+        .sim_config(params.sim.clone())
+        .seed(params.seed);
+    for &c in &params.node_cpus {
+        builder = builder.node(c);
+    }
+    builder = builder
+        .mesh(SimDuration::from_millis(2))
+        .recovery_mode(params.recovery_mode);
+
+    // provisional world to learn node ids (deterministic: 0..n)
+    let n_nodes = params.node_cpus.len();
+    let node_ids: Vec<NodeId> = (0..n_nodes as u8).map(NodeId).collect();
+
+    // accounts partitioned evenly across nodes by key range
+    let mut catalog = Catalog::new();
+    let mut parts = Vec::new();
+    for (i, &node) in node_ids.iter().enumerate() {
+        let low = if i == 0 {
+            Bytes::new()
+        } else {
+            crate::workload::account_key(params.accounts * i as u64 / n_nodes as u64)
+        };
+        parts.push(PartitionSpec {
+            low_key: low,
+            volume: VolumeRef::new(node, "$BANK"),
+        });
+    }
+    catalog.add(FileDef::key_sequenced("accounts", parts[0].volume.clone()).partitioned(parts));
+    catalog.add(FileDef::entry_sequenced(
+        "history",
+        VolumeRef::new(node_ids[0], "$BANK"),
+    ));
+
+    let mut app = builder.build(catalog);
+    preload_accounts(&mut app.world, &app.catalog, "accounts", params.accounts, 1000);
+
+    for (i, &node) in app.nodes.iter().enumerate() {
+        let cpus = params.node_cpus[i];
+        // the bank server class
+        spawn_server_class(
+            &mut app.world,
+            node,
+            0,
+            ServerClassConfig {
+                class: "bank".into(),
+                server_cpus: (0..cpus).collect(),
+                min_servers: params.servers_min,
+                max_servers: params.servers_max,
+                spawn_backlog: 2,
+                shrink_interval: SimDuration::from_secs(5),
+                lock_wait: params.lock_wait,
+            },
+            app.catalog.clone(),
+            || Box::new(BankServer::new(Some("history".into()))),
+        );
+        // the TCP with its terminals
+        let catalog = app.catalog.clone();
+        let wl = BankWorkload {
+            accounts: params.accounts,
+            hot_fraction: params.hot_fraction,
+            hot_set: params.hot_set,
+            transactions: params.transactions_per_terminal,
+            think: params.think,
+            server_class: "bank".into(),
+            server_node: None,
+        };
+        let terminals = params.terminals_per_node;
+        let seed = params.seed;
+        let node_idx = i as u64;
+        spawn_tcp(
+            &mut app.world,
+            node,
+            0,
+            1,
+            TcpConfig {
+                name: format!("$TCP{}", node.0),
+                ..TcpConfig::default()
+            },
+            catalog,
+            move || {
+                (0..terminals)
+                    .map(|t| {
+                        Box::new(BankProgram::new(
+                            wl.clone(),
+                            seed ^ (node_idx << 16) ^ t as u64,
+                        )) as Box<dyn ScreenProgram>
+                    })
+                    .collect()
+            },
+        );
+    }
+    app
+}
+
+/// Parameters of the manufacturing application (experiment F4/T7).
+#[derive(Clone, Debug)]
+pub struct MfgAppParams {
+    pub nodes: usize,
+    pub cpus_per_node: u8,
+    pub suspense_poll: SimDuration,
+    pub seed: u64,
+}
+
+impl Default for MfgAppParams {
+    fn default() -> Self {
+        MfgAppParams {
+            nodes: 4,
+            cpus_per_node: 4,
+            suspense_poll: SimDuration::from_millis(100),
+            seed: 7,
+        }
+    }
+}
+
+/// Build the manufacturing network: TMF on every node, an `mfg` server
+/// class per node, and a suspense monitor per node. Terminal programs are
+/// the caller's business (tests drive specific scenarios).
+pub fn launch_mfg_app(params: MfgAppParams) -> AppHandles {
+    let node_ids: Vec<NodeId> = (0..params.nodes as u8).map(NodeId).collect();
+    let catalog = manufacturing_catalog(&node_ids);
+    let mut builder = AppBuilder::new().seed(params.seed);
+    for _ in 0..params.nodes {
+        builder = builder.node(params.cpus_per_node);
+    }
+    let mut app = builder.mesh(SimDuration::from_millis(3)).build(catalog);
+    for &node in &app.nodes {
+        let all = node_ids.clone();
+        spawn_server_class(
+            &mut app.world,
+            node,
+            0,
+            ServerClassConfig {
+                class: "mfg".into(),
+                server_cpus: (0..params.cpus_per_node).collect(),
+                min_servers: 2,
+                max_servers: 6,
+                spawn_backlog: 2,
+                shrink_interval: SimDuration::from_secs(5),
+                lock_wait: SimDuration::from_millis(500),
+            },
+            app.catalog.clone(),
+            move || Box::new(MfgServer::new(node, all.clone())),
+        );
+        app.world.spawn(
+            node,
+            1,
+            Box::new(SuspenseMonitor::new(
+                app.catalog.clone(),
+                params.suspense_poll,
+            )),
+        );
+    }
+    app
+}
+
+/// Directly read a global replica from the media (test assertions).
+pub fn read_replica(
+    world: &mut World,
+    node: NodeId,
+    file: &str,
+    key: &[u8],
+) -> Option<Bytes> {
+    use encompass_storage::media::{media_key, VolumeMedia};
+    let media = world
+        .stable()
+        .get::<VolumeMedia>(&media_key(node, "$MFG"))?;
+    media.file(&manufacturing::replica(file, node))?.read(key)
+}

@@ -1,0 +1,697 @@
+//! The manufacturing distributed data base (Figure 4 and §"A Distributed
+//! Data Base Application").
+//!
+//! Four plants (Cupertino, Santa Clara, Reston, Neufahrn) share **global**
+//! files — Item Master, Bill of Materials, Purchase Order Header —
+//! replicated at every node, plus **local** files (Stock,
+//! Work-in-Progress, Transaction History, PO Detail).
+//!
+//! The design trades replica consistency for **node autonomy**: every
+//! global record has a *master node* (stored in the record); an update
+//! runs a TMF transaction at the master which updates the master copy and
+//! queues *deferred updates* for the other copies in the master's
+//! **suspense file**. A dedicated **suspense monitor** scans the suspense
+//! file and, for each currently-accessible node, executes a TMF
+//! transaction that sends the update to a server at the non-master node
+//! and deletes the suspense entry — strictly in suspense-file order per
+//! destination, so that when a partition heals "global file copies
+//! converge to a consistent state".
+//!
+//! The rejected synchronous design (update every copy in one TMF
+//! transaction) is also implemented (`sync-update`) for the node-autonomy
+//! ablation, experiment T7.
+
+use crate::messages::{AppReply, AppRequest, ServerRequest};
+use crate::server::{DbOp, ServerLogic, ServerStep};
+use bytes::{BufMut, Bytes, BytesMut};
+use encompass_sim::{Ctx, NodeId, Payload, Pid, Process, SimDuration, TimerId};
+use encompass_storage::discprocess::{DiscError, DiscReply};
+use encompass_storage::types::{num_key, FileDef, VolumeRef};
+use encompass_storage::Catalog;
+use guardian::{Rpc, Target, TimerOutcome};
+use tmf::session::{SessionEvent, TmfSession};
+use tmf::state::AbortReason;
+
+/// The four global files of the paper.
+pub const GLOBAL_FILES: [&str; 3] = ["item", "bom", "pohead"];
+/// The local files of the paper.
+pub const LOCAL_FILES: [&str; 4] = ["stock", "wip", "hist", "podtl"];
+
+/// The per-node replica of a global file.
+pub fn replica(file: &str, node: NodeId) -> String {
+    format!("{file}@{}", node.0)
+}
+
+/// The per-node name of a local file.
+pub fn local(file: &str, node: NodeId) -> String {
+    format!("{file}@{}", node.0)
+}
+
+/// The suspense file of a node.
+pub fn suspense(node: NodeId) -> String {
+    format!("suspense@{}", node.0)
+}
+
+/// Build the catalog for a manufacturing network over `nodes` (one volume
+/// `$MFG` per node).
+pub fn manufacturing_catalog(nodes: &[NodeId]) -> Catalog {
+    let mut c = Catalog::new();
+    for &n in nodes {
+        let vol = VolumeRef::new(n, "$MFG");
+        for f in GLOBAL_FILES {
+            c.add(FileDef::key_sequenced(&replica(f, n), vol.clone()));
+        }
+        for f in LOCAL_FILES {
+            if f == "hist" {
+                c.add(FileDef::entry_sequenced(&local(f, n), vol.clone()));
+            } else {
+                c.add(FileDef::key_sequenced(&local(f, n), vol.clone()));
+            }
+        }
+        c.add(FileDef::entry_sequenced(&suspense(n), vol.clone()));
+    }
+    c
+}
+
+// ----------------------------------------------------------------------
+// Global-record encoding: [master_node][payload]
+// ----------------------------------------------------------------------
+
+pub fn global_record(master: NodeId, payload: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(payload.len() + 1);
+    b.put_u8(master.0);
+    b.put_slice(payload);
+    b.freeze()
+}
+
+pub fn master_of(record: &[u8]) -> Option<NodeId> {
+    record.first().map(|&m| NodeId(m))
+}
+
+pub fn payload_of(record: &[u8]) -> &[u8] {
+    &record[1.min(record.len())..]
+}
+
+// ----------------------------------------------------------------------
+// Suspense-record encoding: dest | file | key | value
+// ----------------------------------------------------------------------
+
+/// A deferred replica update queued in a suspense file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deferred {
+    pub dest: NodeId,
+    /// Logical global file name (e.g. `"item"`).
+    pub file: String,
+    pub key: Bytes,
+    pub value: Bytes,
+}
+
+impl Deferred {
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u8(self.dest.0);
+        b.put_u16(self.file.len() as u16);
+        b.put_slice(self.file.as_bytes());
+        b.put_u16(self.key.len() as u16);
+        b.put_slice(&self.key);
+        b.put_u32(self.value.len() as u32);
+        b.put_slice(&self.value);
+        b.freeze()
+    }
+
+    pub fn decode(mut raw: &[u8]) -> Option<Deferred> {
+        use bytes::Buf;
+        if raw.len() < 1 + 2 {
+            return None;
+        }
+        let dest = NodeId(raw.get_u8());
+        let flen = raw.get_u16() as usize;
+        if raw.len() < flen + 2 {
+            return None;
+        }
+        let file = String::from_utf8(raw[..flen].to_vec()).ok()?;
+        raw.advance(flen);
+        let klen = raw.get_u16() as usize;
+        if raw.len() < klen + 4 {
+            return None;
+        }
+        let key = Bytes::copy_from_slice(&raw[..klen]);
+        raw.advance(klen);
+        let vlen = raw.get_u32() as usize;
+        if raw.len() < vlen {
+            return None;
+        }
+        let value = Bytes::copy_from_slice(&raw[..vlen]);
+        Some(Deferred {
+            dest,
+            file,
+            key,
+            value,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// The manufacturing server class
+// ----------------------------------------------------------------------
+
+/// Context-free server for one node of the manufacturing network.
+///
+/// Ops:
+/// * `read-global [file, key]` — read the local replica;
+/// * `master-update [file, key, payload]` — master-node write: update the
+///   master copy and queue deferred updates for every other replica;
+/// * `apply-replica [file, key, value]` — install a deferred update
+///   (called by a suspense monitor, inside its transaction);
+/// * `put-local [file, key, value]` — read-lock + insert-or-update a local
+///   file record;
+/// * `sync-update [file, key, payload]` — the rejected design: update all
+///   replicas in this one transaction.
+pub struct MfgServer {
+    node: NodeId,
+    all_nodes: Vec<NodeId>,
+    step: u32,
+    op: String,
+    file: String,
+    key: Bytes,
+    value: Bytes,
+    queue: Vec<DbOp>,
+    remotes: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl MfgServer {
+    pub fn new(node: NodeId, all_nodes: Vec<NodeId>) -> MfgServer {
+        MfgServer {
+            node,
+            all_nodes,
+            step: 0,
+            op: String::new(),
+            file: String::new(),
+            key: Bytes::new(),
+            value: Bytes::new(),
+            queue: Vec::new(),
+            remotes: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn next_queued(&mut self) -> ServerStep {
+        match self.queue.pop() {
+            Some(op) => ServerStep::Db(op),
+            None => ServerStep::Reply(AppReply::ok(vec![])),
+        }
+    }
+}
+
+impl ServerLogic for MfgServer {
+    fn on_request(&mut self, req: &AppRequest) -> ServerStep {
+        self.op = req.op.clone();
+        self.file = String::from_utf8_lossy(&req.param(0)).to_string();
+        self.key = req.param(1);
+        self.value = req.param(2);
+        match req.op.as_str() {
+            "read-global" => ServerStep::Db(DbOp::Read {
+                file: replica(&self.file, self.node),
+                key: self.key.clone(),
+            }),
+            "master-update" | "sync-update" | "apply-replica" | "put-local" => {
+                // all write paths start with a read-lock on the target
+                let file = match self.op.as_str() {
+                    "master-update" | "sync-update" => replica(&self.file, self.node),
+                    "apply-replica" => replica(&self.file, self.node),
+                    _ => local(&self.file, self.node),
+                };
+                self.step = 1;
+                ServerStep::Db(DbOp::ReadLock {
+                    file,
+                    key: self.key.clone(),
+                })
+            }
+            _ => ServerStep::Reply(AppReply::error()),
+        }
+    }
+
+    fn on_db(&mut self, db: &DiscReply) -> ServerStep {
+        if let DiscReply::Err(DiscError::LockTimeout) = db {
+            return ServerStep::Reply(AppReply::restart());
+        }
+        match self.op.as_str() {
+            "read-global" => match db {
+                DiscReply::Value(v) => {
+                    ServerStep::Reply(AppReply::ok(v.iter().cloned().collect()))
+                }
+                _ => ServerStep::Reply(AppReply::error()),
+            },
+            "put-local" | "apply-replica" => match (self.step, db) {
+                (1, DiscReply::Value(existing)) => {
+                    self.step = 2;
+                    let file = if self.op == "apply-replica" {
+                        replica(&self.file, self.node)
+                    } else {
+                        local(&self.file, self.node)
+                    };
+                    let op = if existing.is_some() {
+                        DbOp::Update {
+                            file,
+                            key: self.key.clone(),
+                            value: self.value.clone(),
+                        }
+                    } else {
+                        DbOp::Insert {
+                            file,
+                            key: self.key.clone(),
+                            value: self.value.clone(),
+                        }
+                    };
+                    ServerStep::Db(op)
+                }
+                (2, DiscReply::Ok) => ServerStep::Reply(AppReply::ok(vec![])),
+                _ => ServerStep::Reply(AppReply::error()),
+            },
+            "master-update" => match (self.step, db) {
+                (1, DiscReply::Value(existing)) => {
+                    // build the full work list: master copy + deferred
+                    // updates for the other replicas
+                    let record = global_record(self.node, &self.value);
+                    let master_file = replica(&self.file, self.node);
+                    let master_op = if existing.is_some() {
+                        DbOp::Update {
+                            file: master_file,
+                            key: self.key.clone(),
+                            value: record.clone(),
+                        }
+                    } else {
+                        DbOp::Insert {
+                            file: master_file,
+                            key: self.key.clone(),
+                            value: record.clone(),
+                        }
+                    };
+                    for &n in &self.all_nodes {
+                        if n == self.node {
+                            continue;
+                        }
+                        let deferred = Deferred {
+                            dest: n,
+                            file: self.file.clone(),
+                            key: self.key.clone(),
+                            value: record.clone(),
+                        };
+                        self.queue.push(DbOp::InsertEntry {
+                            file: suspense(self.node),
+                            value: deferred.encode(),
+                        });
+                    }
+                    self.step = 2;
+                    ServerStep::Db(master_op)
+                }
+                (2, DiscReply::Ok) | (2, DiscReply::EntryNumber(_)) => self.next_queued(),
+                _ => ServerStep::Reply(AppReply::error()),
+            },
+            // the design the paper rejects for lack of node autonomy:
+            // update every replica in this one transaction. Steps:
+            // 1 = master read-lock answered → write master copy
+            // 2 = master write answered → lock next remote replica
+            // 3 = remote replica locked → write it
+            // 4 = remote write answered → lock next remote or finish
+            "sync-update" => match (self.step, db) {
+                (1, DiscReply::Value(existing)) => {
+                    let record = global_record(self.node, &self.value);
+                    self.remotes = self
+                        .all_nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != self.node)
+                        .collect();
+                    self.cursor = 0;
+                    self.value = record.clone();
+                    self.step = 2;
+                    let master_file = replica(&self.file, self.node);
+                    if existing.is_some() {
+                        ServerStep::Db(DbOp::Update {
+                            file: master_file,
+                            key: self.key.clone(),
+                            value: record,
+                        })
+                    } else {
+                        ServerStep::Db(DbOp::Insert {
+                            file: master_file,
+                            key: self.key.clone(),
+                            value: record,
+                        })
+                    }
+                }
+                (2, DiscReply::Ok) | (4, DiscReply::Ok) => {
+                    if self.step == 4 {
+                        self.cursor += 1;
+                    }
+                    if self.cursor >= self.remotes.len() {
+                        return ServerStep::Reply(AppReply::ok(vec![]));
+                    }
+                    self.step = 3;
+                    ServerStep::Db(DbOp::ReadLock {
+                        file: replica(&self.file, self.remotes[self.cursor]),
+                        key: self.key.clone(),
+                    })
+                }
+                (3, DiscReply::Value(existing)) => {
+                    let file = replica(&self.file, self.remotes[self.cursor]);
+                    self.step = 4;
+                    if existing.is_some() {
+                        ServerStep::Db(DbOp::Update {
+                            file,
+                            key: self.key.clone(),
+                            value: self.value.clone(),
+                        })
+                    } else {
+                        ServerStep::Db(DbOp::Insert {
+                            file,
+                            key: self.key.clone(),
+                            value: self.value.clone(),
+                        })
+                    }
+                }
+                _ => ServerStep::Reply(AppReply::error()),
+            },
+            _ => ServerStep::Reply(AppReply::error()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The suspense monitor
+// ----------------------------------------------------------------------
+
+/// "A dedicated process, called the 'suspense monitor', scans the suspense
+/// file looking for work to do."
+///
+/// Each cycle it reads the earliest pending entry per destination; for the
+/// first destination that is currently accessible it runs one TMF
+/// transaction: `apply-replica` at the destination, then delete the
+/// suspense entry. Per-destination order is preserved by always taking
+/// the earliest entry for a destination.
+pub struct SuspenseMonitor {
+    session: TmfSession,
+    server_rpc: Rpc<ServerRequest, AppReply>,
+    poll: SimDuration,
+    state: MonState,
+    current: Option<(u64, Deferred)>,
+}
+
+#[derive(PartialEq, Debug)]
+enum MonState {
+    Idle,
+    Scanning,
+    Beginning,
+    EnsuringRemote,
+    Applying,
+    Locking,
+    Deleting,
+    Ending,
+    Aborting,
+}
+
+const TAG_POLL: u64 = 1;
+
+impl SuspenseMonitor {
+    pub fn new(catalog: Catalog, poll: SimDuration) -> SuspenseMonitor {
+        let session = TmfSession::new(catalog.clone(), 2);
+        let _ = catalog;
+        SuspenseMonitor {
+            session,
+            server_rpc: Rpc::new(20),
+            poll,
+            state: MonState::Idle,
+            current: None,
+        }
+    }
+
+    fn rearm(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = MonState::Idle;
+        self.current = None;
+        ctx.set_timer(self.poll, TAG_POLL);
+    }
+
+    fn send_apply(&mut self, ctx: &mut Ctx<'_>) {
+        let d = self.current.as_ref().expect("work chosen").1.clone();
+        self.state = MonState::Applying;
+        let env = ServerRequest {
+            transid: self.session.transid(),
+            request: AppRequest::new(
+                "apply-replica",
+                vec![
+                    Bytes::copy_from_slice(d.file.as_bytes()),
+                    d.key.clone(),
+                    d.value.clone(),
+                ],
+            ),
+        };
+        if self
+            .server_rpc
+            .call(
+                ctx,
+                Target::Named(d.dest, "$SC-mfg".into()),
+                env,
+                SimDuration::from_secs(2),
+                0,
+                0,
+            )
+            .is_err()
+        {
+            self.state = MonState::Aborting;
+            self.session.abort(ctx, AbortReason::Restart, 0);
+        }
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = MonState::Scanning;
+        let node = ctx.node();
+        self.session
+            .read_range(ctx, &suspense(node), num_key(0), None, 64, 0);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
+        match (&self.state, ev) {
+            (MonState::Scanning, SessionEvent::OpDone { reply, .. }) => {
+                let DiscReply::Entries(entries) = reply else {
+                    self.rearm(ctx);
+                    return;
+                };
+                // earliest entry per destination, in entry order
+                let mut chosen: Option<(u64, Deferred)> = None;
+                let mut seen_dests: Vec<NodeId> = Vec::new();
+                for (k, v) in &entries {
+                    let Some(entry) = encompass_storage::types::key_num(k) else {
+                        continue;
+                    };
+                    let Some(d) = Deferred::decode(v) else {
+                        continue;
+                    };
+                    if seen_dests.contains(&d.dest) {
+                        continue; // a younger entry for this dest must wait
+                    }
+                    seen_dests.push(d.dest);
+                    if chosen.is_none() && ctx.reachable(d.dest) {
+                        chosen = Some((entry, d));
+                    }
+                }
+                match chosen {
+                    Some(work) => {
+                        ctx.count("suspense.picked", 1);
+                        self.current = Some(work);
+                        self.state = MonState::Beginning;
+                        self.session.begin(ctx, 0);
+                    }
+                    None => self.rearm(ctx),
+                }
+            }
+            (MonState::Beginning, SessionEvent::Began { .. }) => {
+                // remote transaction begin precedes the SEND to the
+                // destination node's server
+                let d = self.current.as_ref().expect("work chosen").1.clone();
+                let my_node = ctx.node();
+                if self.session.needs_remote(my_node, d.dest) {
+                    self.state = MonState::EnsuringRemote;
+                    self.session.ensure_remote(ctx, d.dest, 0);
+                    return;
+                }
+                self.send_apply(ctx);
+            }
+            (MonState::EnsuringRemote, SessionEvent::OpDone { .. }) => {
+                self.send_apply(ctx);
+            }
+            (MonState::Locking, SessionEvent::OpDone { reply, .. }) => match reply {
+                DiscReply::Value(_) => {
+                    let entry = self.current.as_ref().expect("work chosen").0;
+                    let node = ctx.node();
+                    self.state = MonState::Deleting;
+                    self.session.delete(ctx, &suspense(node), num_key(entry), 0);
+                }
+                _ => {
+                    self.state = MonState::Aborting;
+                    self.session.abort(ctx, AbortReason::Restart, 0);
+                }
+            },
+            (MonState::Deleting, SessionEvent::OpDone { reply, .. }) => match reply {
+                DiscReply::Ok => {
+                    self.state = MonState::Ending;
+                    self.session.end(ctx, 0);
+                }
+                _ => {
+                    self.state = MonState::Aborting;
+                    self.session.abort(ctx, AbortReason::Restart, 0);
+                }
+            },
+            (MonState::Ending, SessionEvent::Committed { .. }) => {
+                ctx.count("suspense.applied", 1);
+                // look for more work immediately
+                self.state = MonState::Idle;
+                self.current = None;
+                self.scan(ctx);
+            }
+            (_, SessionEvent::Aborted { .. }) | (_, SessionEvent::Failed { .. }) => {
+                ctx.count("suspense.retries", 1);
+                if self.session.transid().is_some() && !self.session.busy() {
+                    self.state = MonState::Aborting;
+                    self.session.abort(ctx, AbortReason::Restart, 0);
+                } else {
+                    self.rearm(ctx);
+                }
+            }
+            _ => self.rearm(ctx),
+        }
+    }
+}
+
+impl Process for SuspenseMonitor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.register_name("$SUSPENSE");
+        self.rearm(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        let payload = match self.session.accept(ctx, payload) {
+            Ok(Some(ev)) => {
+                self.on_event(ctx, ev);
+                return;
+            }
+            Ok(None) => return,
+            Err(p) => p,
+        };
+        if let Ok(c) = self.server_rpc.accept(ctx, payload) {
+            if self.state == MonState::Applying {
+                if c.body.ok {
+                    // lock the suspense entry, then delete it
+                    let entry = self.current.as_ref().expect("work chosen").0;
+                    let node = ctx.node();
+                    self.state = MonState::Locking;
+                    self.session
+                        .read_lock(ctx, &suspense(node), num_key(entry), 0);
+                } else {
+                    self.state = MonState::Aborting;
+                    self.session.abort(ctx, AbortReason::Restart, 0);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if tag == TAG_POLL {
+            if self.state == MonState::Idle {
+                self.scan(ctx);
+            } else {
+                ctx.set_timer(self.poll, TAG_POLL);
+            }
+            return;
+        }
+        if let Some(ev) = self.session.on_timer(ctx, tag) {
+            self.on_event(ctx, ev);
+            return;
+        }
+        if let TimerOutcome::Expired { .. } = self.server_rpc.on_timer(ctx, tag) {
+            if self.session.transid().is_some() && !self.session.busy() {
+                self.state = MonState::Aborting;
+                self.session.abort(ctx, AbortReason::NetworkPartition, 0);
+            } else {
+                self.rearm(ctx);
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "suspense-monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferred_roundtrip() {
+        let d = Deferred {
+            dest: NodeId(3),
+            file: "item".into(),
+            key: Bytes::from_static(b"widget"),
+            value: Bytes::from_static(b"\x00payload"),
+        };
+        assert_eq!(Deferred::decode(&d.encode()), Some(d));
+        assert_eq!(Deferred::decode(b""), None);
+        assert_eq!(Deferred::decode(b"\x01\x00"), None);
+    }
+
+    #[test]
+    fn global_record_encoding() {
+        let r = global_record(NodeId(2), b"data");
+        assert_eq!(master_of(&r), Some(NodeId(2)));
+        assert_eq!(payload_of(&r), b"data");
+        assert_eq!(master_of(b""), None);
+    }
+
+    #[test]
+    fn catalog_has_all_files() {
+        let nodes = [NodeId(0), NodeId(1)];
+        let c = manufacturing_catalog(&nodes);
+        // per node: 3 global + 4 local + 1 suspense = 8
+        assert_eq!(c.len(), 16);
+        assert!(c.get("item@0").is_some());
+        assert!(c.get("suspense@1").is_some());
+        assert!(c.get("hist@0").is_some());
+    }
+
+    #[test]
+    fn replica_names() {
+        assert_eq!(replica("item", NodeId(2)), "item@2");
+        assert_eq!(suspense(NodeId(0)), "suspense@0");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn deferred_roundtrips(
+                dest in 0u8..16,
+                file in "[a-z]{1,12}",
+                key in prop::collection::vec(any::<u8>(), 0..64),
+                value in prop::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let d = Deferred {
+                    dest: NodeId(dest),
+                    file,
+                    key: Bytes::from(key),
+                    value: Bytes::from(value),
+                };
+                prop_assert_eq!(Deferred::decode(&d.encode()), Some(d));
+            }
+
+            #[test]
+            fn decode_never_panics_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..128)) {
+                let _ = Deferred::decode(&raw); // may be None; must not panic
+            }
+        }
+    }
+}

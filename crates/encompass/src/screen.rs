@@ -1,0 +1,145 @@
+//! Screen programs: the stand-in for Screen COBOL.
+//!
+//! A screen program drives one terminal. The TCP interprets it: it asks
+//! the program for its next action ([`ScreenProgram::next`]), feeding back
+//! what happened ([`ScreenInput`]). The verbs match the paper's:
+//! `BEGIN-TRANSACTION`, `SEND`, `END-TRANSACTION`, `ABORT-TRANSACTION`,
+//! `RESTART-TRANSACTION`.
+//!
+//! Restart semantics: when a transaction fails (or the program requests
+//! RESTART), the TCP backs the transaction out and calls
+//! [`ScreenProgram::restart`], which must rewind the program to its
+//! `BEGIN-TRANSACTION` point *with the same input data* — the TCP
+//! checkpointed the data extracted from the input screens, so the restart
+//! "may not require re-entering the input screens".
+
+use crate::messages::{AppReply, AppRequest};
+use encompass_sim::SimDuration;
+
+/// What the program wants the TCP to do next.
+#[derive(Clone, Debug)]
+pub enum ScreenAction {
+    /// BEGIN-TRANSACTION.
+    Begin,
+    /// SEND a request to a server class (optionally on a specific node;
+    /// `None` = the TCP's own node).
+    Send {
+        node: Option<encompass_sim::NodeId>,
+        class: String,
+        request: AppRequest,
+    },
+    /// END-TRANSACTION.
+    End,
+    /// ABORT-TRANSACTION (no automatic restart).
+    Abort,
+    /// RESTART-TRANSACTION (back out, then restart at BEGIN).
+    Restart,
+    /// Simulate operator think time / screen interaction.
+    Think(SimDuration),
+    /// The terminal's work is done.
+    Finished,
+}
+
+/// What just happened, fed to the program to get its next action.
+#[derive(Debug)]
+pub enum ScreenInput<'a> {
+    /// First call, and after Think expires.
+    Go,
+    /// BEGIN completed; the terminal is in transaction mode.
+    Began,
+    /// A SEND completed with this reply.
+    Reply(&'a AppReply),
+    /// END completed: the updates are permanent.
+    Committed,
+    /// The transaction was backed out (voluntary abort, restart, or system
+    /// abort). If the TCP is going to auto-restart, it calls `restart()`
+    /// instead of delivering this.
+    Aborted,
+    /// A SEND failed (server class unreachable / timed out). The TCP will
+    /// normally restart the transaction; delivered only past the restart
+    /// limit.
+    SendFailed,
+}
+
+/// One terminal's program.
+pub trait ScreenProgram: 'static {
+    /// Decide the next action.
+    fn next(&mut self, input: ScreenInput<'_>) -> ScreenAction;
+
+    /// Rewind to the BEGIN-TRANSACTION point with the same input data
+    /// (called on RESTART-TRANSACTION and on automatic restart).
+    fn restart(&mut self);
+
+    /// After a TCP takeover the backup's program instances are fresh; the
+    /// TCP hands them the checkpointed number of already-committed
+    /// transactions so completed work is not re-entered. Default: no-op
+    /// (programs that do not loop need nothing).
+    fn set_progress(&mut self, _committed: u64) {}
+}
+
+/// A fixed linear script (useful for tests): actions are taken in order;
+/// `restart` rewinds to the most recent `Begin`.
+pub struct ScriptProgram {
+    steps: Vec<ScreenAction>,
+    next: usize,
+    begin_at: usize,
+}
+
+impl ScriptProgram {
+    pub fn new(steps: Vec<ScreenAction>) -> ScriptProgram {
+        ScriptProgram {
+            steps,
+            next: 0,
+            begin_at: 0,
+        }
+    }
+}
+
+impl ScreenProgram for ScriptProgram {
+    fn next(&mut self, _input: ScreenInput<'_>) -> ScreenAction {
+        if self.next >= self.steps.len() {
+            return ScreenAction::Finished;
+        }
+        let action = self.steps[self.next].clone();
+        if matches!(action, ScreenAction::Begin) {
+            self.begin_at = self.next;
+        }
+        self.next += 1;
+        action
+    }
+
+    fn restart(&mut self) {
+        self.next = self.begin_at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_runs_in_order_and_finishes() {
+        let mut p = ScriptProgram::new(vec![ScreenAction::Begin, ScreenAction::End]);
+        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Begin));
+        assert!(matches!(p.next(ScreenInput::Began), ScreenAction::End));
+        assert!(matches!(p.next(ScreenInput::Committed), ScreenAction::Finished));
+        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Finished));
+    }
+
+    #[test]
+    fn restart_rewinds_to_last_begin() {
+        let mut p = ScriptProgram::new(vec![
+            ScreenAction::Think(SimDuration::from_millis(1)),
+            ScreenAction::Begin,
+            ScreenAction::End,
+        ]);
+        let _ = p.next(ScreenInput::Go); // think
+        let _ = p.next(ScreenInput::Go); // begin
+        let _ = p.next(ScreenInput::Began); // end
+        p.restart();
+        assert!(
+            matches!(p.next(ScreenInput::Go), ScreenAction::Begin),
+            "restart resumes at BEGIN, not at the think step"
+        );
+    }
+}

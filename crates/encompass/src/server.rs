@@ -1,0 +1,278 @@
+//! Application server processes.
+//!
+//! "The structure of an application server program is simple and
+//! single-threaded: (1) read the transaction request message; (2) perform
+//! the data base function requested; (3) reply. A server must be 'context
+//! free' in the sense that it retains no memory from the servicing of one
+//! request to the next."
+//!
+//! Because TMF backs out failed transactions automatically, servers are
+//! plain processes — *not* process-pairs. That is the paper's headline
+//! benefit: before TMF, applications had to be coded as pairs with careful
+//! checkpoints; with TMF "the state of progress of an incomplete
+//! transaction is immaterial".
+
+use crate::messages::{AppReply, AppRequest, ServerRequest};
+use bytes::Bytes;
+use encompass_sim::{Ctx, Payload, Pid, Process, TimerId};
+use encompass_storage::discprocess::DiscReply;
+use encompass_storage::Catalog;
+use guardian::reply;
+use tmf::session::{SessionEvent, TmfSession};
+
+/// A data-base operation a server step may issue.
+#[derive(Clone, Debug)]
+pub enum DbOp {
+    Read { file: String, key: Bytes },
+    ReadLock { file: String, key: Bytes },
+    Insert { file: String, key: Bytes, value: Bytes },
+    Update { file: String, key: Bytes, value: Bytes },
+    Delete { file: String, key: Bytes },
+    InsertEntry { file: String, value: Bytes },
+    ReadRange { file: String, low: Bytes, high: Option<Bytes>, limit: usize },
+}
+
+/// What a server-logic step decided.
+pub enum ServerStep {
+    /// Issue a data-base operation; the logic resumes in `on_db`.
+    Db(DbOp),
+    /// Finish the request with this reply.
+    Reply(AppReply),
+}
+
+/// Single-request application logic, written as a small state machine:
+/// `on_request` starts a request, `on_db` resumes after each data-base
+/// completion. The logic is recreated fresh for every request (context
+/// freedom).
+pub trait ServerLogic: 'static {
+    fn on_request(&mut self, req: &AppRequest) -> ServerStep;
+    fn on_db(&mut self, db: &DiscReply) -> ServerStep;
+}
+
+struct Active {
+    req_id: u64,
+    from: Pid,
+    logic: Box<dyn ServerLogic>,
+}
+
+/// The server process: hosts a [`ServerLogic`] factory and a TMF session.
+pub struct ServerProcess {
+    class: String,
+    factory: Box<dyn Fn() -> Box<dyn ServerLogic>>,
+    session: TmfSession,
+    active: Option<Active>,
+    /// The queue to notify when idle (set by the dispatcher).
+    queue: Option<Pid>,
+}
+
+impl ServerProcess {
+    pub fn new(
+        class: &str,
+        catalog: Catalog,
+        factory: impl Fn() -> Box<dyn ServerLogic> + 'static,
+    ) -> ServerProcess {
+        ServerProcess {
+            class: class.to_string(),
+            factory: Box::new(factory),
+            session: TmfSession::new(catalog, 1),
+            active: None,
+            queue: None,
+        }
+    }
+
+    /// Configure the deadlock timeout attached to this server's lock
+    /// requests (experiment T4 sweeps it).
+    pub fn set_lock_wait(&mut self, wait: encompass_sim::SimDuration) {
+        self.session.lock_wait = wait;
+    }
+
+    fn run_step(&mut self, ctx: &mut Ctx<'_>, step: ServerStep) {
+        match step {
+            ServerStep::Db(op) => {
+                let s = &mut self.session;
+                match op {
+                    DbOp::Read { file, key } => s.read(ctx, &file, key, 0),
+                    DbOp::ReadLock { file, key } => s.read_lock(ctx, &file, key, 0),
+                    DbOp::Insert { file, key, value } => s.insert(ctx, &file, key, value, 0),
+                    DbOp::Update { file, key, value } => s.update(ctx, &file, key, value, 0),
+                    DbOp::Delete { file, key } => s.delete(ctx, &file, key, 0),
+                    DbOp::InsertEntry { file, value } => s.insert_entry(ctx, &file, value, 0),
+                    DbOp::ReadRange {
+                        file,
+                        low,
+                        high,
+                        limit,
+                    } => s.read_range(ctx, &file, low, high, limit, 0),
+                }
+            }
+            ServerStep::Reply(r) => self.finish(ctx, r),
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, r: AppReply) {
+        if let Some(active) = self.active.take() {
+            reply(ctx, active.req_id, active.from, r);
+        }
+        self.session.clear();
+        ctx.count("server.requests_served", 1);
+        // tell the dispatcher we are idle again
+        if let Some(q) = self.queue {
+            let _ = ctx.send(q, Payload::new(ServerIdle));
+        }
+    }
+}
+
+/// Notification from server to its class queue.
+pub(crate) struct ServerIdle;
+
+/// Dispatch envelope from the queue: the original requester's correlation
+/// info rides along so the server replies directly to the TCP.
+pub(crate) struct Dispatch {
+    pub req_id: u64,
+    pub from: Pid,
+    pub body: ServerRequest,
+}
+
+impl Process for ServerProcess {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, src: Pid, payload: Payload) {
+        // session completions first
+        let payload = match self.session.accept(ctx, payload) {
+            Ok(Some(ev)) => {
+                match ev {
+                    SessionEvent::OpDone { reply: db, .. } => {
+                        if let Some(active) = &mut self.active {
+                            let step = active.logic.on_db(&db);
+                            self.run_step(ctx, step);
+                        }
+                    }
+                    SessionEvent::Failed { .. } => {
+                        // data-base op unreachable/timed out: tell the
+                        // requester to restart the transaction
+                        self.finish(ctx, AppReply::restart());
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Ok(None) => return,
+            Err(p) => p,
+        };
+        if payload.is::<crate::appmon::ServerStop>() {
+            // dynamic deletion by application control
+            if self.active.is_none() {
+                ctx.exit();
+            }
+            return;
+        }
+        if payload.is::<Dispatch>() {
+            let d = payload.expect::<Dispatch>();
+            if self.queue.is_none() {
+                self.queue = Some(src);
+            }
+            if self.active.is_some() {
+                // busy (dispatcher raced a takeover); bounce a restart
+                reply(ctx, d.req_id, d.from, AppReply::restart());
+                return;
+            }
+            // (1) read the request: adopt its transid as the current
+            // process transid
+            match d.body.transid {
+                Some(t) => self.session.adopt(t),
+                None => self.session.clear(),
+            }
+            let mut logic = (self.factory)();
+            let step = logic.on_request(&d.body.request);
+            self.active = Some(Active {
+                req_id: d.req_id,
+                from: d.from,
+                logic,
+            });
+            ctx.count(&format!("server.{}.dispatched", self.class), 1);
+            self.run_step(ctx, step);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if let Some(SessionEvent::Failed { .. }) = self.session.on_timer(ctx, tag) {
+            self.finish(ctx, AppReply::restart());
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl ServerLogic for Fixed {
+        fn on_request(&mut self, _req: &AppRequest) -> ServerStep {
+            ServerStep::Reply(AppReply::ok(vec![Bytes::from_static(b"done")]))
+        }
+        fn on_db(&mut self, _db: &DiscReply) -> ServerStep {
+            ServerStep::Reply(AppReply::error())
+        }
+    }
+
+    #[test]
+    fn server_replies_and_reports_idle() {
+        use encompass_sim::{SimConfig, World};
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let catalog = Catalog::new();
+        let srv = w.spawn(
+            n,
+            0,
+            Box::new(ServerProcess::new("t", catalog, || Box::new(Fixed))),
+        );
+        w.run_until_quiescent();
+        // a fake queue/requester observer
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Probe {
+            srv: Pid,
+            got: Rc<RefCell<Vec<String>>>,
+        }
+        impl Process for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let _ = ctx.send(
+                    self.srv,
+                    Payload::new(Dispatch {
+                        req_id: 1,
+                        from: ctx.pid(),
+                        body: ServerRequest {
+                            transid: None,
+                            request: AppRequest::new("x", vec![]),
+                        },
+                    }),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+                if payload.is::<ServerIdle>() {
+                    self.got.borrow_mut().push("idle".into());
+                } else if let Some(r) = payload.downcast_ref::<guardian::RpcReply<AppReply>>() {
+                    self.got
+                        .borrow_mut()
+                        .push(format!("reply:{}", r.body.ok));
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(
+            n,
+            1,
+            Box::new(Probe {
+                srv,
+                got: got.clone(),
+            }),
+        );
+        w.run_until_quiescent();
+        assert_eq!(got.borrow().as_slice(), &["reply:true", "idle"]);
+        assert_eq!(w.metrics().get("server.requests_served"), 1);
+    }
+}

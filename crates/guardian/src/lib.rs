@@ -1,0 +1,32 @@
+//! # guardian
+//!
+//! The software abstractions the paper's GUARDIAN operating system provides
+//! on top of the raw hardware, built here on `encompass-sim`:
+//!
+//! * **Process-pairs** ([`pair`]): a primary and a backup process in two
+//!   different CPUs. The primary sends the backup *checkpoints* so that, if
+//!   the primary's processor fails, the backup "has all the information it
+//!   would need … to assume control … and carry through to completion any
+//!   operation initiated by the primary". This is the NonStop mechanism the
+//!   paper's DISCPROCESS, AUDITPROCESS, TMP, BACKOUTPROCESS, and TCP are all
+//!   built from — and the reason TMF can treat checkpointing as the
+//!   functional equivalent of Write-Ahead-Log.
+//! * **Request/reply messaging** ([`rpc`]): correlation ids, timeouts and
+//!   retransmission — the end-to-end protocol that "assures that data
+//!   transmissions are reliably received". The two retry policies mirror
+//!   the paper's two network message classes: *critical response* (bounded
+//!   retries, caller is told of failure) and *safe delivery* (retried
+//!   until deliverable).
+//! * **An operator process** ([`operator`]): subscribes to hardware events
+//!   and tallies them, standing in for the paper's console-printing
+//!   operator pair.
+
+pub mod operator;
+pub mod pair;
+pub mod rpc;
+
+pub use operator::OperatorProcess;
+pub use pair::{spawn_pair, PairApp, PairCtx, PairHandle, Role};
+pub use rpc::{
+    reply, Completion, ReplyCache, Request, Rpc, RpcReply, Target, TimerOutcome, RPC_TAG_BASE,
+};

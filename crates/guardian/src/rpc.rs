@@ -1,0 +1,650 @@
+//! Request/reply messaging with correlation, timeouts, and retransmission.
+//!
+//! GUARDIAN/EXPAND gave every message an end-to-end acknowledgment; software
+//! layered request/reply on top. [`Rpc`] packages that pattern for simulated
+//! processes: the caller gets a correlation id, a per-attempt timeout, and a
+//! bounded or unbounded retry budget.
+//!
+//! The two retry policies map onto the paper's distributed-commit message
+//! classes:
+//!
+//! * **critical response** — `retries` is finite; when the budget is
+//!   exhausted (or the destination is immediately unreachable) the caller
+//!   is told, and can e.g. abort the transaction;
+//! * **safe delivery** — `retries = u32::MAX`; the message is re-offered
+//!   "whenever transmission becomes possible", which is exactly how
+//!   phase-two and backout notifications behave.
+//!
+//! Retransmission implies at-least-once delivery; receivers that are not
+//! naturally idempotent deduplicate with a [`ReplyCache`].
+
+use encompass_sim::{Ctx, NodeId, Payload, Pid, SendError, SimDuration, TimerId};
+use std::collections::HashMap;
+
+/// Timer tags at or above this value are reserved for `Rpc`; processes must
+/// keep their own tags below it.
+pub const RPC_TAG_BASE: u64 = 1 << 48;
+
+/// Where a request is addressed. Named targets are re-resolved on every
+/// attempt, so a retry finds the new primary after a process-pair takeover.
+#[derive(Clone, Debug)]
+pub enum Target {
+    Pid(Pid),
+    Named(NodeId, String),
+}
+
+impl Target {
+    fn resolve(&self, ctx: &Ctx<'_>) -> Option<Pid> {
+        match self {
+            Target::Pid(p) => Some(*p),
+            Target::Named(node, name) => ctx.lookup_name(*node, name),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        match self {
+            Target::Pid(p) => p.node,
+            Target::Named(n, _) => *n,
+        }
+    }
+}
+
+/// The wire form of a request.
+#[derive(Clone, Debug)]
+pub struct Request<M> {
+    pub id: u64,
+    pub from: Pid,
+    pub body: M,
+}
+
+/// The wire form of a reply.
+#[derive(Clone, Debug)]
+pub struct RpcReply<R> {
+    pub id: u64,
+    pub body: R,
+}
+
+/// Send a reply to a previously received [`Request`].
+pub fn reply<R: Send + 'static>(ctx: &mut Ctx<'_>, req_id: u64, to: Pid, body: R) {
+    let _ = ctx.send(
+        to,
+        Payload::new(RpcReply {
+            id: req_id,
+            body,
+        }),
+    );
+}
+
+struct Pending<M> {
+    target: Target,
+    body: M,
+    timeout: SimDuration,
+    retries_left: u32,
+    timer: TimerId,
+    /// user cookie carried back on completion/timeout
+    cookie: u64,
+}
+
+/// What `on_timer` decided about an RPC timer.
+#[derive(Debug)]
+pub enum TimerOutcome<M> {
+    /// The tag did not belong to this `Rpc`.
+    NotMine,
+    /// A retransmission was sent; keep waiting.
+    Resent,
+    /// The retry budget is exhausted; the request has been abandoned.
+    Expired { id: u64, body: M, cookie: u64 },
+}
+
+/// A completed call, returned by [`Rpc::accept`].
+#[derive(Debug)]
+pub struct Completion<R> {
+    pub id: u64,
+    pub body: R,
+    pub cookie: u64,
+}
+
+/// Client-side state for request/reply exchanges carrying request bodies of
+/// type `M` and replies of type `R`.
+///
+/// Owning process responsibilities:
+/// * forward unknown timer tags `>= RPC_TAG_BASE` to [`Rpc::on_timer`];
+/// * offer incoming payloads to [`Rpc::accept`] before other decoding.
+pub struct Rpc<M, R> {
+    id_space: u64,
+    /// Lazily derived from the owning process's pid so that request ids —
+    /// which servers use for retry deduplication — never collide across
+    /// processes.
+    salt: Option<u64>,
+    counter: u64,
+    pending: HashMap<u64, Pending<M>>,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<M: Clone + Send + 'static, R: Send + 'static> Rpc<M, R> {
+    /// `id_space` disambiguates correlation ids between several `Rpc`
+    /// instances inside one process (use distinct small integers, < 128).
+    pub fn new(id_space: u64) -> Rpc<M, R> {
+        Rpc {
+            id_space,
+            salt: None,
+            counter: 0,
+            pending: HashMap::new(),
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of requests still awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Issue a request with a bounded retry budget (critical-response
+    /// style). Fails fast if the target is dead or unreachable *now*.
+    pub fn call(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        target: Target,
+        body: M,
+        timeout: SimDuration,
+        retries: u32,
+        cookie: u64,
+    ) -> Result<u64, SendError> {
+        let id = self.fresh_id(ctx);
+        let dst = target.resolve(ctx).ok_or(SendError::UnknownName)?;
+        ctx.send(
+            dst,
+            Payload::new(Request {
+                id,
+                from: ctx.pid(),
+                body: body.clone(),
+            }),
+        )?;
+        let timer = ctx.set_timer(timeout, RPC_TAG_BASE + id);
+        self.pending.insert(
+            id,
+            Pending {
+                target,
+                body,
+                timeout,
+                retries_left: retries,
+                timer,
+                cookie,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Issue a request that is retried until it can be delivered and
+    /// answered (safe-delivery style). Never fails at call time: if the
+    /// target is unreachable the first attempt simply becomes a retry.
+    pub fn call_persistent(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        target: Target,
+        body: M,
+        retry_interval: SimDuration,
+        cookie: u64,
+    ) -> u64 {
+        let id = self.fresh_id(ctx);
+        if let Some(dst) = target.resolve(ctx) {
+            let _ = ctx.send(
+                dst,
+                Payload::new(Request {
+                    id,
+                    from: ctx.pid(),
+                    body: body.clone(),
+                }),
+            );
+        }
+        let timer = ctx.set_timer(retry_interval, RPC_TAG_BASE + id);
+        self.pending.insert(
+            id,
+            Pending {
+                target,
+                body,
+                timeout: retry_interval,
+                retries_left: u32::MAX,
+                timer,
+                cookie,
+            },
+        );
+        id
+    }
+
+    /// Offer an incoming payload. If it is a reply to one of our pending
+    /// requests, the call completes. Non-replies and stale replies are
+    /// given back as `Err`.
+    pub fn accept(&mut self, ctx: &mut Ctx<'_>, payload: Payload) -> Result<Completion<R>, Payload> {
+        if !payload.is::<RpcReply<R>>() {
+            return Err(payload);
+        }
+        let reply = payload.downcast::<RpcReply<R>>().expect("checked above");
+        match self.pending.remove(&reply.id) {
+            Some(p) => {
+                ctx.cancel_timer(p.timer);
+                Ok(Completion {
+                    id: reply.id,
+                    body: reply.body,
+                    cookie: p.cookie,
+                })
+            }
+            // duplicate or stale reply (e.g. answered after a retry)
+            None => Err(Payload::new(reply)),
+        }
+    }
+
+    /// Drive timeouts. Call for any timer tag `>= RPC_TAG_BASE`.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> TimerOutcome<M> {
+        if tag < RPC_TAG_BASE {
+            return TimerOutcome::NotMine;
+        }
+        let id = tag - RPC_TAG_BASE;
+        let Some(p) = self.pending.get_mut(&id) else {
+            return TimerOutcome::NotMine;
+        };
+        if p.retries_left == 0 {
+            let p = self.pending.remove(&id).expect("present above");
+            return TimerOutcome::Expired {
+                id,
+                body: p.body,
+                cookie: p.cookie,
+            };
+        }
+        if p.retries_left != u32::MAX {
+            p.retries_left -= 1;
+        }
+        let body = p.body.clone();
+        let target = p.target.clone();
+        let timeout = p.timeout;
+        if let Some(dst) = target.resolve(ctx) {
+            let _ = ctx.send(
+                dst,
+                Payload::new(Request {
+                    id,
+                    from: ctx.pid(),
+                    body,
+                }),
+            );
+        }
+        let timer = ctx.set_timer(timeout, RPC_TAG_BASE + id);
+        self.pending.get_mut(&id).expect("still present").timer = timer;
+        TimerOutcome::Resent
+    }
+
+    /// Abandon a pending request (e.g. the transaction it served aborted).
+    pub fn cancel(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        if let Some(p) = self.pending.remove(&id) {
+            ctx.cancel_timer(p.timer);
+        }
+    }
+
+    fn fresh_id(&mut self, ctx: &Ctx<'_>) -> u64 {
+        let salt = *self.salt.get_or_insert_with(|| {
+            (self.id_space << 56) | ((ctx.pid().index as u64) << 24)
+        });
+        let id = salt + self.counter;
+        self.counter += 1;
+        id
+    }
+}
+
+/// Bounded memory of recent replies, for deduplicating retried requests on
+/// the server side. `check` before executing; `store` after replying.
+pub struct ReplyCache<R> {
+    capacity: usize,
+    order: std::collections::VecDeque<u64>,
+    replies: HashMap<u64, R>,
+}
+
+impl<R: Clone> ReplyCache<R> {
+    pub fn new(capacity: usize) -> ReplyCache<R> {
+        ReplyCache {
+            capacity: capacity.max(1),
+            order: std::collections::VecDeque::new(),
+            replies: HashMap::new(),
+        }
+    }
+
+    /// If this request id was already answered, return the cached reply.
+    pub fn check(&self, id: u64) -> Option<R> {
+        self.replies.get(&id).cloned()
+    }
+
+    /// Remember the reply sent for `id`.
+    pub fn store(&mut self, id: u64, reply: R) {
+        if self.replies.insert(id, reply).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.replies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.replies.is_empty()
+    }
+
+    /// All cached `(id, reply)` pairs in insertion order (for snapshotting
+    /// a process-pair's state).
+    pub fn entries(&self) -> Vec<(u64, R)> {
+        self.order
+            .iter()
+            .filter_map(|id| self.replies.get(id).map(|r| (*id, r.clone())))
+            .collect()
+    }
+
+    /// Rebuild a cache from `entries` (the inverse of [`Self::entries`]).
+    pub fn restore(capacity: usize, entries: Vec<(u64, R)>) -> ReplyCache<R> {
+        let mut c = ReplyCache::new(capacity);
+        for (id, r) in entries {
+            c.store(id, r);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encompass_sim::{Fault, Process, SimConfig, World};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32);
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pong(u32);
+
+    /// Echo server that can be configured to ignore the first `drop_first`
+    /// requests (simulating loss) while still counting them.
+    struct FlakyServer {
+        drop_first: u32,
+        seen: Rc<RefCell<u32>>,
+    }
+    impl Process for FlakyServer {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+            let req = payload.expect::<Request<Ping>>();
+            *self.seen.borrow_mut() += 1;
+            if self.drop_first > 0 {
+                self.drop_first -= 1;
+                return;
+            }
+            reply(ctx, req.id, req.from, Pong(req.body.0 * 2));
+        }
+    }
+
+    struct Client {
+        server: Target,
+        rpc: Rpc<Ping, Pong>,
+        retries: u32,
+        outcome: Rc<RefCell<Vec<String>>>,
+    }
+    impl Process for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let r = self.rpc.call(
+                ctx,
+                self.server.clone(),
+                Ping(21),
+                SimDuration::from_millis(10),
+                self.retries,
+                7,
+            );
+            if r.is_err() {
+                self.outcome.borrow_mut().push("send-error".into());
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+            match self.rpc.accept(ctx, payload) {
+                Ok(c) => self
+                    .outcome
+                    .borrow_mut()
+                    .push(format!("ok:{}:{}", c.body.0, c.cookie)),
+                Err(_) => self.outcome.borrow_mut().push("stray".into()),
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+            match self.rpc.on_timer(ctx, tag) {
+                TimerOutcome::Expired { cookie, .. } => {
+                    self.outcome.borrow_mut().push(format!("expired:{cookie}"))
+                }
+                TimerOutcome::Resent => self.outcome.borrow_mut().push("resent".into()),
+                TimerOutcome::NotMine => {}
+            }
+        }
+    }
+
+    fn world() -> (World, NodeId) {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(4);
+        (w, n)
+    }
+
+    #[test]
+    fn call_completes() {
+        let (mut w, n) = world();
+        let seen = Rc::new(RefCell::new(0));
+        let srv = w.spawn(
+            n,
+            0,
+            Box::new(FlakyServer {
+                drop_first: 0,
+                seen: seen.clone(),
+            }),
+        );
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(
+            n,
+            1,
+            Box::new(Client {
+                server: Target::Pid(srv),
+                rpc: Rpc::new(0),
+                retries: 0,
+                outcome: outcome.clone(),
+            }),
+        );
+        w.run_until_quiescent();
+        assert_eq!(outcome.borrow().as_slice(), &["ok:42:7".to_string()]);
+    }
+
+    #[test]
+    fn retransmits_until_answered() {
+        let (mut w, n) = world();
+        let seen = Rc::new(RefCell::new(0));
+        let srv = w.spawn(
+            n,
+            0,
+            Box::new(FlakyServer {
+                drop_first: 2,
+                seen: seen.clone(),
+            }),
+        );
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(
+            n,
+            1,
+            Box::new(Client {
+                server: Target::Pid(srv),
+                rpc: Rpc::new(0),
+                retries: 5,
+                outcome: outcome.clone(),
+            }),
+        );
+        w.run_until_quiescent();
+        assert_eq!(*seen.borrow(), 3, "two dropped + one answered");
+        assert_eq!(
+            outcome.borrow().as_slice(),
+            &[
+                "resent".to_string(),
+                "resent".to_string(),
+                "ok:42:7".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn bounded_retries_expire() {
+        let (mut w, n) = world();
+        let seen = Rc::new(RefCell::new(0));
+        let srv = w.spawn(
+            n,
+            0,
+            Box::new(FlakyServer {
+                drop_first: u32::MAX,
+                seen,
+            }),
+        );
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(
+            n,
+            1,
+            Box::new(Client {
+                server: Target::Pid(srv),
+                rpc: Rpc::new(0),
+                retries: 2,
+                outcome: outcome.clone(),
+            }),
+        );
+        w.run_until_quiescent();
+        assert_eq!(
+            outcome.borrow().as_slice(),
+            &[
+                "resent".to_string(),
+                "resent".to_string(),
+                "expired:7".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn named_target_follows_reregistration() {
+        // a "takeover": the name moves to a second server between retries
+        struct NamedServer {
+            answer: bool,
+        }
+        impl Process for NamedServer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                if !self.answer {
+                    ctx.register_name("$SVC");
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+                let req = payload.expect::<Request<Ping>>();
+                if self.answer {
+                    reply(ctx, req.id, req.from, Pong(req.body.0));
+                }
+            }
+        }
+        let (mut w, n) = world();
+        let silent = w.spawn(n, 0, Box::new(NamedServer { answer: false }));
+        let answering = w.spawn(n, 2, Box::new(NamedServer { answer: true }));
+        w.run_until_quiescent();
+        let outcome = Rc::new(RefCell::new(Vec::new()));
+        w.spawn(
+            n,
+            1,
+            Box::new(Client {
+                server: Target::Named(n, "$SVC".into()),
+                rpc: Rpc::new(0),
+                retries: 10,
+                outcome: outcome.clone(),
+            }),
+        );
+        // after 15ms, kill the silent primary and move the name
+        w.run_for(SimDuration::from_millis(15));
+        w.inject(Fault::KillProcess(silent));
+        w.register_name(n, "$SVC", answering);
+        w.run_until_quiescent();
+        assert_eq!(outcome.borrow().last().unwrap(), "ok:21:7");
+    }
+
+    #[test]
+    fn persistent_call_survives_partition() {
+        let mut w = World::new(SimConfig::default());
+        let a = w.add_node(2);
+        let b = w.add_node(2);
+        let _l = w.add_link(a, b, SimDuration::from_millis(1));
+        let seen = Rc::new(RefCell::new(0));
+        let srv = w.spawn(
+            b,
+            0,
+            Box::new(FlakyServer {
+                drop_first: 0,
+                seen: seen.clone(),
+            }),
+        );
+
+        struct PersistentClient {
+            server: Pid,
+            rpc: Rpc<Ping, Pong>,
+            done: Rc<RefCell<bool>>,
+        }
+        impl Process for PersistentClient {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.rpc.call_persistent(
+                    ctx,
+                    Target::Pid(self.server),
+                    Ping(1),
+                    SimDuration::from_millis(20),
+                    0,
+                );
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+                if self.rpc.accept(ctx, payload).is_ok() {
+                    *self.done.borrow_mut() = true;
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+                let _ = self.rpc.on_timer(ctx, tag);
+            }
+        }
+        let done = Rc::new(RefCell::new(false));
+        // partition before the client even starts
+        w.inject(Fault::Partition(vec![b]));
+        w.spawn(
+            a,
+            0,
+            Box::new(PersistentClient {
+                server: srv,
+                rpc: Rpc::new(0),
+                done: done.clone(),
+            }),
+        );
+        w.run_for(SimDuration::from_millis(200));
+        assert!(!*done.borrow(), "unreachable while partitioned");
+        w.inject(Fault::HealAllLinks);
+        w.run_for(SimDuration::from_millis(200));
+        assert!(*done.borrow(), "delivered after the partition healed");
+    }
+
+    #[test]
+    fn reply_cache_dedups_and_evicts() {
+        let mut c: ReplyCache<u32> = ReplyCache::new(2);
+        assert!(c.is_empty());
+        c.store(1, 10);
+        c.store(2, 20);
+        assert_eq!(c.check(1), Some(10));
+        c.store(3, 30); // evicts 1
+        assert_eq!(c.check(1), None);
+        assert_eq!(c.check(2), Some(20));
+        assert_eq!(c.check(3), Some(30));
+        assert_eq!(c.len(), 2);
+        // re-storing an existing id does not grow the cache
+        c.store(3, 31);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.check(3), Some(31));
+    }
+
+    #[test]
+    fn distinct_id_spaces_do_not_collide() {
+        let a: Rpc<Ping, Pong> = Rpc::new(1);
+        let b: Rpc<Ping, Pong> = Rpc::new(2);
+        assert_ne!(a.id_space, b.id_space);
+    }
+}

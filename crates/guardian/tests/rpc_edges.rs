@@ -1,0 +1,117 @@
+//! Edge-case tests for the guardian RPC layer: cancellation, cookies,
+//! duplicate replies after retransmission, and in-flight accounting.
+
+use encompass_sim::{Ctx, NodeId, Payload, Pid, Process, SimConfig, SimDuration, TimerId, World};
+use guardian::{reply, Request, Rpc, Target, TimerOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Clone, Debug)]
+struct Ping(u32);
+#[derive(Clone, Debug, PartialEq)]
+struct Pong(u32);
+
+/// Echo server that replies to every request `n` times (duplicates model
+/// replies racing with retransmissions).
+struct MultiEcho {
+    replies_per_request: u32,
+}
+impl Process for MultiEcho {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        let req = payload.expect::<Request<Ping>>();
+        for _ in 0..self.replies_per_request {
+            reply(ctx, req.id, req.from, Pong(req.body.0));
+        }
+    }
+}
+
+struct Client {
+    server: Pid,
+    cancel_after_send: bool,
+    events: Rc<RefCell<Vec<String>>>,
+    rpc: Rpc<Ping, Pong>,
+}
+impl Process for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let id = self
+            .rpc
+            .call(
+                ctx,
+                Target::Pid(self.server),
+                Ping(5),
+                SimDuration::from_millis(50),
+                3,
+                77,
+            )
+            .expect("send ok");
+        assert_eq!(self.rpc.in_flight(), 1);
+        if self.cancel_after_send {
+            self.rpc.cancel(ctx, id);
+            assert_eq!(self.rpc.in_flight(), 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        match self.rpc.accept(ctx, payload) {
+            Ok(c) => self
+                .events
+                .borrow_mut()
+                .push(format!("ok:{}:cookie{}", c.body.0, c.cookie)),
+            Err(_) => self.events.borrow_mut().push("stray".into()),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if let TimerOutcome::Expired { cookie, .. } = self.rpc.on_timer(ctx, tag) {
+            self.events.borrow_mut().push(format!("expired:{cookie}"));
+        }
+    }
+}
+
+fn run(cancel: bool, dup_replies: u32) -> Vec<String> {
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(2);
+    let server = w.spawn(
+        n,
+        0,
+        Box::new(MultiEcho {
+            replies_per_request: dup_replies,
+        }),
+    );
+    let events = Rc::new(RefCell::new(Vec::new()));
+    w.spawn(
+        n,
+        1,
+        Box::new(Client {
+            server,
+            cancel_after_send: cancel,
+            events: events.clone(),
+            rpc: Rpc::new(0),
+        }),
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let out = events.borrow().clone();
+    out
+}
+
+#[test]
+fn completion_carries_the_cookie() {
+    assert_eq!(run(false, 1), vec!["ok:5:cookie77".to_string()]);
+}
+
+#[test]
+fn duplicate_replies_surface_as_stray_not_double_completion() {
+    assert_eq!(
+        run(false, 3),
+        vec![
+            "ok:5:cookie77".to_string(),
+            "stray".to_string(),
+            "stray".to_string()
+        ]
+    );
+}
+
+#[test]
+fn cancelled_call_neither_completes_nor_expires() {
+    // the reply still arrives at the process, but the rpc no longer owns
+    // the id, so it surfaces as stray; no timeout fires either
+    assert_eq!(run(true, 1), vec!["stray".to_string()]);
+}

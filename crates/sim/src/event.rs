@@ -1,0 +1,85 @@
+//! The kernel's internal event queue.
+//!
+//! Events are strictly ordered by `(time, sequence)`: two events scheduled
+//! for the same virtual instant fire in the order they were scheduled. This
+//! total order is the root of the simulator's determinism.
+
+use crate::fault::Fault;
+use crate::ids::{LinkId, Pid};
+use crate::msg::Payload;
+use crate::process::{SystemEvent, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// Deliver a message. `via` lists the network links the message was
+    /// routed over when it was sent; if any has since gone down, the message
+    /// is lost in flight.
+    Deliver {
+        dst: Pid,
+        src: Pid,
+        payload: Payload,
+        via: Vec<LinkId>,
+    },
+    /// Fire a timer owned by `pid` (ignored if cancelled or the owner died).
+    Timer { pid: Pid, timer: TimerId, tag: u64 },
+    /// Deliver a system notification to a subscriber.
+    System { dst: Pid, ev: SystemEvent },
+    /// Apply a scheduled fault.
+    Fault(Fault),
+    /// Run `on_start` for a freshly spawned process.
+    Start { pid: Pid },
+}
+
+pub(crate) struct QueuedEvent {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            at: SimTime::from_micros(at),
+            seq,
+            kind: EventKind::Fault(Fault::HealAllLinks),
+        }
+    }
+
+    #[test]
+    fn pops_earliest_first_with_seq_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(10, 2));
+        heap.push(ev(5, 3));
+        heap.push(ev(10, 1));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 3), (10, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Failure injection.
+//!
+//! Every failure mode the paper discusses is injectable, either immediately
+//! ([`crate::World::inject`]) or at a scheduled virtual time
+//! ([`crate::World::schedule_fault`]):
+//!
+//! * processor-module failure (and restoration),
+//! * interprocessor-bus failure — each node has two buses; intra-node
+//!   messages flow while at least one is up,
+//! * communication-line failure and network partition,
+//! * individual process failure,
+//! * mirrored-disc drive failure is injected at the storage layer (the disc
+//!   model lives in stable storage), see `encompass-storage`.
+
+use crate::ids::{CpuId, LinkId, NodeId, Pid};
+
+/// A single injectable failure or repair action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash a processor module: every process on it dies instantly; other
+    /// CPUs on the node are notified via `SystemEvent::CpuDown` after the
+    /// failure-detection delay.
+    KillCpu(NodeId, CpuId),
+    /// Bring a crashed processor back (empty — a reload; processes must be
+    /// respawned by software, e.g. a process-pair respawning its backup).
+    RestoreCpu(NodeId, CpuId),
+    /// Fail one of the two interprocessor buses of a node (`bus` is 0 or 1).
+    KillBus(NodeId, u8),
+    /// Repair an interprocessor bus.
+    HealBus(NodeId, u8),
+    /// Cut one network link. In-flight messages routed over it are lost.
+    CutLink(LinkId),
+    /// Restore a network link.
+    HealLink(LinkId),
+    /// Cut every link whose endpoints fall on opposite sides of the given
+    /// node set, partitioning `group` from the rest of the network.
+    Partition(Vec<NodeId>),
+    /// Heal every link (undoes any combination of cuts/partitions).
+    HealAllLinks,
+    /// Kill a single process (models an application process failure, as
+    /// distinct from a whole-CPU failure).
+    KillProcess(Pid),
+}
+
+impl Fault {
+    /// Human-readable label used in traces and experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            Fault::KillCpu(n, c) => format!("kill-cpu {n} {c}"),
+            Fault::RestoreCpu(n, c) => format!("restore-cpu {n} {c}"),
+            Fault::KillBus(n, b) => format!("kill-bus {n} bus{b}"),
+            Fault::HealBus(n, b) => format!("heal-bus {n} bus{b}"),
+            Fault::CutLink(l) => format!("cut-{l:?}"),
+            Fault::HealLink(l) => format!("heal-{l:?}"),
+            Fault::Partition(g) => format!("partition {g:?}"),
+            Fault::HealAllLinks => "heal-all-links".to_string(),
+            Fault::KillProcess(p) => format!("kill-process {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Fault::KillCpu(NodeId(1), CpuId(2)).label(),
+            "kill-cpu \\N1 cpu2"
+        );
+        assert_eq!(Fault::HealAllLinks.label(), "heal-all-links");
+        assert!(Fault::Partition(vec![NodeId(0)]).label().contains("N0"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Named counters aggregated over a simulation run.
+//!
+//! The experiment harnesses (message counts for the commit protocols, disc
+//! forces for the WAL ablation, …) read these after a run. Counters are
+//! created on first use; reading an absent counter yields zero.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonic counters.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Increment the counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (zero if it was never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Reset every counter to zero (keeps names; used between experiment
+    /// phases to measure one phase in isolation).
+    pub fn reset(&mut self) {
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get() {
+        let mut m = Metrics::new();
+        assert_eq!(m.get("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.get("x"), 5);
+    }
+
+    #[test]
+    fn prefix_query() {
+        let mut m = Metrics::new();
+        m.inc("net.msgs");
+        m.inc("net.drops");
+        m.inc("bus.msgs");
+        let net = m.with_prefix("net.");
+        assert_eq!(net.len(), 2);
+        assert_eq!(net[0].0, "net.drops");
+        assert_eq!(net[1].0, "net.msgs");
+    }
+
+    #[test]
+    fn reset_keeps_names() {
+        let mut m = Metrics::new();
+        m.add("a", 3);
+        m.reset();
+        assert_eq!(m.get("a"), 0);
+        assert_eq!(m.snapshot().len(), 1);
+    }
+}

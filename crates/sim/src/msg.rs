@@ -1,0 +1,109 @@
+//! Type-erased message payloads.
+//!
+//! All interprocess communication in the simulated GUARDIAN world is by
+//! message. Every layer (storage, audit, TMF, application) defines its own
+//! message enums; the kernel moves them around as type-erased [`Payload`]s
+//! and the receiver downcasts to the type it expects — the moral equivalent
+//! of GUARDIAN's untyped message buffers, but checked at runtime.
+
+use std::any::Any;
+
+/// A type-erased, owned message payload.
+pub struct Payload {
+    inner: Box<dyn Any + Send>,
+    type_name: &'static str,
+}
+
+impl Payload {
+    /// Wrap any `Send + 'static` value as a payload.
+    pub fn new<T: Any + Send>(value: T) -> Payload {
+        Payload {
+            inner: Box::new(value),
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// The Rust type name of the wrapped value, for tracing and error
+    /// messages.
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// True if the payload holds a value of type `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.inner.is::<T>()
+    }
+
+    /// Recover the wrapped value, or give the payload back on type mismatch.
+    pub fn downcast<T: Any>(self) -> Result<T, Payload> {
+        let type_name = self.type_name;
+        match self.inner.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(inner) => Err(Payload { inner, type_name }),
+        }
+    }
+
+    /// Borrow the wrapped value if it has type `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.inner.downcast_ref::<T>()
+    }
+
+    /// Recover the wrapped value, panicking with a descriptive message on a
+    /// type mismatch. Use in process handlers where receiving an unexpected
+    /// type is a protocol bug.
+    #[track_caller]
+    pub fn expect<T: Any>(self) -> T {
+        let got = self.type_name;
+        match self.downcast::<T>() {
+            Ok(v) => v,
+            Err(_) => panic!(
+                "payload type mismatch: expected {}, got {}",
+                std::any::type_name::<T>(),
+                got
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload<{}>", self.type_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn roundtrip() {
+        let p = Payload::new(Ping(7));
+        assert!(p.is::<Ping>());
+        assert!(!p.is::<String>());
+        assert_eq!(p.downcast::<Ping>().unwrap(), Ping(7));
+    }
+
+    #[test]
+    fn mismatch_returns_payload() {
+        let p = Payload::new(Ping(1));
+        let p = p.downcast::<String>().unwrap_err();
+        // still intact after the failed downcast
+        assert_eq!(p.downcast::<Ping>().unwrap(), Ping(1));
+    }
+
+    #[test]
+    fn downcast_ref_and_name() {
+        let p = Payload::new(42u64);
+        assert_eq!(p.downcast_ref::<u64>(), Some(&42));
+        assert!(p.type_name().contains("u64"));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn expect_panics_with_context() {
+        Payload::new(Ping(1)).expect::<String>();
+    }
+}

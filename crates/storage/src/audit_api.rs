@@ -1,0 +1,93 @@
+//! The wire protocol between a DISCPROCESS and its AUDITPROCESS.
+//!
+//! The types live here (the lower layer) so that `encompass-audit` can
+//! implement the server side without a dependency cycle: the DISCPROCESS
+//! *produces* before/after images; the audit crate *consumes* them.
+//!
+//! "Each DISCPROCESS which manages a disc volume configured as audited …
+//! automatically provides before-images and after-images of data base
+//! updates … to an AUDITPROCESS, which writes to an audit trail."
+
+use crate::types::{FileOrganization, Transid, VolumeRef};
+use bytes::Bytes;
+
+/// One before/after image of a logical record update (including the
+/// automatic updates of alternate-key index files).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageRecord {
+    /// Per-volume, strictly increasing audit sequence number.
+    pub seq: u64,
+    pub transid: Transid,
+    pub volume: VolumeRef,
+    pub file: String,
+    pub organization: FileOrganization,
+    pub key: Bytes,
+    /// `None` = the record did not exist before this update.
+    pub before: Option<Bytes>,
+    /// `None` = the update deleted the record.
+    pub after: Option<Bytes>,
+}
+
+impl ImageRecord {
+    /// Approximate size on the trail, for throughput accounting.
+    pub fn wire_size(&self) -> usize {
+        32 + self.key.len()
+            + self.before.as_ref().map(|b| b.len()).unwrap_or(0)
+            + self.after.as_ref().map(|b| b.len()).unwrap_or(0)
+    }
+}
+
+/// Requests a DISCPROCESS (or BACKOUTPROCESS / ROLLFORWARD) sends to an
+/// AUDITPROCESS.
+#[derive(Clone, Debug)]
+pub enum AuditMsg {
+    /// Buffer image records; if `force`, do not acknowledge until they are
+    /// on the trail media (the Write-Ahead-Log baseline forces every
+    /// append; the NonStop design appends lazily).
+    Append {
+        records: Vec<ImageRecord>,
+        force: bool,
+    },
+    /// Phase one of commit: force every buffered record of this
+    /// transaction (and everything queued before them) to the trail.
+    ForceTxn { transid: Transid },
+    /// All images of a transaction, buffered or on the trail — used by the
+    /// BACKOUTPROCESS to drive undo.
+    ReadTxnImages { transid: Transid },
+}
+
+/// Replies from an AUDITPROCESS.
+#[derive(Clone, Debug)]
+pub enum AuditReply {
+    /// Append accepted (and forced, if requested).
+    Appended,
+    /// ForceTxn complete: everything the transaction wrote is on the trail.
+    Forced,
+    /// The transaction's images, in ascending sequence order.
+    Images(Vec<ImageRecord>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encompass_sim::NodeId;
+
+    #[test]
+    fn wire_size_accounts_for_payloads() {
+        let rec = ImageRecord {
+            seq: 1,
+            transid: Transid {
+                home_node: NodeId(0),
+                cpu: 0,
+                seq: 1,
+            },
+            volume: VolumeRef::new(NodeId(0), "$D"),
+            file: "f".into(),
+            organization: FileOrganization::KeySequenced,
+            key: Bytes::from_static(b"key"),
+            before: Some(Bytes::from_static(b"aa")),
+            after: None,
+        };
+        assert_eq!(rec.wire_size(), 32 + 3 + 2);
+    }
+}

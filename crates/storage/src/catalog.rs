@@ -1,0 +1,160 @@
+//! The data dictionary: file definitions shared by DISCPROCESSes and the
+//! File System client layer. In real ENCOMPASS this is the DDL dictionary;
+//! here it is a value constructed at configuration time and cloned into
+//! every process that needs it.
+
+use crate::types::{FileDef, FileOrganization, VolumeRef};
+use std::collections::BTreeMap;
+
+/// An immutable-by-convention set of file definitions.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    files: BTreeMap<String, FileDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a file. Alternate keys are only supported on
+    /// single-partition files (the index lives with the data volume so its
+    /// maintenance stays a local operation).
+    pub fn add(&mut self, def: FileDef) -> &mut Catalog {
+        assert!(
+            def.alternates.is_empty() || def.partitions.len() == 1,
+            "alternate keys require a single-partition file ({})",
+            def.name
+        );
+        assert!(
+            !self.files.contains_key(&def.name),
+            "duplicate file {}",
+            def.name
+        );
+        // register the implicit alternate-key index files so they can be
+        // scanned like ordinary key-sequenced files
+        for alt in &def.alternates {
+            let idx = FileDef {
+                name: def.index_file_name(alt),
+                organization: FileOrganization::KeySequenced,
+                audited: def.audited,
+                partitions: def.partitions.clone(),
+                alternates: Vec::new(),
+            };
+            assert!(
+                !self.files.contains_key(&idx.name),
+                "duplicate file {}",
+                idx.name
+            );
+            self.files.insert(idx.name.clone(), idx);
+        }
+        self.files.insert(def.name.clone(), def);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&FileDef> {
+        self.files.get(name)
+    }
+
+    /// Which volume holds `key` of `file`.
+    pub fn volume_for(&self, file: &str, key: &[u8]) -> Option<VolumeRef> {
+        Some(self.get(file)?.volume_for(key).clone())
+    }
+
+    /// Every file with a partition on `volume`.
+    pub fn files_on(&self, volume: &VolumeRef) -> Vec<&FileDef> {
+        self.files
+            .values()
+            .filter(|d| d.partitions.iter().any(|p| &p.volume == volume))
+            .collect()
+    }
+
+    /// Every volume referenced by any file.
+    pub fn all_volumes(&self) -> Vec<VolumeRef> {
+        let mut vols: Vec<VolumeRef> = self
+            .files
+            .values()
+            .flat_map(|d| d.partitions.iter().map(|p| p.volume.clone()))
+            .collect();
+        vols.sort();
+        vols.dedup();
+        vols
+    }
+
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &FileDef> {
+        self.files.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FileDef, PartitionSpec};
+    use bytes::Bytes;
+    use encompass_sim::NodeId;
+
+    fn vol(n: u8, name: &str) -> VolumeRef {
+        VolumeRef::new(NodeId(n), name)
+    }
+
+    #[test]
+    fn add_and_route() {
+        let mut c = Catalog::new();
+        c.add(
+            FileDef::key_sequenced("stock", vol(0, "$D0")).partitioned(vec![
+                PartitionSpec {
+                    low_key: Bytes::new(),
+                    volume: vol(0, "$D0"),
+                },
+                PartitionSpec {
+                    low_key: Bytes::from_static(b"n"),
+                    volume: vol(1, "$D1"),
+                },
+            ]),
+        );
+        c.add(FileDef::key_sequenced("orders", vol(0, "$D0")));
+        assert_eq!(c.volume_for("stock", b"apple"), Some(vol(0, "$D0")));
+        assert_eq!(c.volume_for("stock", b"zebra"), Some(vol(1, "$D1")));
+        assert_eq!(c.volume_for("missing", b"x"), None);
+        assert_eq!(c.files_on(&vol(0, "$D0")).len(), 2);
+        assert_eq!(c.files_on(&vol(1, "$D1")).len(), 1);
+        assert_eq!(c.all_volumes().len(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate file")]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.add(FileDef::key_sequenced("f", vol(0, "$D0")));
+        c.add(FileDef::key_sequenced("f", vol(0, "$D0")));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-partition")]
+    fn alternates_require_single_partition() {
+        let mut c = Catalog::new();
+        c.add(
+            FileDef::key_sequenced("f", vol(0, "$D0"))
+                .with_alternate("a", 0, 4)
+                .partitioned(vec![
+                    PartitionSpec {
+                        low_key: Bytes::new(),
+                        volume: vol(0, "$D0"),
+                    },
+                    PartitionSpec {
+                        low_key: Bytes::from_static(b"m"),
+                        volume: vol(1, "$D1"),
+                    },
+                ]),
+        );
+    }
+}

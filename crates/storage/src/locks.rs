@@ -1,0 +1,534 @@
+//! The decentralized lock manager.
+//!
+//! One instance lives inside each DISCPROCESS and covers *only* the
+//! records and files resident on that volume — "concurrency control for
+//! ENCOMPASS is decentralized … no central lock manager exists". Two
+//! granularities are provided, record and file, both exclusive mode (the
+//! only mode the paper's TMF offers). There is no block- or index-level
+//! locking.
+//!
+//! Deadlock detection is by timeout: a request that cannot be granted
+//! queues, and its DISCPROCESS arms a timer; if the timer fires first the
+//! waiter is cancelled and the requester told to back off (typically via
+//! `RESTART-TRANSACTION`).
+
+use crate::types::Transid;
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+
+/// What a lock covers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LockScope {
+    /// The primary key of one logical record.
+    Record { file: String, key: Bytes },
+    /// A whole file (conflicts with every record lock in the file).
+    File { file: String },
+}
+
+impl LockScope {
+    pub fn file(&self) -> &str {
+        match self {
+            LockScope::Record { file, .. } => file,
+            LockScope::File { file } => file,
+        }
+    }
+}
+
+/// Result of a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Acquire {
+    /// Granted now (or the transaction already held it).
+    Granted,
+    /// Conflicts; the request is queued under the given waiter token.
+    Queued,
+}
+
+/// A queued request that has just been granted by a release.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrantedWaiter {
+    pub token: u64,
+    pub txn: Transid,
+    pub scope: LockScope,
+}
+
+#[derive(Debug)]
+struct WaitEntry {
+    token: u64,
+    txn: Transid,
+}
+
+#[derive(Default)]
+struct LockQueue {
+    holder: Option<Transid>,
+    waiters: VecDeque<WaitEntry>,
+}
+
+/// Exclusive record + file locks for one volume.
+#[derive(Default)]
+pub struct LockManager {
+    records: HashMap<(String, Bytes), LockQueue>,
+    files: HashMap<String, LockQueue>,
+    /// Per-file count of record locks held, per transaction — used to
+    /// decide file-lock compatibility.
+    file_record_holders: HashMap<String, HashMap<Transid, usize>>,
+    /// Everything a transaction holds, for release_all.
+    held: HashMap<Transid, Vec<LockScope>>,
+}
+
+impl LockManager {
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Number of locks held by `txn`.
+    pub fn held_count(&self, txn: Transid) -> usize {
+        self.held.get(&txn).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Current holder of a scope, if locked.
+    pub fn holder(&self, scope: &LockScope) -> Option<Transid> {
+        match scope {
+            LockScope::Record { file, key } => self
+                .records
+                .get(&(file.clone(), key.clone()))
+                .and_then(|q| q.holder),
+            LockScope::File { file } => self.files.get(file).and_then(|q| q.holder),
+        }
+    }
+
+    /// Does `txn` hold this exact scope?
+    pub fn holds(&self, txn: Transid, scope: &LockScope) -> bool {
+        self.holder(scope) == Some(txn)
+    }
+
+    /// Every `(transaction, scope)` currently held — used to snapshot a
+    /// DISCPROCESS for backup initialization. Waiters are deliberately
+    /// excluded: their requesters retransmit and re-queue.
+    pub fn holdings(&self) -> Vec<(Transid, LockScope)> {
+        let mut out: Vec<(Transid, LockScope)> = self
+            .held
+            .iter()
+            .flat_map(|(t, scopes)| scopes.iter().map(move |s| (*t, s.clone())))
+            .collect();
+        out.sort_by_key(|a| a.0);
+        out
+    }
+
+    /// Total queued waiters (diagnostics).
+    pub fn waiting(&self) -> usize {
+        self.records
+            .values()
+            .chain(self.files.values())
+            .map(|q| q.waiters.len())
+            .sum()
+    }
+
+    fn record_compatible(&self, txn: Transid, file: &str, key: &Bytes) -> bool {
+        // a file lock by another transaction blocks all record locks
+        if let Some(fq) = self.files.get(file) {
+            if let Some(h) = fq.holder {
+                if h != txn {
+                    return false;
+                }
+            }
+        }
+        match self.records.get(&(file.to_string(), key.clone())) {
+            Some(q) => q.holder.is_none() || q.holder == Some(txn),
+            None => true,
+        }
+    }
+
+    fn file_compatible(&self, txn: Transid, file: &str) -> bool {
+        if let Some(fq) = self.files.get(file) {
+            if let Some(h) = fq.holder {
+                if h != txn {
+                    return false;
+                }
+            }
+            // NOTE: compatible requests may overtake queued file waiters —
+            // blocking on the queue would deadlock a transaction that holds
+            // record locks against its own file-lock upgrade. Starvation of
+            // the queued waiter resolves through its lock-wait timeout, the
+            // paper's only deadlock mechanism.
+        }
+        // any record lock in the file by another transaction blocks it
+        if let Some(holders) = self.file_record_holders.get(file) {
+            if holders.keys().any(|h| *h != txn) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Try to acquire; on conflict the request queues under `token`.
+    /// Re-requesting a scope the transaction already holds is granted
+    /// immediately (idempotent, for retried requests).
+    pub fn acquire(&mut self, txn: Transid, scope: LockScope, token: u64) -> Acquire {
+        if self.holds(txn, &scope) {
+            return Acquire::Granted;
+        }
+        match &scope {
+            LockScope::Record { file, key } => {
+                if self.record_compatible(txn, file, key) {
+                    self.grant_record(txn, file.clone(), key.clone());
+                    Acquire::Granted
+                } else {
+                    self.records
+                        .entry((file.clone(), key.clone()))
+                        .or_default()
+                        .waiters
+                        .push_back(WaitEntry { token, txn });
+                    Acquire::Queued
+                }
+            }
+            LockScope::File { file } => {
+                if self.file_compatible(txn, file) {
+                    self.grant_file(txn, file.clone());
+                    Acquire::Granted
+                } else {
+                    self.files
+                        .entry(file.clone())
+                        .or_default()
+                        .waiters
+                        .push_back(WaitEntry { token, txn });
+                    Acquire::Queued
+                }
+            }
+        }
+    }
+
+    fn grant_record(&mut self, txn: Transid, file: String, key: Bytes) {
+        let q = self.records.entry((file.clone(), key.clone())).or_default();
+        debug_assert!(q.holder.is_none() || q.holder == Some(txn));
+        if q.holder != Some(txn) {
+            q.holder = Some(txn);
+            *self
+                .file_record_holders
+                .entry(file.clone())
+                .or_default()
+                .entry(txn)
+                .or_insert(0) += 1;
+            self.held
+                .entry(txn)
+                .or_default()
+                .push(LockScope::Record { file, key });
+        }
+    }
+
+    fn grant_file(&mut self, txn: Transid, file: String) {
+        let q = self.files.entry(file.clone()).or_default();
+        debug_assert!(q.holder.is_none() || q.holder == Some(txn));
+        if q.holder != Some(txn) {
+            q.holder = Some(txn);
+            self.held
+                .entry(txn)
+                .or_default()
+                .push(LockScope::File { file });
+        }
+    }
+
+    /// Remove a queued waiter (its timeout fired). Returns true if found.
+    pub fn cancel_waiter(&mut self, token: u64) -> bool {
+        for q in self.records.values_mut().chain(self.files.values_mut()) {
+            if let Some(pos) = q.waiters.iter().position(|w| w.token == token) {
+                q.waiters.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Release everything `txn` holds (phase two of commit, or the end of
+    /// backout). Returns the queued requests that became grantable — the
+    /// DISCPROCESS completes those operations.
+    pub fn release_all(&mut self, txn: Transid) -> Vec<GrantedWaiter> {
+        let scopes = self.held.remove(&txn).unwrap_or_default();
+        let mut touched_files = Vec::new();
+        for scope in &scopes {
+            match scope {
+                LockScope::Record { file, key } => {
+                    if let Some(q) = self.records.get_mut(&(file.clone(), key.clone())) {
+                        q.holder = None;
+                    }
+                    if let Some(holders) = self.file_record_holders.get_mut(file) {
+                        if let Some(c) = holders.get_mut(&txn) {
+                            *c -= 1;
+                            if *c == 0 {
+                                holders.remove(&txn);
+                            }
+                        }
+                        if holders.is_empty() {
+                            self.file_record_holders.remove(file);
+                        }
+                    }
+                    touched_files.push(file.clone());
+                }
+                LockScope::File { file } => {
+                    if let Some(q) = self.files.get_mut(file) {
+                        q.holder = None;
+                    }
+                    touched_files.push(file.clone());
+                }
+            }
+        }
+        let mut granted = Vec::new();
+        // wake record waiters on exactly the released records
+        for scope in &scopes {
+            if let LockScope::Record { file, key } = scope {
+                self.wake_record(file, key, &mut granted);
+            }
+        }
+        // re-evaluate file-lock queues of every touched file, and record
+        // waiters blocked by a released file lock
+        touched_files.sort();
+        touched_files.dedup();
+        for file in touched_files {
+            self.wake_file(&file, &mut granted);
+            self.wake_records_of_file(&file, &mut granted);
+        }
+        // drop empty queues to bound memory
+        self.records
+            .retain(|_, q| q.holder.is_some() || !q.waiters.is_empty());
+        self.files
+            .retain(|_, q| q.holder.is_some() || !q.waiters.is_empty());
+        granted
+    }
+
+    fn wake_record(&mut self, file: &str, key: &Bytes, granted: &mut Vec<GrantedWaiter>) {
+        let Some(q) = self.records.get_mut(&(file.to_string(), key.clone())) else {
+            return;
+        };
+        if q.holder.is_some() {
+            return;
+        }
+        let Some(front) = q.waiters.front() else {
+            return;
+        };
+        let txn = front.txn;
+        if !self.record_compatible(txn, file, key) {
+            return;
+        }
+        let q = self
+            .records
+            .get_mut(&(file.to_string(), key.clone()))
+            .expect("present above");
+        let w = q.waiters.pop_front().expect("present above");
+        self.grant_record(w.txn, file.to_string(), key.clone());
+        // an exclusive grant blocks the rest of the queue
+        granted.push(GrantedWaiter {
+            token: w.token,
+            txn: w.txn,
+            scope: LockScope::Record {
+                file: file.to_string(),
+                key: key.clone(),
+            },
+        });
+    }
+
+    fn wake_file(&mut self, file: &str, granted: &mut Vec<GrantedWaiter>) {
+        let Some(q) = self.files.get(file) else {
+            return;
+        };
+        if q.holder.is_some() {
+            return;
+        }
+        let Some(front) = q.waiters.front() else {
+            return;
+        };
+        let txn = front.txn;
+        // temporarily pop to evaluate compatibility without self-blocking
+        let w = self
+            .files
+            .get_mut(file)
+            .expect("present above")
+            .waiters
+            .pop_front()
+            .expect("present above");
+        if self.file_compatible(txn, file) {
+            self.grant_file(w.txn, file.to_string());
+            granted.push(GrantedWaiter {
+                token: w.token,
+                txn: w.txn,
+                scope: LockScope::File {
+                    file: file.to_string(),
+                },
+            });
+        } else {
+            self.files
+                .get_mut(file)
+                .expect("present above")
+                .waiters
+                .push_front(w);
+        }
+    }
+
+    fn wake_records_of_file(&mut self, file: &str, granted: &mut Vec<GrantedWaiter>) {
+        // a released file lock may unblock record waiters anywhere in the file
+        let keys: Vec<Bytes> = self
+            .records
+            .iter()
+            .filter(|((f, _), q)| f == file && q.holder.is_none() && !q.waiters.is_empty())
+            .map(|((_, k), _)| k.clone())
+            .collect();
+        for key in keys {
+            self.wake_record(file, &key, granted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encompass_sim::NodeId;
+
+    fn t(seq: u64) -> Transid {
+        Transid {
+            home_node: NodeId(0),
+            cpu: 0,
+            seq,
+        }
+    }
+
+    fn rec(file: &str, key: &str) -> LockScope {
+        LockScope::Record {
+            file: file.into(),
+            key: Bytes::copy_from_slice(key.as_bytes()),
+        }
+    }
+
+    fn fl(file: &str) -> LockScope {
+        LockScope::File { file: file.into() }
+    }
+
+    #[test]
+    fn exclusive_record_lock() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), 100), Acquire::Granted);
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), 101), Acquire::Granted, "re-entrant");
+        assert_eq!(lm.acquire(t(2), rec("f", "k"), 102), Acquire::Queued);
+        assert_eq!(lm.holder(&rec("f", "k")), Some(t(1)));
+        assert_eq!(lm.waiting(), 1);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].txn, t(2));
+        assert_eq!(granted[0].token, 102);
+        assert!(lm.holds(t(2), &rec("f", "k")));
+    }
+
+    #[test]
+    fn fifo_waiter_order() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "k"), 0);
+        lm.acquire(t(2), rec("f", "k"), 1);
+        lm.acquire(t(3), rec("f", "k"), 2);
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 1, "exclusive: only the first waiter granted");
+        assert_eq!(g[0].txn, t(2));
+        let g = lm.release_all(t(2));
+        assert_eq!(g[0].txn, t(3));
+    }
+
+    #[test]
+    fn file_lock_conflicts_with_record_locks() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "a"), 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        // same txn's own record locks do not block its file lock
+        assert_eq!(lm.acquire(t(1), fl("f"), 2), Acquire::Granted);
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].scope, fl("f"));
+        assert!(lm.holds(t(2), &fl("f")));
+    }
+
+    #[test]
+    fn record_lock_blocked_by_file_lock() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), fl("f"), 0);
+        assert_eq!(lm.acquire(t(2), rec("f", "x"), 1), Acquire::Queued);
+        // other files unaffected — locking is per scope
+        assert_eq!(lm.acquire(t(2), rec("g", "x"), 2), Acquire::Granted);
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 1);
+        assert!(lm.holds(t(2), &rec("f", "x")));
+    }
+
+    #[test]
+    fn cancel_waiter_models_timeout() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "k"), 0);
+        lm.acquire(t(2), rec("f", "k"), 55);
+        assert!(lm.cancel_waiter(55));
+        assert!(!lm.cancel_waiter(55), "already cancelled");
+        let g = lm.release_all(t(1));
+        assert!(g.is_empty(), "cancelled waiter is not granted");
+        assert_eq!(lm.waiting(), 0);
+    }
+
+    #[test]
+    fn release_all_spans_files_and_scopes() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("a", "x"), 0);
+        lm.acquire(t(1), rec("b", "y"), 0);
+        lm.acquire(t(1), fl("c"), 0);
+        assert_eq!(lm.held_count(t(1)), 3);
+        lm.acquire(t(2), rec("a", "x"), 1);
+        lm.acquire(t(3), fl("b"), 2);
+        lm.acquire(t(4), rec("c", "z"), 3);
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 3, "one waiter per released scope: {g:?}");
+        assert_eq!(lm.held_count(t(1)), 0);
+    }
+
+    #[test]
+    fn file_waiter_respects_queue_order_over_latecomers() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "a"), 0);
+        // t2 queues for the file lock
+        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        // t3 arriving later for a different record in f is still granted —
+        // exclusive-mode TMF has no intention locks; only actual conflicts
+        // queue. (The queued file lock waits for *all* record locks.)
+        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Granted);
+        let g = lm.release_all(t(1));
+        assert!(g.is_empty(), "t3 still holds a record lock in f");
+        let g = lm.release_all(t(3));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, t(2));
+    }
+
+    #[test]
+    fn no_two_holders_property() {
+        // randomized interleaving sanity: at most one holder per scope
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut lm = LockManager::new();
+        let mut tokens = 0u64;
+        for _ in 0..2000 {
+            let txn = t(rng.random_range(0..8));
+            let key = format!("k{}", rng.random_range(0..5));
+            match rng.random_range(0..3) {
+                0 => {
+                    tokens += 1;
+                    let _ = lm.acquire(txn, rec("f", &key), tokens);
+                }
+                1 => {
+                    tokens += 1;
+                    let _ = lm.acquire(txn, fl("f"), tokens);
+                }
+                _ => {
+                    let _ = lm.release_all(txn);
+                }
+            }
+            // invariant: if a file lock is held, no other txn holds records
+            if let Some(h) = lm.holder(&fl("f")) {
+                for k in 0..5 {
+                    let scope = rec("f", &format!("k{k}"));
+                    if let Some(rh) = lm.holder(&scope) {
+                        assert_eq!(rh, h, "file lock coexists only with own record locks");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Mirrored disc volumes as stable media.
+//!
+//! A [`VolumeMedia`] object lives in the simulation kernel's stable storage
+//! (`encompass_sim::StableStorage`), so it survives the failure of the
+//! DISCPROCESS pair's processors — the bits on the platters outlive the
+//! software. Mirroring is modeled as one logical image guarded by two
+//! independently failable drives: the volume serves I/O while at least one
+//! drive is up; if *both* drives fail the content is scratched
+//! (`lost = true`) and only ROLLFORWARD from an archive can restore it.
+//!
+//! The media holds only *flushed* state. Recent updates live in the
+//! DISCPROCESS write-behind overlay (protected by checkpoints to the
+//! backup), which is exactly why "audit records need not be written to
+//! disc prior to updating the data base" holds in the NonStop design.
+
+use crate::btree::BPlusTree;
+use crate::entryseq::EntrySequencedFile;
+use crate::relative::RelativeFile;
+use crate::types::{key_num, FileOrganization, VolumeRef};
+use bytes::Bytes;
+use encompass_sim::NodeId;
+use std::collections::BTreeMap;
+
+/// The stable-storage key for a volume's media object.
+pub fn media_key(node: NodeId, volume: &str) -> String {
+    format!("{node}.{volume}")
+}
+
+/// The stable-storage key for generation `generation` of a volume archive.
+pub fn archive_key(volume: &VolumeRef, generation: u64) -> String {
+    format!("archive:{volume}:{generation}")
+}
+
+/// The flushed content of one file.
+#[derive(Clone, Debug)]
+pub enum FileImage {
+    KeySequenced(BPlusTree),
+    Relative(RelativeFile),
+    EntrySequenced(EntrySequencedFile),
+}
+
+impl FileImage {
+    pub fn new(org: FileOrganization) -> FileImage {
+        match org {
+            FileOrganization::KeySequenced => FileImage::KeySequenced(BPlusTree::default()),
+            FileOrganization::Relative => FileImage::Relative(RelativeFile::new()),
+            FileOrganization::EntrySequenced => {
+                FileImage::EntrySequenced(EntrySequencedFile::new())
+            }
+        }
+    }
+
+    pub fn organization(&self) -> FileOrganization {
+        match self {
+            FileImage::KeySequenced(_) => FileOrganization::KeySequenced,
+            FileImage::Relative(_) => FileOrganization::Relative,
+            FileImage::EntrySequenced(_) => FileOrganization::EntrySequenced,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            FileImage::KeySequenced(t) => t.len(),
+            FileImage::Relative(f) => f.len(),
+            FileImage::EntrySequenced(f) => f.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read by uniform byte key (relative/entry-sequenced keys are 8-byte
+    /// big-endian numbers).
+    pub fn read(&self, key: &[u8]) -> Option<Bytes> {
+        match self {
+            FileImage::KeySequenced(t) => t.get(key).cloned(),
+            FileImage::Relative(f) => key_num(key).and_then(|n| f.get(n).cloned()),
+            FileImage::EntrySequenced(f) => key_num(key).and_then(|n| f.get(n).cloned()),
+        }
+    }
+
+    /// Write by uniform byte key: `Some` stores, `None` removes.
+    pub fn apply(&mut self, key: &[u8], value: Option<Bytes>) {
+        match self {
+            FileImage::KeySequenced(t) => {
+                match value {
+                    Some(v) => {
+                        t.insert(Bytes::copy_from_slice(key), v);
+                    }
+                    None => {
+                        t.remove(key);
+                    }
+                };
+            }
+            FileImage::Relative(f) => {
+                let n = key_num(key).expect("relative files use 8-byte numeric keys");
+                match value {
+                    Some(v) => {
+                        f.set(n, v);
+                    }
+                    None => {
+                        f.clear(n);
+                    }
+                }
+            }
+            FileImage::EntrySequenced(f) => {
+                let n = key_num(key).expect("entry-sequenced files use 8-byte numeric keys");
+                f.place(n, value);
+            }
+        }
+    }
+
+    /// Ordered scan by uniform byte key.
+    pub fn scan(&self, low: &[u8], high: Option<&[u8]>, limit: usize) -> Vec<(Bytes, Bytes)> {
+        match self {
+            FileImage::KeySequenced(t) => t.range(low, high, limit),
+            FileImage::Relative(f) => {
+                let lo = key_num(low).unwrap_or(0);
+                let hi = high.and_then(key_num);
+                f.scan(lo, hi, limit)
+                    .into_iter()
+                    .map(|(n, v)| (crate::types::num_key(n), v))
+                    .collect()
+            }
+            FileImage::EntrySequenced(f) => {
+                let lo = key_num(low).unwrap_or(0);
+                let hi = high.and_then(key_num);
+                f.scan(lo, limit)
+                    .into_iter()
+                    .filter(|(n, _)| hi.map(|h| *n <= h).unwrap_or(true))
+                    .map(|(n, v)| (crate::types::num_key(n), v))
+                    .collect()
+            }
+        }
+    }
+
+    /// For entry-sequenced files: the next entry number on the media.
+    pub fn next_entry(&self) -> u64 {
+        match self {
+            FileImage::EntrySequenced(f) => f.next_entry(),
+            _ => 0,
+        }
+    }
+}
+
+/// A mirrored disc volume's persistent state.
+pub struct VolumeMedia {
+    pub name: String,
+    /// Up/down state of the two mirrored drives.
+    pub drives: [bool; 2],
+    /// Flushed file images.
+    pub files: BTreeMap<String, FileImage>,
+    /// True once both drives have been down simultaneously: the content is
+    /// gone and only ROLLFORWARD can rebuild it.
+    pub lost: bool,
+    /// Count of physical writes applied (metrics for experiments).
+    pub physical_writes: u64,
+}
+
+impl VolumeMedia {
+    pub fn new(name: &str) -> VolumeMedia {
+        VolumeMedia {
+            name: name.to_string(),
+            drives: [true, true],
+            files: BTreeMap::new(),
+            lost: false,
+            physical_writes: 0,
+        }
+    }
+
+    /// Can the volume serve I/O?
+    pub fn available(&self) -> bool {
+        !self.lost && (self.drives[0] || self.drives[1])
+    }
+
+    /// Fail one drive. Failing the second loses the volume content.
+    pub fn fail_drive(&mut self, drive: usize) {
+        self.drives[drive & 1] = false;
+        if !self.drives[0] && !self.drives[1] && !self.lost {
+            self.lost = true;
+            self.files.clear();
+        }
+    }
+
+    /// Bring a drive back. (Revive of a lost volume yields an *empty*
+    /// volume: the data must be rolled forward.)
+    pub fn revive_drive(&mut self, drive: usize) {
+        self.drives[drive & 1] = true;
+    }
+
+    /// After ROLLFORWARD has repopulated `files`, mark the content valid.
+    pub fn mark_recovered(&mut self) {
+        if self.drives[0] || self.drives[1] {
+            self.lost = false;
+        }
+    }
+
+    pub fn ensure_file(&mut self, name: &str, org: FileOrganization) -> &mut FileImage {
+        self.files
+            .entry(name.to_string())
+            .or_insert_with(|| FileImage::new(org))
+    }
+
+    pub fn file(&self, name: &str) -> Option<&FileImage> {
+        self.files.get(name)
+    }
+
+    /// Apply a flushed write. Panics if the volume is unavailable — the
+    /// DISCPROCESS must check availability first.
+    pub fn apply(&mut self, file: &str, org: FileOrganization, key: &[u8], value: Option<Bytes>) {
+        assert!(self.available(), "write to unavailable volume {}", self.name);
+        self.physical_writes += 1;
+        self.ensure_file(file, org).apply(key, value);
+    }
+}
+
+/// A point-in-time archive of a volume, used by ROLLFORWARD. Created
+/// during normal processing; `audit_watermark` records the volume's audit
+/// sequence number at archive time, so recovery replays only later images.
+#[derive(Clone)]
+pub struct ArchiveImage {
+    pub volume: VolumeRef,
+    pub files: BTreeMap<String, FileImage>,
+    pub audit_watermark: u64,
+    pub generation: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::num_key;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn uniform_key_interface_across_organizations() {
+        for org in [
+            FileOrganization::KeySequenced,
+            FileOrganization::Relative,
+            FileOrganization::EntrySequenced,
+        ] {
+            let mut img = FileImage::new(org);
+            let key = match org {
+                FileOrganization::KeySequenced => Bytes::from_static(b"alpha"),
+                _ => num_key(3),
+            };
+            img.apply(&key, Some(b("v1")));
+            assert_eq!(img.read(&key), Some(b("v1")), "{org:?}");
+            assert_eq!(img.len(), 1);
+            img.apply(&key, None);
+            assert_eq!(img.read(&key), None);
+            assert!(img.is_empty(), "{org:?}");
+        }
+    }
+
+    #[test]
+    fn scans_are_ordered_per_organization() {
+        let mut ks = FileImage::new(FileOrganization::KeySequenced);
+        ks.apply(b"b", Some(b("2")));
+        ks.apply(b"a", Some(b("1")));
+        let got = ks.scan(b"", None, 10);
+        assert_eq!(got[0].0, Bytes::from_static(b"a"));
+
+        let mut es = FileImage::new(FileOrganization::EntrySequenced);
+        es.apply(&num_key(0), Some(b("x")));
+        es.apply(&num_key(1), Some(b("y")));
+        let got = es.scan(&num_key(0), Some(&num_key(0)), 10);
+        assert_eq!(got.len(), 1);
+        assert_eq!(es.next_entry(), 2);
+    }
+
+    #[test]
+    fn mirror_tolerates_one_drive_failure() {
+        let mut v = VolumeMedia::new("$DATA");
+        v.apply("f", FileOrganization::KeySequenced, b"k", Some(b("v")));
+        v.fail_drive(0);
+        assert!(v.available());
+        assert_eq!(v.file("f").unwrap().read(b"k"), Some(b("v")));
+        v.revive_drive(0);
+        assert!(v.available());
+        assert_eq!(v.physical_writes, 1);
+    }
+
+    #[test]
+    fn double_drive_failure_loses_content() {
+        let mut v = VolumeMedia::new("$DATA");
+        v.apply("f", FileOrganization::KeySequenced, b"k", Some(b("v")));
+        v.fail_drive(0);
+        v.fail_drive(1);
+        assert!(!v.available());
+        assert!(v.lost);
+        assert!(v.files.is_empty());
+        // reviving a drive alone does not bring the data back
+        v.revive_drive(0);
+        assert!(!v.available());
+        // only after recovery is it marked usable again
+        v.mark_recovered();
+        assert!(v.available());
+        assert!(v.file("f").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailable volume")]
+    fn write_to_lost_volume_panics() {
+        let mut v = VolumeMedia::new("$DATA");
+        v.fail_drive(0);
+        v.fail_drive(1);
+        v.apply("f", FileOrganization::KeySequenced, b"k", Some(b("v")));
+    }
+
+    #[test]
+    fn media_and_archive_keys() {
+        assert_eq!(media_key(NodeId(2), "$DATA1"), "\\N2.$DATA1");
+        let vr = VolumeRef::new(NodeId(0), "$D");
+        assert_eq!(archive_key(&vr, 3), "archive:\\N0.$D:3");
+    }
+}

@@ -1,0 +1,335 @@
+//! Shared storage-layer types: transaction identifiers, volume references,
+//! file definitions, partitioning, alternate keys, and recovery modes.
+
+use bytes::Bytes;
+use encompass_sim::NodeId;
+use std::fmt;
+
+/// A network-unique transaction identifier.
+///
+/// Exactly the structure the paper gives for the output of
+/// `BEGIN-TRANSACTION`: "a sequence number, qualified by the number of the
+/// processor in which BEGIN-TRANSACTION was called, qualified by the number
+/// of the network node which originated the transaction, designated the
+/// *home* node".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transid {
+    /// The node on which the transaction originated.
+    pub home_node: NodeId,
+    /// The processor on which `BEGIN-TRANSACTION` ran.
+    pub cpu: u8,
+    /// Per-CPU sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Debug for Transid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}.{}.{}", self.home_node.0, self.cpu, self.seq)
+    }
+}
+
+impl fmt::Display for Transid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A disc volume somewhere in the network.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VolumeRef {
+    pub node: NodeId,
+    pub volume: String,
+}
+
+impl VolumeRef {
+    pub fn new(node: NodeId, volume: &str) -> VolumeRef {
+        VolumeRef {
+            node,
+            volume: volume.to_string(),
+        }
+    }
+
+    /// The DISCPROCESS service name for this volume (`$DATA` style).
+    pub fn service_name(&self) -> String {
+        self.volume.clone()
+    }
+}
+
+impl fmt::Display for VolumeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.volume)
+    }
+}
+
+/// The three ENSCRIBE structured file organizations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileOrganization {
+    /// B+tree keyed by an arbitrary byte-string primary key.
+    KeySequenced,
+    /// Fixed slots addressed by record number (8-byte big-endian key).
+    Relative,
+    /// Append-only; records addressed by entry number assigned at insert.
+    EntrySequenced,
+}
+
+/// An alternate (secondary) key: a fixed field of the record value.
+/// The index is maintained automatically on every insert/update/delete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AltKeySpec {
+    /// Name suffix of the generated index file.
+    pub name: String,
+    /// Byte offset of the field within the record value.
+    pub offset: usize,
+    /// Byte length of the field.
+    pub len: usize,
+}
+
+impl AltKeySpec {
+    /// Extract the alternate key field from a record value (zero-padded if
+    /// the record is short).
+    pub fn extract(&self, value: &Bytes) -> Bytes {
+        let mut out = vec![0u8; self.len];
+        let end = (self.offset + self.len).min(value.len());
+        if end > self.offset {
+            out[..end - self.offset].copy_from_slice(&value[self.offset..end]);
+        }
+        Bytes::from(out)
+    }
+}
+
+/// One partition of a file: all keys `>= low_key` (up to the next
+/// partition's `low_key`) live on `volume`.
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    pub low_key: Bytes,
+    pub volume: VolumeRef,
+}
+
+/// The catalog entry for a file.
+#[derive(Clone, Debug)]
+pub struct FileDef {
+    pub name: String,
+    pub organization: FileOrganization,
+    /// Whether TMF audits updates to this file (before/after images).
+    pub audited: bool,
+    /// Partitions in ascending `low_key` order; the first must be the empty
+    /// key. A single-partition file is the common case.
+    pub partitions: Vec<PartitionSpec>,
+    /// Alternate keys (empty for most files).
+    pub alternates: Vec<AltKeySpec>,
+}
+
+impl FileDef {
+    /// A single-partition audited key-sequenced file.
+    pub fn key_sequenced(name: &str, volume: VolumeRef) -> FileDef {
+        FileDef {
+            name: name.to_string(),
+            organization: FileOrganization::KeySequenced,
+            audited: true,
+            partitions: vec![PartitionSpec {
+                low_key: Bytes::new(),
+                volume,
+            }],
+            alternates: Vec::new(),
+        }
+    }
+
+    /// A single-partition audited entry-sequenced file.
+    pub fn entry_sequenced(name: &str, volume: VolumeRef) -> FileDef {
+        FileDef {
+            organization: FileOrganization::EntrySequenced,
+            ..FileDef::key_sequenced(name, volume)
+        }
+    }
+
+    /// A single-partition audited relative file.
+    pub fn relative(name: &str, volume: VolumeRef) -> FileDef {
+        FileDef {
+            organization: FileOrganization::Relative,
+            ..FileDef::key_sequenced(name, volume)
+        }
+    }
+
+    /// Builder: mark unaudited.
+    pub fn unaudited(mut self) -> FileDef {
+        self.audited = false;
+        self
+    }
+
+    /// Builder: add an alternate key.
+    pub fn with_alternate(mut self, name: &str, offset: usize, len: usize) -> FileDef {
+        self.alternates.push(AltKeySpec {
+            name: name.to_string(),
+            offset,
+            len,
+        });
+        self
+    }
+
+    /// Builder: partition by key ranges. `bounds` are the low keys of the
+    /// second and subsequent partitions.
+    pub fn partitioned(mut self, parts: Vec<PartitionSpec>) -> FileDef {
+        assert!(!parts.is_empty(), "at least one partition");
+        assert!(
+            parts[0].low_key.is_empty(),
+            "first partition must start at the empty key"
+        );
+        for w in parts.windows(2) {
+            assert!(w[0].low_key < w[1].low_key, "partitions must be ordered");
+        }
+        self.partitions = parts;
+        self
+    }
+
+    /// The name of the index file backing alternate key `alt`.
+    pub fn index_file_name(&self, alt: &AltKeySpec) -> String {
+        format!("{}.{}", self.name, alt.name)
+    }
+
+    /// The volume holding `key`.
+    pub fn volume_for(&self, key: &[u8]) -> &VolumeRef {
+        let mut chosen = &self.partitions[0];
+        for p in &self.partitions {
+            if p.low_key.as_ref() <= key {
+                chosen = p;
+            } else {
+                break;
+            }
+        }
+        &chosen.volume
+    }
+
+    /// All volumes this file (or any partition of it) lives on.
+    pub fn volumes(&self) -> Vec<&VolumeRef> {
+        self.partitions.iter().map(|p| &p.volume).collect()
+    }
+}
+
+/// How the DISCPROCESS guarantees that transaction backout stays feasible
+/// (design decision D1 in DESIGN.md).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryMode {
+    /// The paper's NonStop design: audit records are checkpointed to the
+    /// backup DISCPROCESS before the update is performed; they reach disc
+    /// lazily and are forced only at phase one of commit.
+    NonStopCheckpoint,
+    /// The conventional Write-Ahead-Log baseline: every update waits for
+    /// its audit records to be force-written to the audit trail before the
+    /// update is applied and acknowledged.
+    WalForce,
+}
+
+/// Helper: encode a u64 as the 8-byte big-endian key used by relative
+/// files and entry numbers.
+pub fn num_key(n: u64) -> Bytes {
+    Bytes::copy_from_slice(&n.to_be_bytes())
+}
+
+/// Helper: decode a `num_key`.
+pub fn key_num(key: &[u8]) -> Option<u64> {
+    key.try_into().ok().map(u64::from_be_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(n: u8, name: &str) -> VolumeRef {
+        VolumeRef::new(NodeId(n), name)
+    }
+
+    #[test]
+    fn transid_display() {
+        let t = Transid {
+            home_node: NodeId(3),
+            cpu: 1,
+            seq: 42,
+        };
+        assert_eq!(t.to_string(), "T3.1.42");
+    }
+
+    #[test]
+    fn alt_key_extraction_pads() {
+        let spec = AltKeySpec {
+            name: "region".into(),
+            offset: 4,
+            len: 4,
+        };
+        assert_eq!(
+            spec.extract(&Bytes::from_static(b"aaaabbbbcc")),
+            Bytes::from_static(b"bbbb")
+        );
+        // record shorter than the field: zero padded
+        assert_eq!(
+            spec.extract(&Bytes::from_static(b"aaaab")),
+            Bytes::from_static(b"b\0\0\0")
+        );
+        // record ends before the field starts
+        assert_eq!(
+            spec.extract(&Bytes::from_static(b"aa")),
+            Bytes::from_static(b"\0\0\0\0")
+        );
+    }
+
+    #[test]
+    fn partition_routing() {
+        let def = FileDef::key_sequenced("stock", vol(0, "$D0")).partitioned(vec![
+            PartitionSpec {
+                low_key: Bytes::new(),
+                volume: vol(0, "$D0"),
+            },
+            PartitionSpec {
+                low_key: Bytes::from_static(b"m"),
+                volume: vol(1, "$D1"),
+            },
+        ]);
+        assert_eq!(def.volume_for(b"apple"), &vol(0, "$D0"));
+        assert_eq!(def.volume_for(b"m"), &vol(1, "$D1"));
+        assert_eq!(def.volume_for(b"zebra"), &vol(1, "$D1"));
+        assert_eq!(def.volumes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn partitions_must_be_ordered() {
+        let _ = FileDef::key_sequenced("f", vol(0, "$D0")).partitioned(vec![
+            PartitionSpec {
+                low_key: Bytes::new(),
+                volume: vol(0, "$D0"),
+            },
+            PartitionSpec {
+                low_key: Bytes::from_static(b"z"),
+                volume: vol(0, "$D0"),
+            },
+            PartitionSpec {
+                low_key: Bytes::from_static(b"a"),
+                volume: vol(0, "$D0"),
+            },
+        ]);
+    }
+
+    #[test]
+    fn builders() {
+        let def = FileDef::key_sequenced("item", vol(0, "$D0"))
+            .with_alternate("vendor", 0, 8)
+            .unaudited();
+        assert!(!def.audited);
+        assert_eq!(def.index_file_name(&def.alternates[0]), "item.vendor");
+        assert_eq!(
+            FileDef::relative("r", vol(0, "$D0")).organization,
+            FileOrganization::Relative
+        );
+        assert_eq!(
+            FileDef::entry_sequenced("e", vol(0, "$D0")).organization,
+            FileOrganization::EntrySequenced
+        );
+    }
+
+    #[test]
+    fn num_key_roundtrip() {
+        assert_eq!(key_num(&num_key(77)), Some(77));
+        assert_eq!(key_num(b"short"), None);
+        // numeric ordering is preserved by byte ordering
+        assert!(num_key(2) < num_key(10));
+    }
+}

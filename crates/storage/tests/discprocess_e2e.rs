@@ -1,0 +1,630 @@
+//! End-to-end DISCPROCESS tests: a real simulated world, a process-pair per
+//! volume, scripted clients, and fault injection.
+
+use bytes::Bytes;
+use encompass_sim::{CpuId, Fault, NodeId, SimConfig, SimDuration, SimTime, World};
+use encompass_storage::discprocess::{
+    spawn_disc_process, DiscConfig, DiscError, DiscReply, DiscRequest,
+};
+use encompass_storage::media::{media_key, VolumeMedia};
+use encompass_storage::testkit::run_script;
+use encompass_storage::types::{num_key, FileDef, PartitionSpec, Transid, VolumeRef};
+use encompass_storage::Catalog;
+use guardian::Target;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn txn(seq: u64) -> Transid {
+    Transid {
+        home_node: NodeId(0),
+        cpu: 0,
+        seq,
+    }
+}
+
+const WAIT: SimDuration = SimDuration::from_millis(200);
+
+fn setup(catalog: Catalog) -> (World, NodeId, Target) {
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol = VolumeRef::new(n, "$DATA");
+    let h = spawn_disc_process(&mut w, 0, 1, vol, catalog, DiscConfig::default());
+    (w, n, h.target())
+}
+
+fn basic_catalog(node: NodeId) -> Catalog {
+    let vol = VolumeRef::new(node, "$DATA");
+    let mut c = Catalog::new();
+    c.add(FileDef::key_sequenced("accounts", vol.clone()));
+    c.add(FileDef::entry_sequenced("history", vol.clone()));
+    c.add(FileDef::relative("slots", vol.clone()).unaudited());
+    c.add(FileDef::key_sequenced("vendors", vol).with_alternate("region", 0, 2));
+    c
+}
+
+#[test]
+fn transactional_insert_read_update_delete() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("alice"),
+                value: b("100"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("alice"),
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("alice"),
+                value: b("150"),
+                transid: Some(t),
+            },
+            DiscRequest::EndPhase1 { transid: t },
+            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("alice"),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    let r = replies.borrow();
+    assert_eq!(r[0], DiscReply::Ok);
+    assert_eq!(r[1], DiscReply::Value(Some(b("100"))));
+    assert_eq!(r[2], DiscReply::Ok);
+    assert_eq!(r[3], DiscReply::Phase1Done);
+    assert_eq!(r[4], DiscReply::Ok);
+    assert_eq!(r[5], DiscReply::Value(Some(b("150"))));
+}
+
+#[test]
+fn update_without_lock_is_rejected_on_audited_files() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            // no prior insert/readlock by this transaction
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("ghost"),
+                value: b("1"),
+                transid: Some(t),
+            },
+            // and audited writes without a transid are rejected outright
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("ghost"),
+                value: b("1"),
+                transid: None,
+                lock_wait: WAIT,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r = replies.borrow();
+    assert_eq!(r[0], DiscReply::Err(DiscError::LockRequired));
+    assert_eq!(r[1], DiscReply::Err(DiscError::NeedTransid));
+}
+
+#[test]
+fn lock_conflict_waits_until_release() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t1 = txn(1);
+    let t2 = txn(2);
+    // t1 inserts and holds the lock
+    let r1 = run_script(
+        &mut w,
+        n,
+        2,
+        target.clone(),
+        vec![DiscRequest::Insert {
+            file: "accounts".into(),
+            key: b("k"),
+            value: b("v1"),
+            transid: Some(t1),
+            lock_wait: WAIT,
+        }],
+    );
+    w.run_for(SimDuration::from_millis(50));
+    // t2 tries to lock the same record: parks
+    let r2 = run_script(
+        &mut w,
+        n,
+        3,
+        target.clone(),
+        vec![DiscRequest::ReadLock {
+            file: "accounts".into(),
+            key: b("k"),
+            transid: t2,
+            lock_wait: SimDuration::from_secs(2),
+        }],
+    );
+    w.run_for(SimDuration::from_millis(100));
+    assert_eq!(r1.borrow().len(), 1);
+    assert_eq!(r2.borrow().len(), 0, "t2 is parked on the lock");
+    // t1 releases: t2's read-lock completes and sees t1's value
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![DiscRequest::ReleaseLocks { transid: t1 }],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(r2.borrow()[0], DiscReply::Value(Some(b("v1"))));
+}
+
+#[test]
+fn lock_timeout_signals_deadlock() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t1 = txn(1);
+    let t2 = txn(2);
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target.clone(),
+        vec![DiscRequest::Insert {
+            file: "accounts".into(),
+            key: b("hot"),
+            value: b("v"),
+            transid: Some(t1),
+            lock_wait: WAIT,
+        }],
+    );
+    w.run_for(SimDuration::from_millis(20));
+    let r2 = run_script(
+        &mut w,
+        n,
+        3,
+        target,
+        vec![DiscRequest::ReadLock {
+            file: "accounts".into(),
+            key: b("hot"),
+            transid: t2,
+            lock_wait: SimDuration::from_millis(80),
+        }],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(r2.borrow()[0], DiscReply::Err(DiscError::LockTimeout));
+    assert_eq!(w.metrics().get("disc.lock_timeouts"), 1);
+}
+
+#[test]
+fn entry_sequenced_append_and_scan() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::InsertEntry {
+                file: "history".into(),
+                value: b("first"),
+                transid: Some(t),
+            },
+            DiscRequest::InsertEntry {
+                file: "history".into(),
+                value: b("second"),
+                transid: Some(t),
+            },
+            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReadRange {
+                file: "history".into(),
+                low: num_key(0),
+                high: None,
+                limit: 10,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r = replies.borrow();
+    assert_eq!(r[0], DiscReply::EntryNumber(0));
+    assert_eq!(r[1], DiscReply::EntryNumber(1));
+    match &r[3] {
+        DiscReply::Entries(es) => {
+            assert_eq!(es.len(), 2);
+            assert_eq!(es[0], (num_key(0), b("first")));
+            assert_eq!(es[1], (num_key(1), b("second")));
+        }
+        other => panic!("expected entries, got {other:?}"),
+    }
+}
+
+#[test]
+fn alternate_key_index_is_maintained() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::Insert {
+                file: "vendors".into(),
+                key: b("acme"),
+                value: b("CAdata"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::Insert {
+                file: "vendors".into(),
+                key: b("bolt"),
+                value: b("NYdata"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::ReleaseLocks { transid: t },
+            // scan the index by region prefix "CA"
+            DiscRequest::ReadRange {
+                file: "vendors.region".into(),
+                low: b("CA"),
+                high: Some(b("CA\u{ff}")),
+                limit: 10,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r = replies.borrow();
+    match &r[3] {
+        DiscReply::Entries(es) => {
+            assert_eq!(es.len(), 1);
+            assert_eq!(es[0].0, b("CAacme"), "index key = altkey || primary key");
+        }
+        other => panic!("expected entries, got {other:?}"),
+    }
+    // move acme to NY: index entry follows
+    let t2 = txn(2);
+    let replies2 = run_script(
+        &mut w,
+        n,
+        3,
+        Target::Named(n, "$DATA".into()),
+        vec![
+            DiscRequest::ReadLock {
+                file: "vendors".into(),
+                key: b("acme"),
+                transid: t2,
+                lock_wait: WAIT,
+            },
+            DiscRequest::Update {
+                file: "vendors".into(),
+                key: b("acme"),
+                value: b("NYdata2"),
+                transid: Some(t2),
+            },
+            DiscRequest::ReleaseLocks { transid: t2 },
+            DiscRequest::ReadRange {
+                file: "vendors.region".into(),
+                low: b(""),
+                high: None,
+                limit: 10,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r2 = replies2.borrow();
+    match &r2[3] {
+        DiscReply::Entries(es) => {
+            let keys: Vec<&[u8]> = es.iter().map(|(k, _)| k.as_ref()).collect();
+            assert_eq!(keys, vec![b"NYacme".as_ref(), b"NYbolt".as_ref()]);
+        }
+        other => panic!("expected entries, got {other:?}"),
+    }
+}
+
+#[test]
+fn partitioned_file_rejects_foreign_keys() {
+    let node = NodeId(0);
+    let vol0 = VolumeRef::new(node, "$DATA");
+    let vol1 = VolumeRef::new(node, "$OTHER");
+    let mut c = Catalog::new();
+    c.add(FileDef::key_sequenced("stock", vol0).partitioned(vec![
+        PartitionSpec {
+            low_key: Bytes::new(),
+            volume: VolumeRef::new(node, "$DATA"),
+        },
+        PartitionSpec {
+            low_key: b("m"),
+            volume: vol1,
+        },
+    ]));
+    let (mut w, n, target) = setup(c);
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::Insert {
+                file: "stock".into(),
+                key: b("apple"),
+                value: b("1"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            // "zebra" belongs to the $OTHER partition
+            DiscRequest::Insert {
+                file: "stock".into(),
+                key: b("zebra"),
+                value: b("1"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r = replies.borrow();
+    assert_eq!(r[0], DiscReply::Ok);
+    assert_eq!(r[1], DiscReply::Err(DiscError::WrongVolume));
+}
+
+#[test]
+fn flush_reaches_media_and_survives_double_cpu_loss() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("flushed"),
+                value: b("v"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::ReleaseLocks { transid: t },
+        ],
+    );
+    // plenty of time for the background flush
+    w.run_for(SimDuration::from_secs(2));
+    assert!(w.metrics().get("disc.flush_writes") >= 1);
+    // kill both CPUs of the pair — the media still holds the record
+    w.inject(Fault::KillCpu(n, CpuId(0)));
+    w.inject(Fault::KillCpu(n, CpuId(1)));
+    w.run_for(SimDuration::from_millis(100));
+    let media = w
+        .stable()
+        .get::<VolumeMedia>(&media_key(n, "$DATA"))
+        .expect("media survives");
+    assert_eq!(
+        media.file("accounts").and_then(|f| f.read(b"flushed")),
+        Some(b("v"))
+    );
+}
+
+#[test]
+fn takeover_preserves_overlay_and_locks() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    // perform an update, then kill the primary before any flush
+    let cfg_check = run_script(
+        &mut w,
+        n,
+        2,
+        target.clone(),
+        vec![DiscRequest::Insert {
+            file: "accounts".into(),
+            key: b("x"),
+            value: b("pre-takeover"),
+            transid: Some(t),
+            lock_wait: WAIT,
+        }],
+    );
+    w.run_for(SimDuration::from_millis(20));
+    assert_eq!(cfg_check.borrow().len(), 1);
+    w.inject(Fault::KillCpu(n, CpuId(0)));
+    w.run_for(SimDuration::from_millis(50));
+    // the backup serves reads of the unflushed record, and still enforces
+    // t's lock against another transaction
+    let t2 = txn(2);
+    let replies = run_script(
+        &mut w,
+        n,
+        3,
+        target,
+        vec![
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("x"),
+            },
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("x"),
+                transid: t2,
+                lock_wait: SimDuration::from_millis(50),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    let r = replies.borrow();
+    assert_eq!(r[0], DiscReply::Value(Some(b("pre-takeover"))));
+    assert_eq!(
+        r[1],
+        DiscReply::Err(DiscError::LockTimeout),
+        "t1's lock survived the takeover"
+    );
+    assert_eq!(w.metrics().get("pair.takeovers"), 1);
+}
+
+#[test]
+fn mirrored_drive_failure_is_transparent_but_double_failure_stops_io() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target.clone(),
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("m"),
+                value: b("1"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::ReleaseLocks { transid: t },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    // one drive fails: service continues
+    w.stable_mut()
+        .get_mut::<VolumeMedia>(&media_key(n, "$DATA"))
+        .unwrap()
+        .fail_drive(0);
+    let r = run_script(
+        &mut w,
+        n,
+        3,
+        target.clone(),
+        vec![DiscRequest::Read {
+            file: "accounts".into(),
+            key: b("m"),
+        }],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    assert_eq!(r.borrow()[0], DiscReply::Value(Some(b("1"))));
+    // second drive fails: VolumeDown
+    w.stable_mut()
+        .get_mut::<VolumeMedia>(&media_key(n, "$DATA"))
+        .unwrap()
+        .fail_drive(1);
+    let r2 = run_script(
+        &mut w,
+        n,
+        3,
+        target,
+        vec![DiscRequest::Read {
+            file: "accounts".into(),
+            key: b("m"),
+        }],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    assert_eq!(r2.borrow()[0], DiscReply::Err(DiscError::VolumeDown));
+}
+
+#[test]
+fn undo_restores_before_images() {
+    use encompass_storage::audit_api::ImageRecord;
+    use encompass_storage::types::FileOrganization;
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t = txn(1);
+    let replies = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("u"),
+                value: b("orig"),
+                transid: Some(t),
+                lock_wait: WAIT,
+            },
+            DiscRequest::ReleaseLocks { transid: t },
+            // a second transaction updates, then is "backed out" via Undo
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("u"),
+                transid: txn(2),
+                lock_wait: WAIT,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("u"),
+                value: b("dirty"),
+                transid: Some(txn(2)),
+            },
+            DiscRequest::Undo {
+                images: vec![ImageRecord {
+                    seq: 99,
+                    transid: txn(2),
+                    volume: VolumeRef::new(n, "$DATA"),
+                    file: "accounts".into(),
+                    organization: FileOrganization::KeySequenced,
+                    key: b("u"),
+                    before: Some(b("orig")),
+                    after: Some(b("dirty")),
+                }],
+            },
+            DiscRequest::ReleaseLocks { transid: txn(2) },
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("u"),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    let r = replies.borrow();
+    assert_eq!(*r.last().unwrap(), DiscReply::Value(Some(b("orig"))));
+}
+
+#[test]
+fn deterministic_under_faults() {
+    fn run() -> u64 {
+        let node = NodeId(0);
+        let (mut w, n, target) = setup(basic_catalog(node));
+        let t = txn(1);
+        let _ = run_script(
+            &mut w,
+            n,
+            2,
+            target,
+            vec![
+                DiscRequest::Insert {
+                    file: "accounts".into(),
+                    key: b("d"),
+                    value: b("1"),
+                    transid: Some(t),
+                    lock_wait: WAIT,
+                },
+                DiscRequest::Update {
+                    file: "accounts".into(),
+                    key: b("d"),
+                    value: b("2"),
+                    transid: Some(t),
+                },
+                DiscRequest::ReleaseLocks { transid: t },
+            ],
+        );
+        w.schedule_fault(SimTime::from_micros(300), Fault::KillCpu(n, CpuId(0)));
+        w.run_for(SimDuration::from_secs(3));
+        w.trace_hash()
+    }
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,152 @@
+//! The paper's manufacturing application (Figure 4): four plants, global
+//! files replicated with a master node per record, deferred replica
+//! updates through suspense files — node autonomy through a network
+//! partition, convergence after the heal.
+//!
+//! ```text
+//! cargo run --example manufacturing_network
+//! ```
+
+use bytes::Bytes;
+use encompass_repro::encompass::app::{launch_mfg_app, read_replica, MfgAppParams};
+use encompass_repro::encompass::manufacturing::suspense;
+use encompass_repro::encompass::messages::{AppReply, AppRequest, ServerRequest};
+use encompass_repro::sim::{Ctx, Fault, NodeId, Payload, Pid, Process, SimDuration, TimerId};
+use encompass_repro::storage::media::{media_key, VolumeMedia};
+use guardian::{Rpc, Target};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tmf::session::{SessionEvent, TmfSession};
+
+/// Issues one `master-update` transaction and records success.
+struct Update {
+    node: NodeId,
+    key: &'static str,
+    value: &'static str,
+    session: TmfSession,
+    rpc: Rpc<ServerRequest, AppReply>,
+    state: u8,
+    ok: Rc<RefCell<Option<bool>>>,
+}
+
+impl Process for Update {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = 1;
+        self.session.begin(ctx, 0);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        let payload = match self.session.accept(ctx, payload) {
+            Ok(Some(ev)) => {
+                match (self.state, ev) {
+                    (1, SessionEvent::Began { .. }) => {
+                        self.state = 2;
+                        let env = ServerRequest {
+                            transid: self.session.transid(),
+                            request: AppRequest::new(
+                                "master-update",
+                                vec![
+                                    Bytes::from_static(b"item"),
+                                    Bytes::copy_from_slice(self.key.as_bytes()),
+                                    Bytes::copy_from_slice(self.value.as_bytes()),
+                                ],
+                            ),
+                        };
+                        let _ = self.rpc.call(
+                            ctx,
+                            Target::Named(self.node, "$SC-mfg".into()),
+                            env,
+                            SimDuration::from_secs(2),
+                            0,
+                            0,
+                        );
+                    }
+                    (3, SessionEvent::Committed { .. }) => {
+                        *self.ok.borrow_mut() = Some(true);
+                    }
+                    (_, SessionEvent::Aborted { .. }) | (_, SessionEvent::Failed { .. }) => {
+                        *self.ok.borrow_mut() = Some(false);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Ok(None) => return,
+            Err(p) => p,
+        };
+        if let Ok(c) = self.rpc.accept(ctx, payload) {
+            if self.state == 2 && c.body.ok {
+                self.state = 3;
+                self.session.end(ctx, 0);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        let _ = self.session.on_timer(ctx, tag);
+        let _ = self.rpc.on_timer(ctx, tag);
+    }
+}
+
+fn main() {
+    let mut app = launch_mfg_app(MfgAppParams::default());
+    let plants = ["Cupertino", "Santa Clara", "Reston", "Neufahrn"];
+    let n0 = app.nodes[0];
+    let n3 = app.nodes[3];
+
+    println!("manufacturing network up: 4 plants, global files item/bom/pohead replicated everywhere");
+    println!();
+    println!("1. partitioning {} ({n3}) off the network", plants[3]);
+    app.world.inject(Fault::Partition(vec![n3]));
+
+    println!("2. updating item 'widget' at its master {} ({n0}) — node autonomy says this must work", plants[0]);
+    let ok = Rc::new(RefCell::new(None));
+    let catalog = app.catalog.clone();
+    app.world.spawn(
+        n0,
+        2,
+        Box::new(Update {
+            node: n0,
+            key: "widget",
+            value: "rev-42",
+            session: TmfSession::new(catalog, 5),
+            rpc: Rpc::new(40),
+            state: 0,
+            ok: ok.clone(),
+        }),
+    );
+    app.world.run_for(SimDuration::from_secs(15));
+    println!("   committed: {:?}", ok.borrow().unwrap());
+
+    let show = |app: &mut encompass_repro::encompass::app::AppHandles| {
+        for (i, &n) in app.nodes.clone().iter().enumerate() {
+            let r = read_replica(&mut app.world, n, "item", b"widget");
+            let backlog = app
+                .world
+                .stable()
+                .get::<VolumeMedia>(&media_key(n, "$MFG"))
+                .and_then(|m| m.file(&suspense(n)))
+                .map(|f| f.len())
+                .unwrap_or(0);
+            println!(
+                "   {:12} replica: {:28} suspense backlog: {}",
+                plants[i],
+                r.map(|b| format!("{:?}", String::from_utf8_lossy(&b[1..])))
+                    .unwrap_or_else(|| "<absent>".into()),
+                backlog
+            );
+        }
+    };
+    println!("3. replica state while {} is cut off:", plants[3]);
+    show(&mut app);
+
+    println!("4. healing the partition; the suspense monitor drains deferred updates in order");
+    app.world.inject(Fault::HealAllLinks);
+    app.world.run_for(SimDuration::from_secs(30));
+    println!("   replica state after the heal:");
+    show(&mut app);
+    println!();
+    println!(
+        "   suspense updates applied: {}",
+        app.world.metrics().get("suspense.applied")
+    );
+    println!("   global file copies converged to a consistent state — Figure 4's design works");
+}

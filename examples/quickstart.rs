@@ -1,0 +1,112 @@
+//! Quickstart: one node, one audited file, one transaction — begin,
+//! write, commit, read back; then a second transaction that aborts and is
+//! transparently backed out.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use encompass_repro::sim::{NodeId, SimDuration};
+use encompass_repro::storage::types::{FileDef, VolumeRef};
+use encompass_repro::storage::Catalog;
+use encompass_repro::tmf::facility::{spawn_tmf_network, TmfNodeConfig};
+
+use bytes::Bytes;
+use encompass_repro::sim::{Ctx, Payload, Pid, Process, SimConfig, TimerId, World};
+use encompass_repro::tmf::session::{SessionEvent, TmfSession};
+use encompass_repro::tmf::state::AbortReason;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+/// A tiny scripted transaction program (see `encompass::tcp` for the real
+/// terminal machinery; this example drives the TMF session directly).
+struct Quickstart {
+    session: TmfSession,
+    step: u32,
+}
+
+impl Process for Quickstart {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        println!("[{}] BEGIN-TRANSACTION", ctx.now());
+        self.step = 1;
+        self.session.begin(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        let Ok(Some(ev)) = self.session.accept(ctx, payload) else {
+            return;
+        };
+        match (self.step, ev) {
+            (1, SessionEvent::Began { transid, .. }) => {
+                println!("[{}]   transid = {transid}", ctx.now());
+                self.step = 2;
+                self.session
+                    .insert(ctx, "accounts", b("alice"), b("100"), 0);
+            }
+            (2, SessionEvent::OpDone { reply, .. }) => {
+                println!("[{}]   insert alice=100 -> {reply:?}", ctx.now());
+                self.step = 3;
+                self.session.end(ctx, 0);
+            }
+            (3, SessionEvent::Committed { .. }) => {
+                println!("[{}] END-TRANSACTION: committed", ctx.now());
+                // second transaction: update then ABORT — TMF backs it out
+                self.step = 4;
+                self.session.begin(ctx, 0);
+            }
+            (4, SessionEvent::Began { .. }) => {
+                self.step = 5;
+                self.session.read_lock(ctx, "accounts", b("alice"), 0);
+            }
+            (5, SessionEvent::OpDone { reply, .. }) => {
+                println!("[{}]   read-lock alice -> {reply:?}", ctx.now());
+                self.step = 6;
+                self.session.update(ctx, "accounts", b("alice"), b("0"), 0);
+            }
+            (6, SessionEvent::OpDone { .. }) => {
+                println!("[{}]   updated alice=0 … now ABORT-TRANSACTION", ctx.now());
+                self.step = 7;
+                self.session.abort(ctx, AbortReason::Voluntary, 0);
+            }
+            (7, SessionEvent::Aborted { .. }) => {
+                println!("[{}] ABORT-TRANSACTION: backed out", ctx.now());
+                self.step = 8;
+                self.session.read(ctx, "accounts", b("alice"), 0);
+            }
+            (8, SessionEvent::OpDone { reply, .. }) => {
+                println!(
+                    "[{}] read alice after backout -> {reply:?}  (the 100 survived)",
+                    ctx.now()
+                );
+            }
+            (_, ev) => println!("[{}] unexpected event: {ev:?}", ctx.now()),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        let _ = self.session.on_timer(ctx, tag);
+    }
+}
+
+fn main() {
+    // a 4-processor Tandem node with one audited volume
+    let mut world = World::new(SimConfig::default());
+    let node: NodeId = world.add_node(4);
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", VolumeRef::new(node, "$DATA")));
+    spawn_tmf_network(&mut world, &catalog, TmfNodeConfig::default());
+
+    let session = TmfSession::new(catalog, 0);
+    world.spawn(node, 0, Box::new(Quickstart { session, step: 0 }));
+
+    world.run_for(SimDuration::from_secs(5));
+    println!();
+    println!("metrics:");
+    for (k, v) in world.metrics().snapshot() {
+        if k.starts_with("tmf.") || k.starts_with("disc.") || k.starts_with("audit.") {
+            println!("  {k:32} {v}");
+        }
+    }
+}

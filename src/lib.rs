@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full ENCOMPASS/TMF reproduction API.
+pub use encompass;
+pub use encompass_audit as audit;
+pub use encompass_sim as sim;
+pub use encompass_storage as storage;
+pub use guardian;
+pub use tmf;
