@@ -15,8 +15,19 @@ use crate::trail::{trail_key, TrailMedia};
 use encompass_sim::{Payload, Pid, World};
 use encompass_storage::audit_api::{AuditMsg, AuditReply, ImageRecord};
 use encompass_storage::types::Transid;
+use encompass_sim::NodeId;
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request};
 use std::collections::HashSet;
+
+/// Identity of one image record: duplicates arise when a DISCPROCESS
+/// takeover re-sends retained images whose original append already
+/// arrived. `seq` is only unique per volume, so the volume is part of
+/// the key.
+type ImageKey = (Transid, u64, NodeId, String);
+
+fn image_key(r: &ImageRecord) -> ImageKey {
+    (r.transid, r.seq, r.volume.node, r.volume.volume.clone())
+}
 
 const TAG_FORCE: u64 = 1;
 
@@ -69,6 +80,9 @@ pub struct AuditProcess {
     waiters: Vec<Waiter>,
     replies: ReplyCache<AuditReply>,
     in_progress: HashSet<u64>,
+    /// Keys of every record on the trail or in the buffer; `None` until
+    /// first needed (rebuilt by scanning the trail after a takeover).
+    seen: Option<HashSet<ImageKey>>,
 }
 
 impl AuditProcess {
@@ -81,7 +95,34 @@ impl AuditProcess {
             waiters: Vec::new(),
             replies: ReplyCache::new(8192),
             in_progress: HashSet::new(),
+            seen: None,
         }
+    }
+
+    /// Drop records already on the trail or in the buffer.
+    fn dedup(&mut self, ctx: &mut PairCtx<'_, '_>, records: Vec<ImageRecord>) -> Vec<ImageRecord> {
+        if self.seen.is_none() {
+            let mut s: HashSet<ImageKey> = HashSet::new();
+            self.with_trail(ctx, |t| {
+                for f in &t.files {
+                    for r in &f.records {
+                        s.insert(image_key(r));
+                    }
+                }
+            });
+            for r in &self.buffer {
+                s.insert(image_key(r));
+            }
+            self.seen = Some(s);
+        }
+        let seen = self.seen.as_mut().expect("built above");
+        let before = records.len();
+        let fresh: Vec<ImageRecord> = records
+            .into_iter()
+            .filter(|r| seen.insert(image_key(r)))
+            .collect();
+        ctx.count("audit.duplicate_records", (before - fresh.len()) as u64);
+        fresh
     }
 
     fn with_trail<R>(&self, ctx: &mut PairCtx<'_, '_>, f: impl FnOnce(&mut TrailMedia) -> R) -> R {
@@ -100,6 +141,12 @@ impl AuditProcess {
     /// Enqueue a waiter that needs everything currently buffered to be on
     /// the trail, and kick the force machinery.
     fn enqueue_force(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, r: AuditReply) {
+        if self.buffer.is_empty() {
+            // nothing to force (e.g. an append fully deduplicated away)
+            self.replies.store(req_id, r.clone());
+            reply(ctx, req_id, from, r);
+            return;
+        }
         let needed = self.forced_count + self.buffer.len() as u64;
         self.in_progress.insert(req_id);
         self.waiters.push(Waiter {
@@ -173,6 +220,7 @@ impl PairApp for AuditProcess {
         match req.body {
             AuditMsg::Append { records, force } => {
                 ctx.count("audit.appends", 1);
+                let records = self.dedup(ctx, records);
                 ctx.count("audit.records", records.len() as u64);
                 ctx.checkpoint(Payload::new(AuditDelta::Append {
                     req_id: req.id,
@@ -220,6 +268,9 @@ impl PairApp for AuditProcess {
         self.force_in_progress = None;
         self.waiters.clear();
         self.in_progress.clear();
+        // the seen-set was primary-memory state: rebuild from the trail
+        // and buffer on the next append
+        self.seen = None;
         ctx.count("audit.takeovers", 1);
     }
 

@@ -47,6 +47,11 @@ pub struct BackoutProcess {
     audit_rpc: Rpc<AuditMsg, AuditReply>,
     disc_rpc: Rpc<DiscRequest, DiscReply>,
     jobs: HashMap<Transid, Job>,
+    /// disc-rpc id → (transid, volume, audit service) awaiting the flush
+    /// barrier (all of the volume's lazy appends acknowledged), without
+    /// which the image read below could miss in-flight records and the
+    /// undo would be partial
+    flush_acks: HashMap<u64, (Transid, VolumeRef, String)>,
     /// audit-rpc id → (transid, volume) awaiting images
     image_reads: HashMap<u64, (Transid, VolumeRef)>,
     /// disc-rpc id → transid awaiting undo ack
@@ -61,6 +66,7 @@ impl BackoutProcess {
             audit_rpc: Rpc::new(3),
             disc_rpc: Rpc::new(4),
             jobs: HashMap::new(),
+            flush_acks: HashMap::new(),
             image_reads: HashMap::new(),
             undo_acks: HashMap::new(),
             replies: ReplyCache::new(4096),
@@ -124,6 +130,19 @@ impl PairApp for BackoutProcess {
         };
         let payload = match self.disc_rpc.accept(ctx, payload) {
             Ok(c) => {
+                if let Some((transid, volume, svc)) = self.flush_acks.remove(&c.id) {
+                    // the volume's appends have drained: the audit trail +
+                    // buffer now hold every image, so read them
+                    let rpc_id = self.audit_rpc.call_persistent(
+                        ctx,
+                        Target::Named(volume.node, svc),
+                        AuditMsg::ReadTxnImages { transid },
+                        SimDuration::from_millis(50),
+                        0,
+                    );
+                    self.image_reads.insert(rpc_id, (transid, volume));
+                    return;
+                }
                 if let Some(transid) = self.undo_acks.remove(&c.id) {
                     self.job_step_done(ctx, transid);
                 }
@@ -162,14 +181,16 @@ impl PairApp for BackoutProcess {
             },
         );
         for (volume, svc) in volumes.into_iter().zip(audit_services) {
-            let rpc_id = self.audit_rpc.call_persistent(
+            // barrier first: the DISCPROCESS answers once all its lazy
+            // appends for the transaction are acknowledged by the audit
+            let rpc_id = self.disc_rpc.call_persistent(
                 ctx,
-                Target::Named(volume.node, svc),
-                AuditMsg::ReadTxnImages { transid },
+                Target::Named(volume.node, volume.volume.clone()),
+                DiscRequest::FlushTxn { transid },
                 SimDuration::from_millis(50),
-                0,
+                1,
             );
-            self.image_reads.insert(rpc_id, (transid, volume));
+            self.flush_acks.insert(rpc_id, (transid, volume, svc));
         }
     }
 
@@ -182,6 +203,7 @@ impl PairApp for BackoutProcess {
         // jobs are reconstructible: the TMP's request is safe-delivery and
         // will be retried against the new primary
         self.jobs.clear();
+        self.flush_acks.clear();
         self.image_reads.clear();
         self.undo_acks.clear();
         ctx.count("backout.takeovers", 1);

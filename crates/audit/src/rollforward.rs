@@ -21,7 +21,12 @@
 //! 2. REDO: apply the after-images of every *committed* transaction, in
 //!    ascending audit-sequence order;
 //! 3. UNDO: apply the before-images of every *non-committed* transaction
-//!    (aborted, or still in flight at the failure), in descending order.
+//!    (aborted, or still in flight at the failure), in descending order —
+//!    **except** where a committed write with a higher sequence touched
+//!    the same record. Record locks serialize writers per record, so on
+//!    the live volume BACKOUT restored the loser's before-image *before*
+//!    the later transaction could lock the record; replaying that
+//!    before-image after REDO would clobber the committed value.
 //!
 //! Record locks serialize writers per key, so this reconstructs exactly
 //! the committed state.
@@ -41,6 +46,9 @@ pub struct RollforwardReport {
     pub redone: usize,
     /// Before-images applied (non-committed transactions).
     pub undone: usize,
+    /// Loser before-images skipped because a committed write with a higher
+    /// audit sequence already rewrote the record.
+    pub superseded: usize,
     /// Distinct committed transactions seen on the trails.
     pub committed_txns: usize,
     /// Distinct non-committed transactions rolled back.
@@ -94,10 +102,13 @@ pub fn rollforward_volume(
     let mut report = RollforwardReport::default();
     let mut committed_seen: HashMap<Transid, ()> = HashMap::new();
     let mut rolled_seen: HashMap<Transid, ()> = HashMap::new();
-    // REDO committed, ascending
+    // REDO committed, ascending; remember the newest committed sequence
+    // per record for the UNDO pass below
+    let mut committed_high: HashMap<(&str, &bytes::Bytes), u64> = HashMap::new();
     for img in &images {
         if outcomes[&img.transid] {
             committed_seen.insert(img.transid, ());
+            committed_high.insert((img.file.as_str(), &img.key), img.seq);
             files
                 .entry(img.file.clone())
                 .or_insert_with(|| encompass_storage::media::FileImage::new(img.organization))
@@ -105,10 +116,22 @@ pub fn rollforward_volume(
             report.redone += 1;
         }
     }
-    // UNDO non-committed, descending
+    // UNDO non-committed, descending. Record locks serialize writers per
+    // record, so BACKOUT restored a loser's before-image on the live volume
+    // *before* any later committed transaction could lock the record: a
+    // before-image with a committed write at a higher sequence on the same
+    // record is already compensated, and replaying it here would clobber
+    // the committed value.
     for img in images.iter().rev() {
         if !outcomes[&img.transid] {
             rolled_seen.insert(img.transid, ());
+            if committed_high
+                .get(&(img.file.as_str(), &img.key))
+                .is_some_and(|&s| s > img.seq)
+            {
+                report.superseded += 1;
+                continue;
+            }
             files
                 .entry(img.file.clone())
                 .or_insert_with(|| encompass_storage::media::FileImage::new(img.organization))
@@ -267,6 +290,52 @@ mod tests {
         assert_eq!(
             media.file("accounts").unwrap().read(b"k"),
             Some(Bytes::from_static(b"v"))
+        );
+    }
+
+    /// Regression: an aborted transaction's before-image must not clobber
+    /// committed writes that landed on the record *after* BACKOUT undid the
+    /// loser on the live volume. (Found by the chaos sweep: REDO produced
+    /// the right value, then the descending UNDO pass replayed the loser's
+    /// stale before-image over it.)
+    #[test]
+    fn superseded_loser_undo_is_skipped() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+        let akey = archive_key(&vol, 0);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: std::collections::BTreeMap::new(),
+            audit_watermark: 0,
+            generation: 0,
+        });
+        // Lock-serialized history of one record:
+        //   t1 commits 1000 -> 900
+        //   t2 writes 900 -> 850, aborts; BACKOUT restores 900 on the live
+        //     volume before releasing the lock
+        //   t3 commits 900 -> 870
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        w.stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(100))
+            .force(vec![
+                img(1, t(1), "k", Some("1000"), Some("900")),
+                img(2, t(2), "k", Some("900"), Some("850")),
+                img(3, t(3), "k", Some("900"), Some("870")),
+            ]);
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(2), false, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(3), true, SimTime::ZERO);
+
+        let report = rollforward_volume(&mut w, &vol, &[tk], 0);
+        assert_eq!(report.redone, 2);
+        assert_eq!(report.undone, 0, "loser undo superseded by t3's commit");
+        assert_eq!(report.superseded, 1);
+        let media = w.stable().get::<VolumeMedia>(&media_key(n, "$D")).unwrap();
+        assert_eq!(
+            media.file("accounts").unwrap().read(b"k"),
+            Some(Bytes::from_static(b"870")),
+            "committed value survives recovery"
         );
     }
 

@@ -1,0 +1,26 @@
+//! Deterministic chaos-sweep harness for the ENCOMPASS/TMF reproduction.
+//!
+//! The paper's central claim is not throughput but *survival*: "a
+//! transaction is an all-or-nothing unit of work" under processor, bus,
+//! link, and process failures. This crate turns that claim into a
+//! mechanically checkable property over randomized fault timelines:
+//!
+//! * [`Schedule::generate`] expands a seed into a cluster shape, a bank
+//!   workload, and a fault/heal timeline (CPU kills aimed at service
+//!   primaries, bus failures, partitions around the commit point, process
+//!   kills during backout);
+//! * [`run_schedule`] plays the timeline against the full application,
+//!   heals everything, quiesces, and then interrogates the system with
+//!   the oracles described in [`runner`];
+//! * the simulator is deterministic, so a failing seed is a one-line
+//!   repro: `cargo run -p encompass-chaos -- --seed N`.
+//!
+//! The sweep binary (`src/main.rs`) runs many seeds and fails loudly on
+//! the first invariant violation, printing the offending schedule.
+
+pub mod probe;
+pub mod runner;
+pub mod schedule;
+
+pub use runner::{run_schedule, run_seed, RunReport};
+pub use schedule::{ChaosAction, Schedule, ScheduledEvent};

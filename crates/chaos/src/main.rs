@@ -1,0 +1,123 @@
+//! Chaos-sweep CLI.
+//!
+//! ```text
+//! encompass-chaos --seed N            # one schedule, verbose, run twice
+//! encompass-chaos --sweep COUNT       # seeds 0..COUNT
+//! encompass-chaos --sweep COUNT --start S
+//! encompass-chaos                     # default: the 25-schedule CI smoke
+//! ```
+//!
+//! Exit status is non-zero if any run violates an invariant (or a seed
+//! fails to reproduce its own determinism hash).
+
+use encompass_chaos::{run_seed, Schedule};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: Option<u64> = None;
+    let mut sweep: Option<u64> = None;
+    let mut start: u64 = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = Some(parse_num(args.get(i + 1), "--seed"));
+                i += 2;
+            }
+            "--sweep" => {
+                sweep = Some(parse_num(args.get(i + 1), "--sweep"));
+                i += 2;
+            }
+            "--start" => {
+                start = parse_num(args.get(i + 1), "--start");
+                i += 2;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let failed = match (seed, sweep) {
+        (Some(s), _) => run_single(s),
+        (None, Some(count)) => run_sweep(start, count),
+        (None, None) => run_sweep(0, 25), // CI smoke default
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+fn print_usage() {
+    println!(
+        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]]\n\
+         default: --sweep 25 (the CI smoke subset)"
+    );
+}
+
+/// One seed, verbose: print the schedule, run it twice, and require the
+/// two runs to produce the same determinism hash.
+fn run_single(seed: u64) -> bool {
+    let schedule = Schedule::generate(seed);
+    print!("{}", schedule.describe());
+    let a = run_seed(seed);
+    let b = run_seed(seed);
+    println!("{}", a.summary_line());
+    let mut failed = false;
+    if a.trace_hash != b.trace_hash {
+        println!(
+            "DETERMINISM VIOLATION: rerun produced hash {:016x} != {:016x}",
+            b.trace_hash, a.trace_hash
+        );
+        failed = true;
+    }
+    for v in &a.violations {
+        println!("  violation: {v}");
+        failed = true;
+    }
+    if !failed {
+        println!("seed {seed}: all invariants hold, deterministic");
+    }
+    failed
+}
+
+fn run_sweep(start: u64, count: u64) -> bool {
+    let mut failures = 0u64;
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut takeover_commits = 0u64;
+    for seed in start..start + count {
+        let report = run_seed(seed);
+        println!("{}", report.summary_line());
+        commits += report.commits;
+        aborts += report.aborts;
+        takeover_commits += report.takeover_commit_completions;
+        if !report.ok() {
+            failures += 1;
+            println!("--- failing schedule (repro: --seed {seed}) ---");
+            print!("{}", report.schedule_desc);
+            for v in &report.violations {
+                println!("  violation: {v}");
+            }
+        }
+    }
+    println!(
+        "swept {count} schedules: {} ok, {failures} failed \
+         ({commits} commits, {aborts} aborts, {takeover_commits} commits completed by takeover)",
+        count - failures
+    );
+    failures > 0
+}

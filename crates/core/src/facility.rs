@@ -158,6 +158,7 @@ pub fn spawn_tmf_node(
             critical_timeout: cfg.critical_timeout,
             critical_retries: cfg.critical_retries,
             safe_retry: cfg.safe_retry,
+            ..TmpConfig::default()
         },
     );
 

@@ -488,7 +488,7 @@ impl TmfSession {
                 None
             }
             TmpReply::Failed | TmpReply::Phase1Refused | TmpReply::Phase1Ok
-            | TmpReply::Disposition { .. } => {
+            | TmpReply::Disposition { .. } | TmpReply::Open { .. } => {
                 self.pending = None;
                 ctx.count("tmf.session_failures", 1);
                 Some(SessionEvent::Failed { cookie })

@@ -40,6 +40,8 @@ use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Ta
 use std::collections::{BTreeSet, HashMap};
 
 const TAG_MONITOR_BASE: u64 = 1 << 16;
+/// Periodic in-doubt sweep on non-home nodes (below TAG_MONITOR_BASE).
+const TAG_JANITOR: u64 = 7;
 
 /// Requests handled by a TMP (from sessions, operators, and other TMPs).
 #[derive(Clone, Debug)]
@@ -61,6 +63,9 @@ pub enum TmpMsg {
     /// TMF utility: operator override for an in-doubt transaction on a
     /// node cut off after acknowledging phase one.
     ForceDisposition { transid: Transid, commit: bool },
+    /// TMF utility: list the transids still present in this TMP's
+    /// transaction table (post-quiesce verification tooling).
+    ListOpen,
     // ---- TMP ↔ TMP (network) ----
     /// Remote transaction begin (critical response).
     RemoteBegin { transid: Transid },
@@ -85,6 +90,7 @@ pub enum TmpReply {
     Committed,
     Aborted,
     Disposition { state: Option<TxState> },
+    Open { transids: Vec<Transid> },
 }
 
 /// Configuration for one node's TMP.
@@ -100,6 +106,10 @@ pub struct TmpConfig {
     pub critical_retries: u32,
     /// Retry interval of safe-delivery messages.
     pub safe_retry: SimDuration,
+    /// Interval of the non-home in-doubt sweep: entries that sit in the
+    /// table without progress are resolved against the home node's TMP
+    /// (ROLLFORWARD's "negotiation with other nodes", done online).
+    pub indoubt_probe: SimDuration,
 }
 
 impl Default for TmpConfig {
@@ -110,6 +120,7 @@ impl Default for TmpConfig {
             critical_timeout: SimDuration::from_millis(100),
             critical_retries: 3,
             safe_retry: SimDuration::from_millis(100),
+            indoubt_probe: SimDuration::from_millis(250),
         }
     }
 }
@@ -125,6 +136,14 @@ struct Txn {
     end_waiter: Option<(u64, Pid)>,
     abort_waiters: Vec<(u64, Pid)>,
     abort_reason: Option<AbortReason>,
+    /// Outstanding phase-two / abort-propagation acknowledgements. The
+    /// entry stays in the table (terminal state) until every safe-delivery
+    /// message is acknowledged, so a takeover can re-drive them.
+    pending_deliveries: usize,
+    /// Set by one janitor sweep, cleared by any state change: an entry
+    /// seen armed on the *next* sweep has made no progress and its
+    /// disposition is queried from the home node.
+    janitor_armed: bool,
 }
 
 impl Txn {
@@ -138,6 +157,8 @@ impl Txn {
             end_waiter: None,
             abort_waiters: Vec::new(),
             abort_reason: None,
+            pending_deliveries: 0,
+            janitor_armed: false,
         }
     }
 }
@@ -180,6 +201,10 @@ pub struct TmpProcess {
     remote_begins: HashMap<u64, (Transid, NodeId, u64, Pid)>,
     backouts: HashMap<u64, Transid>,
     monitor_timers: HashMap<u64, (Transid, bool)>,
+    /// safe-delivery Phase2/AbortTxn/ReleaseLocks rpc → transid
+    deliveries: HashMap<u64, Transid>,
+    /// in-doubt QueryDisposition rpc → transid
+    janitor_rpcs: HashMap<u64, Transid>,
     next_tag: u64,
 }
 
@@ -198,6 +223,8 @@ impl TmpProcess {
             remote_begins: HashMap::new(),
             backouts: HashMap::new(),
             monitor_timers: HashMap::new(),
+            deliveries: HashMap::new(),
+            janitor_rpcs: HashMap::new(),
             next_tag: 0,
         }
     }
@@ -257,6 +284,7 @@ impl TmpProcess {
                 state
             );
             t.state = state;
+            t.janitor_armed = false;
         }
         self.broadcast(ctx, transid, state);
         self.checkpoint_txn(ctx, transid, false);
@@ -411,35 +439,86 @@ impl TmpProcess {
             return;
         };
         let waiter = t.end_waiter.take();
-        let volumes = t.volumes.clone();
-        let children: Vec<NodeId> = t.children.iter().copied().collect();
         // END-TRANSACTION completes now; phase two is safe-delivery and
         // its completion is not awaited
         if let Some((req_id, from)) = waiter {
             self.answer(ctx, req_id, from, TmpReply::Committed);
         }
+        self.send_terminal_deliveries(ctx, transid);
+    }
+
+    /// Safe-delivery of a terminal disposition: release locks on every
+    /// participating volume and propagate Phase2/AbortTxn to the children.
+    /// The entry is only dropped once every delivery is acknowledged — a
+    /// takeover finds the terminal entry in the checkpointed table and
+    /// re-sends, so an outcome is never lost with a failed primary.
+    fn send_terminal_deliveries(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get(&transid) else {
+            return;
+        };
+        let committed = t.state == TxState::Ended;
+        let volumes = t.volumes.clone();
+        let children: Vec<NodeId> = if t.home {
+            t.children.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        let mut pending = 0usize;
         for v in volumes {
             ctx.count("tmf.msgs.release_local", 1);
-            self.disc_rpc.call_persistent(
+            let id = self.disc_rpc.call_persistent(
                 ctx,
                 Target::Named(v.node, v.volume.clone()),
                 DiscRequest::ReleaseLocks { transid },
                 self.cfg.safe_retry,
                 0,
             );
+            self.deliveries.insert(id, transid);
+            pending += 1;
         }
         for child in children {
-            ctx.count("tmf.msgs.phase2_net", 1);
-            self.tmp_rpc.call_persistent(
+            let msg = if committed {
+                ctx.count("tmf.msgs.phase2_net", 1);
+                TmpMsg::Phase2 { transid }
+            } else {
+                ctx.count("tmf.msgs.abort_net", 1);
+                TmpMsg::AbortTxn { transid }
+            };
+            let id = self.tmp_rpc.call_persistent(
                 ctx,
                 Target::Named(child, "$TMP".into()),
-                TmpMsg::Phase2 { transid },
+                msg,
                 self.cfg.safe_retry,
                 0,
             );
+            self.deliveries.insert(id, transid);
+            pending += 1;
         }
+        if let Some(t) = self.txns.get_mut(&transid) {
+            t.pending_deliveries = pending;
+        }
+        if pending == 0 {
+            self.forget_txn(ctx, transid);
+        }
+    }
+
+    /// Phase two is fully acknowledged: the transid leaves the system.
+    fn forget_txn(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
         self.txns.remove(&transid);
         self.checkpoint_txn(ctx, transid, true);
+    }
+
+    fn delivery_acked(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let done = match self.txns.get_mut(&transid) {
+            Some(t) => {
+                t.pending_deliveries = t.pending_deliveries.saturating_sub(1);
+                t.pending_deliveries == 0 && t.state.is_terminal()
+            }
+            None => false,
+        };
+        if done {
+            self.forget_txn(ctx, transid);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -496,19 +575,10 @@ impl TmpProcess {
         if t.state != TxState::Aborting {
             return;
         }
-        let volumes = t.volumes.clone();
         let home = t.home;
-        // release the backed-out transaction's locks
-        for v in volumes {
-            ctx.count("tmf.msgs.release_local", 1);
-            self.disc_rpc.call_persistent(
-                ctx,
-                Target::Named(v.node, v.volume.clone()),
-                DiscRequest::ReleaseLocks { transid },
-                self.cfg.safe_retry,
-                0,
-            );
-        }
+        // lock release is part of the terminal safe-delivery set (sent in
+        // finish_abort_*), so a takeover between backout and release still
+        // re-drives it
         if home {
             // record the abort on the monitor trail, then answer waiters
             self.schedule_monitor_write(ctx, transid, false);
@@ -530,27 +600,30 @@ impl TmpProcess {
                 self.answer(ctx, req_id, from, TmpReply::Aborted);
             }
         }
-        self.txns.remove(&transid);
-        self.checkpoint_txn(ctx, transid, true);
+        self.send_terminal_deliveries(ctx, transid);
     }
 
     fn finish_abort_nonhome(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
         self.set_state(ctx, transid, TxState::Aborted);
-        if let Some(t) = self.txns.get_mut(&transid) {
-            // a pending Phase1 request is answered with refusal — forcing
-            // network consensus to abort
-            let waiters: Vec<(u64, Pid)> = t
-                .end_waiter
-                .take()
-                .into_iter()
-                .chain(t.abort_waiters.drain(..))
-                .collect();
-            for (req_id, from) in waiters {
-                self.answer(ctx, req_id, from, TmpReply::Phase1Refused);
-            }
+        // record the disposition on this node's trail so late retries
+        // (e.g. a duplicate RegisterVolume) see a completed transaction
+        let node = ctx.node();
+        let now = ctx.now();
+        MonitorTrail::of(ctx.stable(), node).record(transid, false, now);
+        let (phase1_waiter, abort_waiters) = match self.txns.get_mut(&transid) {
+            Some(t) => (t.end_waiter.take(), std::mem::take(&mut t.abort_waiters)),
+            None => (None, Vec::new()),
+        };
+        // a pending Phase1 request is answered with refusal — forcing
+        // network consensus to abort...
+        if let Some((req_id, from)) = phase1_waiter {
+            self.answer(ctx, req_id, from, TmpReply::Phase1Refused);
         }
-        self.txns.remove(&transid);
-        self.checkpoint_txn(ctx, transid, true);
+        // ...but session Abort requesters get the abort they asked for
+        for (req_id, from) in abort_waiters {
+            self.answer(ctx, req_id, from, TmpReply::Aborted);
+        }
+        self.send_terminal_deliveries(ctx, transid);
     }
 
     // ------------------------------------------------------------------
@@ -572,6 +645,21 @@ impl TmpProcess {
                 self.answer(ctx, req_id, from, TmpReply::Began { transid });
             }
             TmpMsg::RegisterVolume { transid, volume } => {
+                // A late or retried registration for a transaction that
+                // already committed or aborted must not resurrect it as a
+                // phantom Active entry: for unknown transids, the Monitor
+                // Audit Trail is the authority on completion.
+                if !self.txns.contains_key(&transid) {
+                    let node = ctx.node();
+                    if MonitorTrail::of(ctx.stable(), node)
+                        .outcome(transid)
+                        .is_some()
+                    {
+                        ctx.count("tmf.register_after_completion", 1);
+                        self.answer(ctx, req_id, from, TmpReply::Failed);
+                        return;
+                    }
+                }
                 let home = transid.home_node == volume.node;
                 let (ok, changed) = {
                     let t = self.txns.entry(transid).or_insert_with(|| Txn::new(home));
@@ -715,6 +803,12 @@ impl TmpProcess {
                 }
                 self.answer(ctx, req_id, from, TmpReply::Ok);
             }
+            TmpMsg::ListOpen => {
+                let mut transids: Vec<Transid> = self.txns.keys().copied().collect();
+                transids.sort();
+                // utility query: not cached (idempotent)
+                reply(ctx, req_id, from, TmpReply::Open { transids });
+            }
             TmpMsg::RemoteBegin { transid } => {
                 ctx.count("tmf.remote_begins_received", 1);
                 let known = self.txns.contains_key(&transid);
@@ -788,8 +882,11 @@ impl TmpProcess {
                 DiscReply::Phase1Done => self.phase1_ack(ctx, transid),
                 _ => self.phase1_failed(ctx, transid),
             }
+            return;
         }
-        // ReleaseLocks acks need no action
+        if let Some(transid) = self.deliveries.remove(&id) {
+            self.delivery_acked(ctx, transid);
+        }
     }
 
     fn on_tmp_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64, body: TmpReply) {
@@ -813,8 +910,93 @@ impl TmpProcess {
                 }
                 _ => self.answer(ctx, req_id, from, TmpReply::Failed),
             }
+            return;
         }
-        // Phase2 / AbortTxn acks need no action
+        if let Some(transid) = self.deliveries.remove(&id) {
+            self.delivery_acked(ctx, transid);
+            return;
+        }
+        if let Some(transid) = self.janitor_rpcs.remove(&id) {
+            if let TmpReply::Disposition { state } = body {
+                self.resolve_indoubt(ctx, transid, state);
+            }
+        }
+    }
+
+    /// The home node answered an in-doubt query about a non-home entry.
+    /// Only authoritative answers act: a terminal state, or no record at
+    /// all — the commit record is forced to stable storage before any
+    /// commit completes, so "never heard of it" can only mean the
+    /// transaction never committed (presumed abort).
+    fn resolve_indoubt(
+        &mut self,
+        ctx: &mut PairCtx<'_, '_>,
+        transid: Transid,
+        home_state: Option<TxState>,
+    ) {
+        let local = match self.txns.get(&transid) {
+            Some(t) if !t.home => t.state,
+            _ => return,
+        };
+        if !matches!(local, TxState::Active | TxState::Ending) {
+            return;
+        }
+        match home_state {
+            Some(TxState::Ended) => {
+                ctx.count("tmf.indoubt_commits", 1);
+                let node = ctx.node();
+                let now = ctx.now();
+                MonitorTrail::of(ctx.stable(), node).record(transid, true, now);
+                self.finish_commit(ctx, transid);
+            }
+            Some(TxState::Aborted) | None => {
+                ctx.count("tmf.indoubt_aborts", 1);
+                if let Some(t) = self.txns.get_mut(&transid) {
+                    t.state = TxState::Active; // permit the Aborting transition
+                }
+                self.abort_txn(ctx, transid, AbortReason::Phase1Failure);
+            }
+            _ => {} // still in progress at home: leave it alone
+        }
+    }
+
+    /// Periodic sweep: query the home node about non-home entries that
+    /// made no progress since the previous sweep. This catches outcomes
+    /// whose safe-delivery died with a home TMP processor, and phantom
+    /// entries resurrected by stale RemoteBegin retransmissions.
+    fn janitor_tick(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        let in_flight: Vec<Transid> = self.janitor_rpcs.values().copied().collect();
+        let mut stale: Vec<(Transid, NodeId)> = self
+            .txns
+            .iter_mut()
+            .filter(|(t, e)| {
+                !e.home
+                    && matches!(e.state, TxState::Active | TxState::Ending)
+                    && !in_flight.contains(t)
+            })
+            .filter_map(|(t, e)| {
+                if e.janitor_armed {
+                    Some((*t, t.home_node))
+                } else {
+                    e.janitor_armed = true;
+                    None
+                }
+            })
+            .collect();
+        stale.sort_by_key(|(t, _)| *t); // map order is not deterministic
+        for (transid, home) in stale {
+            ctx.count("tmf.indoubt_probes", 1);
+            if let Ok(id) = self.tmp_rpc.call(
+                ctx,
+                Target::Named(home, "$TMP".into()),
+                TmpMsg::QueryDisposition { transid },
+                self.cfg.critical_timeout,
+                self.cfg.critical_retries,
+                1,
+            ) {
+                self.janitor_rpcs.insert(id, transid);
+            }
+        }
     }
 
     fn on_backout_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64) {
@@ -833,6 +1015,10 @@ impl TmpProcess {
             ctx.count("tmf.remote_begin_timeouts", 1);
             let _ = transid;
             self.answer(ctx, req_id, from, TmpReply::Failed);
+        } else {
+            // an unreachable home node fails an in-doubt probe: the next
+            // sweep simply retries
+            self.janitor_rpcs.remove(&id);
         }
     }
 }
@@ -879,7 +1065,16 @@ impl PairApp for TmpProcess {
         self.handle(ctx, req.id, req.from, req.body);
     }
 
+    fn on_primary_start(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        ctx.set_timer(self.cfg.indoubt_probe, TAG_JANITOR);
+    }
+
     fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
+        if tag == TAG_JANITOR {
+            self.janitor_tick(ctx);
+            ctx.set_timer(self.cfg.indoubt_probe, TAG_JANITOR);
+            return;
+        }
         if let Some((transid, commit)) = self.monitor_timers.remove(&tag) {
             self.monitor_written(ctx, transid, commit);
             return;
@@ -904,7 +1099,7 @@ impl PairApp for TmpProcess {
             }
             // "failure of the primary TCP's processor" — abort the active
             // transactions begun on the failed CPU
-            let affected: Vec<Transid> = self
+            let mut affected: Vec<Transid> = self
                 .txns
                 .iter()
                 .filter(|(t, e)| {
@@ -912,6 +1107,7 @@ impl PairApp for TmpProcess {
                 })
                 .map(|(t, _)| *t)
                 .collect();
+            affected.sort_unstable(); // map order is not deterministic
             for transid in affected {
                 ctx.count("tmf.cpu_failure_aborts", 1);
                 self.abort_txn(ctx, transid, AbortReason::CpuFailure);
@@ -928,20 +1124,33 @@ impl PairApp for TmpProcess {
         self.remote_begins.clear();
         self.backouts.clear();
         self.monitor_timers.clear();
-        let in_flight: Vec<(Transid, TxState, bool)> = self
+        self.deliveries.clear();
+        self.janitor_rpcs.clear();
+        let mut in_flight: Vec<(Transid, TxState, bool)> = self
             .txns
             .iter()
             .map(|(t, e)| (*t, e.state, e.home))
             .collect();
+        in_flight.sort_by_key(|(t, _, _)| *t); // map order is not deterministic
         for (transid, state, home) in in_flight {
             match state {
                 TxState::Ending if home => {
-                    // no commit record was written (the monitor write and
-                    // the reply happen in one handler): presume abort
-                    if let Some(t) = self.txns.get_mut(&transid) {
-                        t.state = TxState::Active;
+                    // The commit point is the forced record on the Monitor
+                    // Audit Trail, and the primary may have died *after*
+                    // writing it but before the drop-checkpoint: consult
+                    // the trail before presuming abort.
+                    let node = ctx.node();
+                    let outcome = MonitorTrail::of(ctx.stable(), node).outcome(transid);
+                    if outcome == Some(true) {
+                        ctx.count("tmf.takeover_commit_completions", 1);
+                        self.finish_commit(ctx, transid);
+                    } else {
+                        // no commit record on stable storage: presume abort
+                        if let Some(t) = self.txns.get_mut(&transid) {
+                            t.state = TxState::Active;
+                        }
+                        self.abort_txn(ctx, transid, AbortReason::CpuFailure);
                     }
-                    self.abort_txn(ctx, transid, AbortReason::CpuFailure);
                 }
                 TxState::Ending => { /* wait for the home node's disposition */ }
                 TxState::Aborting => {
@@ -950,6 +1159,14 @@ impl PairApp for TmpProcess {
                         t.state = TxState::Active;
                     }
                     self.abort_txn(ctx, transid, AbortReason::CpuFailure);
+                }
+                TxState::Ended | TxState::Aborted => {
+                    // the outcome is decided but its safe-delivery set
+                    // (phase-2 / abort notices, lock releases) may have died
+                    // with the primary; receivers are idempotent, so re-send
+                    // everything
+                    ctx.count("tmf.takeover_delivery_resends", 1);
+                    self.send_terminal_deliveries(ctx, transid);
                 }
                 _ => {}
             }

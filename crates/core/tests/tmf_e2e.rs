@@ -9,11 +9,13 @@ use encompass_sim::{
     World,
 };
 use encompass_storage::discprocess::{DiscError, DiscReply};
-use encompass_storage::types::{FileDef, PartitionSpec, VolumeRef};
+use encompass_storage::types::{FileDef, PartitionSpec, Transid, VolumeRef};
 use encompass_storage::Catalog;
+use guardian::{Rpc, Target, TimerOutcome};
 use tmf::facility::{spawn_tmf_network, TmfNodeConfig};
 use tmf::session::{SessionEvent, TmfSession};
 use tmf::state::AbortReason;
+use tmf::tmp::{TmpMsg, TmpReply};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -43,6 +45,9 @@ struct TxnDriver {
     script: Vec<Step>,
     next: usize,
     log: Log,
+    /// When present, filled with the transid at `Began` (for tests that
+    /// poke the protocol directly with that transid afterwards).
+    transid_out: Option<Rc<RefCell<Option<Transid>>>>,
 }
 
 impl TxnDriver {
@@ -52,6 +57,7 @@ impl TxnDriver {
             script,
             next: 0,
             log,
+            transid_out: None,
         }
     }
 
@@ -76,6 +82,9 @@ impl TxnDriver {
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
+        if let (SessionEvent::Began { .. }, Some(slot)) = (&ev, &self.transid_out) {
+            *slot.borrow_mut() = self.session.transid();
+        }
         let entry = match &ev {
             SessionEvent::Began { .. } => "began".to_string(),
             SessionEvent::OpDone { reply, .. } => match reply {
@@ -127,6 +136,69 @@ fn drive(world: &mut World, node: NodeId, cpu: u8, catalog: Catalog, script: Vec
         Box::new(TxnDriver::new(catalog, script, log.clone())),
     );
     log
+}
+
+/// Like [`drive`], but also returns a slot that receives the transid.
+fn drive_capturing(
+    world: &mut World,
+    node: NodeId,
+    cpu: u8,
+    catalog: Catalog,
+    script: Vec<Step>,
+) -> (Log, Rc<RefCell<Option<Transid>>>) {
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    let slot = Rc::new(RefCell::new(None));
+    let mut driver = TxnDriver::new(catalog, script, log.clone());
+    driver.transid_out = Some(slot.clone());
+    world.spawn(node, cpu, Box::new(driver));
+    (log, slot)
+}
+
+/// One-shot raw client: send `msg` to `node`'s `$TMP` and record the reply.
+fn ask_tmp(world: &mut World, node: NodeId, cpu: u8, msg: TmpMsg) -> Rc<RefCell<Option<TmpReply>>> {
+    struct TmpClient {
+        node: NodeId,
+        msg: Option<TmpMsg>,
+        rpc: Rpc<TmpMsg, TmpReply>,
+        out: Rc<RefCell<Option<TmpReply>>>,
+    }
+    impl Process for TmpClient {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.rpc.call_persistent(
+                ctx,
+                Target::Named(self.node, "$TMP".into()),
+                self.msg.take().expect("one shot"),
+                SimDuration::from_millis(100),
+                0,
+            );
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+            if let Ok(c) = self.rpc.accept(ctx, payload) {
+                *self.out.borrow_mut() = Some(c.body);
+                ctx.exit();
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+            if let TimerOutcome::Expired { .. } = self.rpc.on_timer(ctx, tag) {
+                ctx.exit();
+            }
+        }
+        fn kind(&self) -> &'static str {
+            "tmp-client"
+        }
+    }
+    let out = Rc::new(RefCell::new(None));
+    world.spawn(
+        node,
+        cpu,
+        Box::new(TmpClient {
+            node,
+            msg: Some(msg),
+            rpc: Rpc::new(11),
+            out: out.clone(),
+        }),
+    );
+    out
 }
 
 /// One node, one volume, one audited file.
@@ -621,6 +693,397 @@ fn file_lock_blocks_other_transactions_until_commit() {
     );
     w.run_for(SimDuration::from_secs(5));
     assert_eq!(log3.borrow().last().unwrap(), "committed");
+}
+
+// ---------------------------------------------------------------------------
+// Regressions for the commit-path in-doubt bug class: each of these drove a
+// chaos-sweep invariant violation before its fix (see EXPERIMENTS.md).
+// ---------------------------------------------------------------------------
+
+/// A TMP primary that dies after writing the commit record but before its
+/// phase-2 deliveries are acknowledged used to leak the transaction: the
+/// terminal entry was dropped at the takeover and the in-flight deliveries
+/// died with the primary, leaving remote locks held forever. Terminal
+/// entries are now retained until every safe-delivery is acknowledged and
+/// the new primary re-sends them (receivers are idempotent).
+#[test]
+fn tmp_takeover_after_commit_point_completes_distributed_commit() {
+    let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+    let log = drive(
+        &mut w,
+        n0,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "alpha", "1"),
+            Step::Insert("remote", "r", "2"),
+            Step::End,
+        ],
+    );
+    // run until the commit record hits the home monitor trail; the phase-2
+    // deliveries to nodes 1 and 2 (>= 2ms away) are still in flight
+    while w.metrics().get("tmf.commits") == 0 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(w.metrics().get("tmf.commits"), 1, "commit record written");
+    let tmp_cpu = w.lookup_name(n0, "$TMP").expect("TMP registered").cpu;
+    w.inject(Fault::KillCpu(n0, tmp_cpu));
+    w.run_for(SimDuration::from_secs(2));
+    w.inject(Fault::RestoreCpu(n0, tmp_cpu));
+    w.run_for(SimDuration::from_secs(10));
+    assert!(
+        w.metrics().get("tmf.takeover_delivery_resends") >= 1,
+        "the new primary re-sent the unacknowledged phase-2 deliveries"
+    );
+    assert_eq!(
+        log.borrow().last().unwrap(),
+        "committed",
+        "END-TRANSACTION was answered after the takeover: {:?}",
+        log.borrow()
+    );
+    // phase 2 landed on the remote participant: effects visible, lock free
+    let log2 = drive(
+        &mut w,
+        n2,
+        0,
+        catalog,
+        vec![Step::Begin, Step::ReadLock("remote", "r"), Step::Abort],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["began", "value:2", "aborted"],
+        "remote record committed and unlocked"
+    );
+}
+
+/// The narrower satellite window: the primary dies *after* forcing the
+/// commit record to the Monitor Audit Trail but *before* its Ended
+/// checkpoint reaches the backup, which therefore still sees Ending and
+/// used to presume abort — backing out a committed transaction. It must
+/// consult the trail instead and finish the commit. A double bus failure
+/// holds the window open: the trail force is a timer plus a
+/// stable-storage write and completes regardless, while the Ended
+/// checkpoint is a cross-CPU send that fails with both buses down.
+#[test]
+fn tmp_takeover_between_commit_record_and_checkpoint_commits() {
+    let (mut w, n, catalog) = single_node();
+    let log = drive(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "win", "1"),
+            Step::End,
+        ],
+    );
+    // the commit decision is taken: the trail force is scheduled and the
+    // Ending checkpoint is already on (or past) the bus to the backup
+    while w.metrics().get("tmf.monitor_forces") == 0 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_micros(50));
+    }
+    assert_eq!(w.metrics().get("tmf.monitor_forces"), 1);
+    let tmp_cpu = w.lookup_name(n, "$TMP").expect("TMP registered").cpu;
+    w.inject(Fault::KillBus(n, 0));
+    w.inject(Fault::KillBus(n, 1));
+    while w.metrics().get("tmf.commits") == 0 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_micros(50));
+    }
+    assert_eq!(w.metrics().get("tmf.commits"), 1);
+    // the record is on the trail but the backup never saw Ended: kill the
+    // primary in exactly that state, then let the buses come back
+    w.inject(Fault::KillCpu(n, tmp_cpu));
+    w.inject(Fault::HealBus(n, 0));
+    w.inject(Fault::HealBus(n, 1));
+    w.run_for(SimDuration::from_secs(2));
+    w.inject(Fault::RestoreCpu(n, tmp_cpu));
+    w.run_for(SimDuration::from_secs(10));
+    assert!(
+        w.metrics().get("tmf.takeover_commit_completions") >= 1,
+        "the backup found the commit record on the trail"
+    );
+    assert_eq!(log.borrow().last().unwrap(), "committed", "{:?}", log.borrow());
+    // the committed value survived (not backed out by a presumed abort)
+    let log2 = drive(
+        &mut w,
+        n,
+        2,
+        catalog,
+        vec![Step::Begin, Step::ReadLock("accounts", "win"), Step::Abort],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["began", "value:1", "aborted"],
+        "value intact and lock free after the takeover commit"
+    );
+}
+
+/// Unacknowledged lazy audit appends were pure primary-memory state: a
+/// DISCPROCESS takeover dropped them, and a later backout read an audit
+/// trail that was missing before-images, leaving the aborted update in
+/// place. The images now ride the Applied checkpoint and the new primary
+/// re-sends them (the AUDITPROCESS deduplicates).
+#[test]
+fn disc_takeover_mid_transaction_keeps_backout_images() {
+    let (mut w, n, catalog) = single_node();
+    let log1 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![Step::Begin, Step::Insert("accounts", "vic", "500"), Step::End],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log1.borrow().last().unwrap(), "committed");
+    let log2 = drive(
+        &mut w,
+        n,
+        1,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::ReadLock("accounts", "vic"),
+            Step::Update("accounts", "vic", "0"),
+            Step::Pause(SimDuration::from_secs(2)), // disc dies in here
+            Step::Abort,
+            Step::Read("accounts", "vic"),
+        ],
+    );
+    while log2.borrow().len() < 3 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(log2.borrow().len(), 3, "update applied: {:?}", log2.borrow());
+    let disc_cpu = w.lookup_name(n, "$DATA").expect("disc registered").cpu;
+    w.inject(Fault::KillCpu(n, disc_cpu));
+    w.run_for(SimDuration::from_millis(500));
+    w.inject(Fault::RestoreCpu(n, disc_cpu));
+    w.run_for(SimDuration::from_secs(10));
+    assert!(
+        w.metrics().get("disc.takeover_image_resends") >= 1,
+        "the new disc primary re-sent the retained images"
+    );
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["began", "value:500", "ok", "aborted", "value:500"],
+        "backout found the before-image despite the takeover"
+    );
+}
+
+/// An AUDITPROCESS takeover mid-transaction: the buffered (unforced) image
+/// records are mirrored by per-append checkpoints, so phase 1's ForceTxn
+/// against the new primary still lands every record on the trail.
+#[test]
+fn audit_takeover_mid_transaction_still_commits_durably() {
+    let (mut w, n, catalog) = single_node();
+    let log = drive(
+        &mut w,
+        n,
+        2,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "aud", "7"),
+            Step::Pause(SimDuration::from_secs(1)), // audit dies in here
+            Step::End,
+            Step::Read("accounts", "aud"),
+        ],
+    );
+    while log.borrow().len() < 2 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(log.borrow().len(), 2, "insert applied: {:?}", log.borrow());
+    let audit_cpu = w.lookup_name(n, "$AUDIT").expect("audit registered").cpu;
+    w.inject(Fault::KillCpu(n, audit_cpu));
+    w.run_for(SimDuration::from_millis(300));
+    w.inject(Fault::RestoreCpu(n, audit_cpu));
+    w.run_for(SimDuration::from_secs(10));
+    assert!(w.metrics().get("audit.takeovers") >= 1);
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "committed", "value:7"],
+        "commit forced the checkpoint-surviving buffer to the trail"
+    );
+    assert_eq!(MonitorTrail::of(w.stable_mut(), n).commits(), 1);
+}
+
+/// Once a transaction reaches its commit or abort point the DISCPROCESS
+/// fences its transid: a data operation that was still in flight (e.g. a
+/// retry that raced the outcome) must not apply after backout read the
+/// images, or the undo would silently be lost.
+#[test]
+fn late_write_with_stale_transid_is_fenced() {
+    use encompass_storage::discprocess::DiscRequest;
+
+    let (mut w, n, catalog) = single_node();
+    let (log, transid) = drive_capturing(
+        &mut w,
+        n,
+        0,
+        catalog,
+        vec![Step::Begin, Step::Insert("accounts", "fz", "1"), Step::End],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log.borrow().as_slice(), &["began", "ok", "committed"]);
+    let stale = transid.borrow().expect("captured at Began");
+    // a straggler write tagged with the completed transid is rejected, and
+    // the committed value survives
+    let replies = encompass_storage::testkit::run_script(
+        &mut w,
+        n,
+        1,
+        Target::Named(n, "$DATA".into()),
+        vec![
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("fz"),
+                value: b("99"),
+                transid: Some(stale),
+            },
+            DiscRequest::Read {
+                file: "accounts".into(),
+                key: b("fz"),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        replies.borrow().as_slice(),
+        &[
+            DiscReply::Err(DiscError::TxnFenced),
+            DiscReply::Value(Some(b("1"))),
+        ]
+    );
+}
+
+/// A unilateral abort at a *non-home* participant used to answer the
+/// requester with `Phase1Refused` (the reply meant for the home TMP's
+/// phase-1 probe); the session waiter must get `Aborted`.
+#[test]
+fn nonhome_unilateral_abort_answers_aborted() {
+    let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+    let (log, transid) = drive_capturing(
+        &mut w,
+        n0,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("remote", "u9", "v"), // registers with node 2's TMP
+            Step::Pause(SimDuration::from_secs(2)), // abort arrives in here
+            Step::End,
+            Step::Read("remote", "u9"),
+        ],
+    );
+    while log.borrow().len() < 2 && w.now() < SimTime::from_micros(10_000_000) {
+        w.run_for(SimDuration::from_millis(1));
+    }
+    assert_eq!(log.borrow().len(), 2, "insert landed: {:?}", log.borrow());
+    let transid = transid.borrow().expect("captured at Began");
+    // node 2 aborts unilaterally (it has not acked phase 1 yet)
+    let reply = ask_tmp(
+        &mut w,
+        n2,
+        0,
+        TmpMsg::Abort {
+            transid,
+            reason: AbortReason::Voluntary,
+        },
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        *reply.borrow(),
+        Some(TmpReply::Aborted),
+        "the non-home abort requester hears Aborted, not Phase1Refused"
+    );
+    // the unilateral abort forces network consensus: END at home aborts
+    // everywhere and node 2's insert is gone
+    w.run_for(SimDuration::from_secs(8));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "ok", "aborted", "value:<none>"],
+        "consensus abort after the unilateral refusal"
+    );
+}
+
+/// A late or retried `RegisterVolume` for a transid that already finished
+/// used to `or_insert` a phantom Active entry that never terminated — an
+/// entry leak with a wrong disposition. The Monitor Audit Trail is now
+/// consulted for unknown transids.
+#[test]
+fn late_register_volume_after_completion_is_refused() {
+    let (mut w, n, catalog) = single_node();
+    let (log, transid) = drive_capturing(
+        &mut w,
+        n,
+        0,
+        catalog,
+        vec![Step::Begin, Step::Insert("accounts", "rg", "1"), Step::End],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log.borrow().as_slice(), &["began", "ok", "committed"]);
+    let transid = transid.borrow().expect("captured at Began");
+    // a stale File System retry shows up after END-TRANSACTION completed
+    let reply = ask_tmp(
+        &mut w,
+        n,
+        1,
+        TmpMsg::RegisterVolume {
+            transid,
+            volume: VolumeRef::new(n, "$DATA"),
+        },
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        *reply.borrow(),
+        Some(TmpReply::Failed),
+        "registration against a completed transid is refused"
+    );
+    assert_eq!(w.metrics().get("tmf.register_after_completion"), 1);
+    // and no phantom entry was resurrected
+    let open = ask_tmp(&mut w, n, 1, TmpMsg::ListOpen);
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        *open.borrow(),
+        Some(TmpReply::Open {
+            transids: Vec::new()
+        }),
+        "the transaction table is empty"
+    );
+}
+
+/// Determinism is what makes a chaos seed a one-line repro, so it is an
+/// invariant in its own right: the same fault timeline (a TMP-primary CPU
+/// kill mid-transaction, a partition, restores and heals) must replay to
+/// the identical trace hash.
+#[test]
+fn deterministic_run_with_cpu_failures() {
+    fn run() -> u64 {
+        let (mut w, [n0, _n1, n2], catalog) = three_nodes();
+        let _ = drive(
+            &mut w,
+            n0,
+            0,
+            catalog,
+            vec![
+                Step::Begin,
+                Step::Insert("accounts", "alpha", "1"),
+                Step::Insert("remote", "r", "2"),
+                Step::End,
+            ],
+        );
+        // cpu 3 hosts node 0's TMP primary at spawn time
+        w.schedule_fault(SimTime::from_micros(40_000), Fault::KillCpu(n0, CpuId(3)));
+        w.schedule_fault(SimTime::from_micros(300_000), Fault::Partition(vec![n2]));
+        w.schedule_fault(SimTime::from_micros(700_000), Fault::RestoreCpu(n0, CpuId(3)));
+        w.schedule_fault(SimTime::from_micros(900_000), Fault::HealAllLinks);
+        w.run_until(SimTime::from_micros(5_000_000));
+        w.trace_hash()
+    }
+    assert_eq!(run(), run());
 }
 
 #[test]

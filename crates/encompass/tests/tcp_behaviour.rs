@@ -97,8 +97,8 @@ fn scripted_commit_and_voluntary_abort_through_the_tcp() {
         .stable()
         .get::<VolumeMedia>(&media_key(n, "$BANK"))
         .unwrap();
+    let _ = media;
     // allow the flush to land
-    drop(media);
     w.run_for(SimDuration::from_secs(3));
     let media = w
         .stable()

@@ -1,7 +1,7 @@
 //! Edge-case tests for the guardian RPC layer: cancellation, cookies,
 //! duplicate replies after retransmission, and in-flight accounting.
 
-use encompass_sim::{Ctx, NodeId, Payload, Pid, Process, SimConfig, SimDuration, TimerId, World};
+use encompass_sim::{Ctx, Payload, Pid, Process, SimConfig, SimDuration, TimerId, World};
 use guardian::{reply, Request, Rpc, Target, TimerOutcome};
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`: only `crossbeam::scope`, built on
+//! `std::thread::scope` (stable since 1.63). Spawn closures receive a
+//! scope handle argument to match the crossbeam 0.8 signature; the
+//! call returns `Ok(r)` with the closure's result, or `Err` if any
+//! spawned thread panicked.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panicked: Arc<AtomicBool>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope {
+            inner: self.inner,
+            panicked: Arc::clone(&self.panicked),
+        };
+        let panicked = Arc::clone(&self.panicked);
+        self.inner.spawn(move || {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+            if result.is_err() {
+                panicked.store(true, Ordering::SeqCst);
+            }
+        });
+    }
+}
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panicked = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&panicked);
+    let result = std::thread::scope(move |s| {
+        let scope = Scope {
+            inner: s,
+            panicked: flag,
+        };
+        f(&scope)
+    });
+    if panicked.load(Ordering::SeqCst) {
+        Err(Box::new("a scoped thread panicked") as PanicPayload)
+    } else {
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_run_and_join() {
+        let total = std::sync::Mutex::new(0);
+        super::scope(|s| {
+            for i in 1..=4 {
+                let total = &total;
+                s.spawn(move |_| {
+                    *total.lock().unwrap() += i;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(*total.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn panic_reported_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for `proptest`: deterministic randomized testing
+//! with the subset of the API this workspace uses — `proptest!`,
+//! `Strategy`/`prop_map`, integer-range and tuple strategies,
+//! `any::<T>()`, a tiny `[a-z]{m,n}`-style regex string strategy,
+//! `prop::collection::vec`, `prop_oneof!`, and `prop_assert*!`.
+//!
+//! No shrinking: on failure the macro prints the generated inputs and
+//! the case's seed, which is derived deterministically from the case
+//! index, so every failure replays on the next run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies by the `proptest!` runner.
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub fn test_rng(case: u64) -> TestRng {
+    // Fixed base so runs are reproducible; each case gets its own stream.
+    StdRng::seed_from_u64(0x7072_6F70_7465_7374 ^ case.wrapping_mul(0x9E37_79B9))
+}
+
+/// Runner configuration: only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values. Object-safe so `prop_oneof!` can box
+/// heterogeneous arms.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Any-value strategy for types with a uniform default distribution.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// String strategy from a pattern literal. Supports the tiny regex
+/// subset used in tests: a char class `[a-z]` (or a literal char)
+/// followed by an optional `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let i;
+        // char class or single literal
+        let (lo, hi) = if chars.first() == Some(&'[') {
+            let close = chars
+                .iter()
+                .position(|&c| c == ']')
+                .expect("unterminated char class in pattern");
+            let class = &chars[1..close];
+            i = close + 1;
+            match class {
+                [a, '-', b] => (*a, *b),
+                [a] => (*a, *a),
+                _ => panic!("unsupported char class in pattern {self:?}"),
+            }
+        } else {
+            let c = chars[0];
+            i = 1;
+            (c, c)
+        };
+        // repetition
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = match body.split_once(',') {
+                Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                None => {
+                    let v: usize = body.parse().unwrap();
+                    (v, v)
+                }
+            };
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        let len = rng.random_range(min..=max);
+        (0..len)
+            .map(|_| {
+                let span = hi as u32 - lo as u32;
+                char::from_u32(lo as u32 + rng.random_range(0..=span)).unwrap()
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Weighted-choice union of boxed arms (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirrors `proptest::prop` (call sites use `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::Union::new(arms)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_rng(case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body
+                ));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {case}/{} failed; inputs: {inputs}",
+                        config.cases
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_rng(0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_plumbing_works(
+            n in 1usize..10,
+            flag in any::<bool>(),
+            items in prop::collection::vec(prop_oneof![(0u8..5).prop_map(|v| v as u16), 10u16..20], 0..8),
+        ) {
+            prop_assert!((1..10).contains(&n), "n = {}", n);
+            let _ = flag;
+            for item in items {
+                prop_assert!(item < 5 || (10..20).contains(&item));
+            }
+        }
+    }
+}

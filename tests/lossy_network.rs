@@ -7,7 +7,6 @@
 //! Also covers the multi-AUDITPROCESS configuration: two volumes on one
 //! node, each with its own audit service and trail, recovered together.
 
-use bytes::Bytes;
 use encompass_repro::encompass::app::AppBuilder;
 use encompass_repro::sim::{NodeId, SimDuration};
 use encompass_repro::storage::types::{FileDef, VolumeRef};
@@ -212,7 +211,7 @@ fn multiple_audit_processes_share_the_load_and_recover_together() {
             .stable()
             .get::<encompass_repro::audit::trail::TrailMedia>(tk)
             .expect("trail exists");
-        assert!(t.len() > 0, "{tk} carries audit records");
+        assert!(!t.is_empty(), "{tk} carries audit records");
     }
     // total failure of volume $DA (its pair lives on CPUs 3,4)
     app.world.run_for(SimDuration::from_secs(5));

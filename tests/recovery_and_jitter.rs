@@ -32,6 +32,7 @@ mod driver {
     #[derive(Clone)]
     pub enum Step {
         Begin,
+        #[allow(dead_code)]
         Read(String, Bytes),
         Insert(String, Bytes, Bytes),
         End,
