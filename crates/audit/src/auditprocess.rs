@@ -30,6 +30,10 @@ fn image_key(r: &ImageRecord) -> ImageKey {
 }
 
 const TAG_FORCE: u64 = 1;
+const TAG_WINDOW: u64 = 2;
+
+/// Cumulative bucket bounds for the boxcar-size histogram.
+const BOXCAR_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
 
 /// Configuration for one AUDITPROCESS.
 #[derive(Clone, Debug)]
@@ -38,6 +42,13 @@ pub struct AuditConfig {
     pub service: String,
     /// Trail-file rotation threshold (records per file).
     pub rotate_every: usize,
+    /// How long to hold an eligible force open so that later requesters can
+    /// board the same boxcar. Zero forces immediately (the pre-boxcar
+    /// behavior): a force starts as soon as one waiter is queued.
+    pub group_commit_window: encompass_sim::SimDuration,
+    /// Start the force early once this many waiters have boarded, even if
+    /// the window has not elapsed.
+    pub group_commit_max: usize,
 }
 
 impl Default for AuditConfig {
@@ -45,6 +56,8 @@ impl Default for AuditConfig {
         AuditConfig {
             service: "$AUDIT".into(),
             rotate_every: 4096,
+            group_commit_window: encompass_sim::SimDuration::ZERO,
+            group_commit_max: 64,
         }
     }
 }
@@ -77,6 +90,10 @@ pub struct AuditProcess {
     /// Total records forced to the trail over all time.
     forced_count: u64,
     force_in_progress: Option<usize>,
+    /// True while a `TAG_WINDOW` timer is outstanding for the boxcar now
+    /// accumulating. Primary-memory only: the timer dies with the primary,
+    /// and retransmitted requests re-arm it after a takeover.
+    window_armed: bool,
     waiters: Vec<Waiter>,
     replies: ReplyCache<AuditReply>,
     in_progress: HashSet<u64>,
@@ -92,6 +109,7 @@ impl AuditProcess {
             buffer: Vec::new(),
             forced_count: 0,
             force_in_progress: None,
+            window_armed: false,
             waiters: Vec::new(),
             replies: ReplyCache::new(8192),
             in_progress: HashSet::new(),
@@ -162,6 +180,23 @@ impl AuditProcess {
         if self.force_in_progress.is_some() || self.buffer.is_empty() || self.waiters.is_empty() {
             return;
         }
+        if self.cfg.group_commit_window > encompass_sim::SimDuration::ZERO
+            && self.waiters.len() < self.cfg.group_commit_max
+        {
+            // Hold the boxcar open for late boarders. A stale window timer
+            // from an earlier, max-filled boxcar may close this one early;
+            // that only shortens the wait, never loses a waiter.
+            if !self.window_armed {
+                self.window_armed = true;
+                ctx.set_timer(self.cfg.group_commit_window, TAG_WINDOW);
+            }
+            return;
+        }
+        self.start_force(ctx);
+    }
+
+    fn start_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        self.window_armed = false;
         let upto = self.buffer.len();
         self.force_in_progress = Some(upto);
         ctx.count("audit.force_started", 1);
@@ -187,6 +222,7 @@ impl AuditProcess {
         let (done, rest): (Vec<Waiter>, Vec<Waiter>) =
             self.waiters.drain(..).partition(|w| w.needed <= forced);
         self.waiters = rest;
+        ctx.observe("audit.boxcar_size", done.len() as u64, BOXCAR_BOUNDS);
         for w in done {
             self.in_progress.remove(&w.req_id);
             self.replies.store(w.req_id, w.reply.clone());
@@ -258,14 +294,25 @@ impl PairApp for AuditProcess {
     }
 
     fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
-        if tag == TAG_FORCE {
-            self.complete_force(ctx);
+        match tag {
+            TAG_FORCE => self.complete_force(ctx),
+            TAG_WINDOW => {
+                self.window_armed = false;
+                if self.force_in_progress.is_none()
+                    && !self.buffer.is_empty()
+                    && !self.waiters.is_empty()
+                {
+                    self.start_force(ctx);
+                }
+            }
+            _ => {}
         }
     }
 
     fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
         // an in-flight force died with the primary; requesters retransmit
         self.force_in_progress = None;
+        self.window_armed = false;
         self.waiters.clear();
         self.in_progress.clear();
         // the seen-set was primary-memory state: rebuild from the trail

@@ -55,6 +55,30 @@ impl MonitorTrail {
         }
     }
 
+    /// Write a boxcar of completion records under a *single* physical
+    /// force — the group-commit path. Every record in the batch becomes
+    /// durable (and, for commits, committed) at the same instant; the
+    /// write is still "force at phase one", there is just one of it.
+    /// Returns how many records were new (retries are skipped, as in
+    /// [`MonitorTrail::record`]). A fully-duplicate batch costs no force.
+    pub fn record_group(&mut self, batch: &[(Transid, bool)], at: SimTime) -> usize {
+        let mut written = 0;
+        for &(transid, committed) in batch {
+            if self.outcome(transid).is_none() {
+                self.records.push(CompletionRecord {
+                    transid,
+                    committed,
+                    at,
+                });
+                written += 1;
+            }
+        }
+        if written > 0 {
+            self.forces += 1;
+        }
+        written
+    }
+
     /// The recorded outcome of a transaction, if it completed.
     pub fn outcome(&self, transid: Transid) -> Option<bool> {
         self.records
@@ -116,6 +140,23 @@ mod tests {
         assert_eq!(m.outcome(t(1)), Some(true));
         assert_eq!(m.len(), 1);
         assert_eq!(m.forces, 1);
+    }
+
+    #[test]
+    fn group_record_is_one_force() {
+        let mut m = MonitorTrail::new();
+        let written = m.record_group(&[(t(1), true), (t(2), true), (t(3), false)], SimTime::ZERO);
+        assert_eq!(written, 3);
+        assert_eq!(m.forces, 1);
+        assert_eq!(m.commits(), 2);
+        assert_eq!(m.aborts(), 1);
+        // a retried batch is absorbed without another force
+        let written = m.record_group(&[(t(1), true), (t(2), true)], SimTime::from_micros(5));
+        assert_eq!(written, 0);
+        assert_eq!(m.forces, 1);
+        // and a conflicting retry cannot flip an outcome
+        m.record_group(&[(t(3), true)], SimTime::from_micros(6));
+        assert_eq!(m.outcome(t(3)), Some(false));
     }
 
     #[test]

@@ -144,6 +144,81 @@ fn group_commit_batches_concurrent_phase_ones() {
     );
 }
 
+#[test]
+fn audit_takeover_with_half_filled_boxcar_loses_nothing() {
+    // same shape as `setup`, but with a long boxcar window so the primary
+    // dies while the window is still open and the boxcar half-filled
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol = VolumeRef::new(n, "$DATA");
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", vol.clone()));
+    spawn_audit_process(
+        &mut w,
+        n,
+        2,
+        3,
+        AuditConfig {
+            group_commit_window: SimDuration::from_millis(300),
+            ..AuditConfig::default()
+        },
+    );
+    let cfg = DiscConfig {
+        recovery_mode: RecoveryMode::NonStopCheckpoint,
+        audit_service: Some("$AUDIT".into()),
+        ..DiscConfig::default()
+    };
+    let h = spawn_disc_process(&mut w, 0, 1, vol, catalog, cfg);
+    let target = h.target();
+
+    // two transactions reach phase one inside the same window
+    let mut scripts = Vec::new();
+    for i in 0..2u64 {
+        let t = txn(i + 1);
+        scripts.push(run_script(
+            &mut w,
+            n,
+            i as u8,
+            target.clone(),
+            vec![
+                DiscRequest::Insert {
+                    file: "accounts".into(),
+                    key: Bytes::from(format!("k{i}")),
+                    value: b("v"),
+                    transid: Some(t),
+                    lock_wait: WAIT,
+                },
+                DiscRequest::EndPhase1 { transid: t },
+                DiscRequest::ReleaseLocks { transid: t },
+            ],
+        ));
+    }
+    // both force requests have boarded, nothing forced yet: kill the primary
+    w.run_for(SimDuration::from_millis(150));
+    assert_eq!(
+        w.metrics().get("audit.forces"),
+        0,
+        "window must still be open when the primary dies"
+    );
+    w.inject(Fault::KillCpu(n, CpuId(2)));
+    w.run_for(SimDuration::from_secs(10));
+
+    // every waiter was answered after the takeover
+    for (i, r) in scripts.iter().enumerate() {
+        assert_eq!(r.borrow().len(), 3, "txn {i}: {:?}", r.borrow());
+        assert_eq!(r.borrow()[1], DiscReply::Phase1Done, "txn {i}");
+    }
+    assert!(w.metrics().get("audit.takeovers") >= 1);
+    // the checkpointed boxcar records reached the trail exactly once each:
+    // nothing lost with the primary, nothing double-forced on retransmit
+    let trail = w
+        .stable()
+        .get::<TrailMedia>(&trail_key(n, "$AUDIT"))
+        .unwrap();
+    assert_eq!(trail.txn_images(txn(1)).len(), 1);
+    assert_eq!(trail.txn_images(txn(2)).len(), 1);
+}
+
 /// Drives a Backout request and records the reply.
 struct BackoutDriver {
     node: NodeId,

@@ -1,0 +1,25 @@
+//! Group-commit sweep — see `encompass_bench::experiments::group_commit`.
+//!
+//! ```text
+//! cargo run -p encompass-bench --release --bin exp_group_commit           # full sweep
+//! cargo run -p encompass-bench --release --bin exp_group_commit -- --smoke
+//! cargo run -p encompass-bench --release --bin exp_group_commit -- --out path.json
+//! ```
+//!
+//! Writes the machine-readable sweep to `BENCH_group_commit.json` (or
+//! `--out PATH`) in addition to printing the table.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_group_commit.json".to_string());
+
+    let result = encompass_bench::experiments::group_commit(smoke);
+    println!("{}", result.table());
+    std::fs::write(&out, result.to_json()).expect("write sweep json");
+    println!("wrote {out}");
+}

@@ -10,7 +10,7 @@ use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
 use std::cell::RefCell;
 use std::rc::Rc;
-use tmf::session::{SessionEvent, TmfSession};
+use tmf::session::{DbOp, SessionEvent, TmfSession};
 use tmf::state::AbortReason;
 
 /// One step of a scripted transaction program.
@@ -54,10 +54,14 @@ impl TxnScript {
         self.next += 1;
         match step {
             Step::Begin => self.session.begin(ctx, 0),
-            Step::Read(f, k) => self.session.read(ctx, &f, k, 0),
-            Step::ReadLock(f, k) => self.session.read_lock(ctx, &f, k, 0),
-            Step::Insert(f, k, v) => self.session.insert(ctx, &f, k, v, 0),
-            Step::Update(f, k, v) => self.session.update(ctx, &f, k, v, 0),
+            Step::Read(f, k) => self.session.op(ctx, DbOp::Read { file: f, key: k }, 0),
+            Step::ReadLock(f, k) => self.session.op(ctx, DbOp::ReadLock { file: f, key: k }, 0),
+            Step::Insert(f, k, v) => self
+                .session
+                .op(ctx, DbOp::Insert { file: f, key: k, value: v }, 0),
+            Step::Update(f, k, v) => self
+                .session
+                .op(ctx, DbOp::Update { file: f, key: k, value: v }, 0),
             Step::End => self.session.end(ctx, 0),
             Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
             Step::Pause(d) => {

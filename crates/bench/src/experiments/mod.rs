@@ -4,9 +4,11 @@
 
 mod claims;
 mod figures;
+mod group_commit;
 
 pub use claims::{t1, t2, t3, t4, t5, t6, t7, t8};
 pub use figures::{f1, f2, f3, f4};
+pub use group_commit::{group_commit, GroupCommitResult, GroupCommitRow};
 
 /// Run every experiment (the `exp_all` binary), in parallel — each
 /// experiment builds its own simulated worlds, so they are independent;

@@ -4,19 +4,21 @@
 //! encompass-chaos --seed N            # one schedule, verbose, run twice
 //! encompass-chaos --sweep COUNT       # seeds 0..COUNT
 //! encompass-chaos --sweep COUNT --start S
+//! encompass-chaos --sweep 10 --window 2000   # force a 2ms group-commit window
 //! encompass-chaos                     # default: the 25-schedule CI smoke
 //! ```
 //!
 //! Exit status is non-zero if any run violates an invariant (or a seed
 //! fails to reproduce its own determinism hash).
 
-use encompass_chaos::{run_seed, Schedule};
+use encompass_chaos::{run_schedule, Schedule};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: Option<u64> = None;
     let mut sweep: Option<u64> = None;
     let mut start: u64 = 0;
+    let mut window: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,6 +34,10 @@ fn main() {
                 start = parse_num(args.get(i + 1), "--start");
                 i += 2;
             }
+            "--window" => {
+                window = Some(parse_num(args.get(i + 1), "--window"));
+                i += 2;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -45,13 +51,23 @@ fn main() {
     }
 
     let failed = match (seed, sweep) {
-        (Some(s), _) => run_single(s),
-        (None, Some(count)) => run_sweep(start, count),
-        (None, None) => run_sweep(0, 25), // CI smoke default
+        (Some(s), _) => run_single(s, window),
+        (None, Some(count)) => run_sweep(start, count, window),
+        (None, None) => run_sweep(0, 25, window), // CI smoke default
     };
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Generate the schedule for `seed`, overriding the drawn group-commit
+/// window when `--window US` was given.
+fn schedule_for(seed: u64, window: Option<u64>) -> Schedule {
+    let mut schedule = Schedule::generate(seed);
+    if let Some(us) = window {
+        schedule.group_commit_window_us = us;
+    }
+    schedule
 }
 
 fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
@@ -63,18 +79,19 @@ fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
 
 fn print_usage() {
     println!(
-        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]]\n\
-         default: --sweep 25 (the CI smoke subset)"
+        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US]\n\
+         default: --sweep 25 (the CI smoke subset)\n\
+         --window US overrides each schedule's group-commit window (microseconds)"
     );
 }
 
 /// One seed, verbose: print the schedule, run it twice, and require the
 /// two runs to produce the same determinism hash.
-fn run_single(seed: u64) -> bool {
-    let schedule = Schedule::generate(seed);
+fn run_single(seed: u64, window: Option<u64>) -> bool {
+    let schedule = schedule_for(seed, window);
     print!("{}", schedule.describe());
-    let a = run_seed(seed);
-    let b = run_seed(seed);
+    let a = run_schedule(&schedule);
+    let b = run_schedule(&schedule);
     println!("{}", a.summary_line());
     let mut failed = false;
     if a.trace_hash != b.trace_hash {
@@ -94,13 +111,13 @@ fn run_single(seed: u64) -> bool {
     failed
 }
 
-fn run_sweep(start: u64, count: u64) -> bool {
+fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
     let mut failures = 0u64;
     let mut commits = 0u64;
     let mut aborts = 0u64;
     let mut takeover_commits = 0u64;
     for seed in start..start + count {
-        let report = run_seed(seed);
+        let report = run_schedule(&schedule_for(seed, window));
         println!("{}", report.summary_line());
         commits += report.commits;
         aborts += report.aborts;

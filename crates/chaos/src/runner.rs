@@ -91,6 +91,10 @@ pub fn run_seed(seed: u64) -> RunReport {
 
 /// Run one schedule to completion and evaluate every oracle.
 pub fn run_schedule(schedule: &Schedule) -> RunReport {
+    let tmf = tmf::facility::TmfNodeConfig::builder()
+        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us))
+        .build()
+        .expect("schedule produced an invalid TMF config");
     let mut app = launch_bank_app(BankAppParams {
         node_cpus: vec![schedule.cpus_per_node; schedule.nodes],
         accounts: ACCOUNTS,
@@ -101,6 +105,7 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
         hot_set: 8,
         seed: schedule.seed,
         lock_wait: SimDuration::from_millis(300),
+        tmf,
         ..BankAppParams::default()
     });
     let volumes: Vec<VolumeRef> = app.catalog.all_volumes();

@@ -61,6 +61,10 @@ pub struct Schedule {
     pub terminals_per_node: usize,
     pub transactions_per_terminal: u64,
     pub hot_fraction: f64,
+    /// Group-commit window, in microseconds (0 = immediate forces, the
+    /// pre-boxcarring behavior). Most schedules draw a nonzero window so
+    /// the sweep exercises boxcar takeovers.
+    pub group_commit_window_us: u64,
     pub events: Vec<ScheduledEvent>,
     /// When the final heal-everything barrier runs.
     pub heal_at: SimTime,
@@ -77,6 +81,12 @@ impl Schedule {
         let terminals_per_node = rng.random_range(2..=3usize);
         let transactions_per_terminal = rng.random_range(4..=8u64);
         let hot_fraction = if rng.random_bool(0.3) { 0.25 } else { 0.0 };
+        let group_commit_window_us = match rng.random_range(0..5u8) {
+            0 | 1 => 0,
+            2 => 1_000,
+            3 => 2_000,
+            _ => 5_000,
+        };
 
         let n_links = (nodes * (nodes - 1) / 2) as u32;
         let services = ["$TMP", "$TMP", "$BANK", "$BACKOUT", "$AUDIT"];
@@ -194,6 +204,7 @@ impl Schedule {
             terminals_per_node,
             transactions_per_terminal,
             hot_fraction,
+            group_commit_window_us,
             events,
             heal_at,
         }
@@ -202,13 +213,14 @@ impl Schedule {
     /// Human-readable timeline, for failure reports.
     pub fn describe(&self) -> String {
         let mut out = format!(
-            "seed {}: {} nodes x {} cpus, {} terminals/node x {} txns, hot {:.2}\n",
+            "seed {}: {} nodes x {} cpus, {} terminals/node x {} txns, hot {:.2}, gc-window {}us\n",
             self.seed,
             self.nodes,
             self.cpus_per_node,
             self.terminals_per_node,
             self.transactions_per_terminal,
             self.hot_fraction,
+            self.group_commit_window_us,
         );
         for ev in &self.events {
             let what = match &ev.action {

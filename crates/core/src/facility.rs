@@ -21,7 +21,8 @@ use encompass_storage::Catalog;
 use guardian::{OperatorProcess, PairHandle};
 use std::collections::HashMap;
 
-/// Per-node configuration.
+/// Per-node configuration. Construct with [`TmfNodeConfig::builder`],
+/// which validates the knobs; `TmfNodeConfig::default()` is always valid.
 #[derive(Clone, Debug)]
 pub struct TmfNodeConfig {
     pub recovery_mode: RecoveryMode,
@@ -39,6 +40,13 @@ pub struct TmfNodeConfig {
     pub safe_retry: SimDuration,
     /// DISCPROCESS cache flush interval.
     pub flush_interval: SimDuration,
+    /// Group-commit boxcar window applied to both the AUDITPROCESS force
+    /// path and the TMP's monitor-trail writes. Zero (the default) forces
+    /// every record individually, reproducing pre-boxcar traces. Private:
+    /// set through the builder so validation always runs.
+    group_commit_window: SimDuration,
+    /// Boxcar size that triggers an early force before the window elapses.
+    group_commit_max: usize,
 }
 
 impl Default for TmfNodeConfig {
@@ -51,7 +59,138 @@ impl Default for TmfNodeConfig {
             critical_retries: 3,
             safe_retry: SimDuration::from_millis(100),
             flush_interval: SimDuration::from_millis(50),
+            group_commit_window: SimDuration::ZERO,
+            group_commit_max: 64,
         }
+    }
+}
+
+impl TmfNodeConfig {
+    /// Start building a validated configuration from the defaults.
+    pub fn builder() -> TmfNodeConfigBuilder {
+        TmfNodeConfigBuilder {
+            cfg: TmfNodeConfig::default(),
+        }
+    }
+
+    pub fn group_commit_window(&self) -> SimDuration {
+        self.group_commit_window
+    }
+
+    pub fn group_commit_max(&self) -> usize {
+        self.group_commit_max
+    }
+}
+
+/// A rejected [`TmfNodeConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A node needs at least one AUDITPROCESS pair.
+    NoAuditProcesses,
+    /// A timeout or retry interval was zero (named field).
+    ZeroDuration(&'static str),
+    /// Critical-response messages need at least one attempt.
+    NoCriticalRetries,
+    /// `group_commit_max` must admit at least one record per boxcar.
+    ZeroGroupCommitMax,
+    /// The window exceeds one second — longer than any commit timeout,
+    /// so every boxcar would expire its requesters instead of forcing.
+    WindowTooLong,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoAuditProcesses => write!(f, "audit_processes must be >= 1"),
+            ConfigError::ZeroDuration(field) => write!(f, "{field} must be nonzero"),
+            ConfigError::NoCriticalRetries => write!(f, "critical_retries must be >= 1"),
+            ConfigError::ZeroGroupCommitMax => write!(f, "group_commit_max must be >= 1"),
+            ConfigError::WindowTooLong => {
+                write!(f, "group_commit_window must be at most one second")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`TmfNodeConfig`]; every setter is chainable and
+/// [`TmfNodeConfigBuilder::build`] validates the combination.
+#[derive(Clone, Debug)]
+pub struct TmfNodeConfigBuilder {
+    cfg: TmfNodeConfig,
+}
+
+impl TmfNodeConfigBuilder {
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.cfg.recovery_mode = mode;
+        self
+    }
+
+    pub fn audit_service(mut self, service: impl Into<String>) -> Self {
+        self.cfg.audit_service = service.into();
+        self
+    }
+
+    pub fn audit_processes(mut self, count: usize) -> Self {
+        self.cfg.audit_processes = count;
+        self
+    }
+
+    pub fn critical_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.critical_timeout = timeout;
+        self
+    }
+
+    pub fn critical_retries(mut self, retries: u32) -> Self {
+        self.cfg.critical_retries = retries;
+        self
+    }
+
+    pub fn safe_retry(mut self, interval: SimDuration) -> Self {
+        self.cfg.safe_retry = interval;
+        self
+    }
+
+    pub fn flush_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.flush_interval = interval;
+        self
+    }
+
+    pub fn group_commit_window(mut self, window: SimDuration) -> Self {
+        self.cfg.group_commit_window = window;
+        self
+    }
+
+    pub fn group_commit_max(mut self, max: usize) -> Self {
+        self.cfg.group_commit_max = max;
+        self
+    }
+
+    pub fn build(self) -> Result<TmfNodeConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.audit_processes < 1 {
+            return Err(ConfigError::NoAuditProcesses);
+        }
+        if c.critical_timeout == SimDuration::ZERO {
+            return Err(ConfigError::ZeroDuration("critical_timeout"));
+        }
+        if c.safe_retry == SimDuration::ZERO {
+            return Err(ConfigError::ZeroDuration("safe_retry"));
+        }
+        if c.flush_interval == SimDuration::ZERO {
+            return Err(ConfigError::ZeroDuration("flush_interval"));
+        }
+        if c.critical_retries < 1 {
+            return Err(ConfigError::NoCriticalRetries);
+        }
+        if c.group_commit_max < 1 {
+            return Err(ConfigError::ZeroGroupCommitMax);
+        }
+        if c.group_commit_window > SimDuration::from_secs(1) {
+            return Err(ConfigError::WindowTooLong);
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -111,6 +250,8 @@ pub fn spawn_tmf_node(
             AuditConfig {
                 service: svc,
                 rotate_every: 4096,
+                group_commit_window: cfg.group_commit_window,
+                group_commit_max: cfg.group_commit_max,
             },
         ));
     }
@@ -158,6 +299,8 @@ pub fn spawn_tmf_node(
             critical_timeout: cfg.critical_timeout,
             critical_retries: cfg.critical_retries,
             safe_retry: cfg.safe_retry,
+            group_commit_window: cfg.group_commit_window,
+            group_commit_max: cfg.group_commit_max,
             ..TmpConfig::default()
         },
     );
@@ -186,4 +329,53 @@ pub fn spawn_tmf_network(
         .into_iter()
         .map(|n| spawn_tmf_node(world, n, catalog, cfg.clone()))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let cfg = TmfNodeConfig::builder().build().expect("defaults valid");
+        assert_eq!(cfg.group_commit_window(), SimDuration::ZERO);
+        assert_eq!(cfg.group_commit_max(), 64);
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert_eq!(
+            TmfNodeConfig::builder().audit_processes(0).build().unwrap_err(),
+            ConfigError::NoAuditProcesses
+        );
+        assert_eq!(
+            TmfNodeConfig::builder()
+                .critical_timeout(SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroDuration("critical_timeout")
+        );
+        assert_eq!(
+            TmfNodeConfig::builder().group_commit_max(0).build().unwrap_err(),
+            ConfigError::ZeroGroupCommitMax
+        );
+        assert_eq!(
+            TmfNodeConfig::builder()
+                .group_commit_window(SimDuration::from_secs(2))
+                .build()
+                .unwrap_err(),
+            ConfigError::WindowTooLong
+        );
+    }
+
+    #[test]
+    fn builder_accepts_group_commit() {
+        let cfg = TmfNodeConfig::builder()
+            .group_commit_window(SimDuration::from_millis(2))
+            .group_commit_max(16)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.group_commit_window(), SimDuration::from_millis(2));
+        assert_eq!(cfg.group_commit_max(), 16);
+    }
 }

@@ -40,8 +40,11 @@ pub mod table;
 pub mod tmp;
 
 pub use encompass_storage::types::Transid;
-pub use facility::{spawn_tmf_node, NodeHandles, TmfNodeConfig};
-pub use session::{SessionEvent, TmfSession};
+pub use facility::{
+    spawn_tmf_network, spawn_tmf_node, ConfigError, NodeHandles, TmfNodeConfig,
+    TmfNodeConfigBuilder,
+};
+pub use session::{DbOp, SessionError, SessionEvent, TmfSession};
 pub use state::{AbortReason, TxState};
 pub use table::TxTableProcess;
 pub use tmp::{spawn_tmp, TmpConfig, TmpMsg, TmpProcess, TmpReply};

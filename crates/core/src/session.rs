@@ -29,6 +29,36 @@ use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
 use std::collections::HashSet;
 
+/// A typed data-base request — the File System surface a server step may
+/// issue against the session. One enum value replaces the historical
+/// per-verb method zoo, so callers build requests as data and hand them
+/// to [`TmfSession::op`].
+#[derive(Clone, Debug)]
+pub enum DbOp {
+    Read { file: String, key: Bytes },
+    ReadLock { file: String, key: Bytes },
+    Insert { file: String, key: Bytes, value: Bytes },
+    Update { file: String, key: Bytes, value: Bytes },
+    Delete { file: String, key: Bytes },
+    InsertEntry { file: String, value: Bytes },
+    ReadRange { file: String, low: Bytes, high: Option<Bytes>, limit: usize },
+}
+
+/// Why a session operation failed. Delivered in
+/// [`SessionEvent::Failed`] — the single failure path for every verb and
+/// data-base operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// Every retry of the underlying request timed out.
+    Timeout,
+    /// The TMP refused the operation (remote node unreachable, volume
+    /// registration after completion, or phase-one refusal).
+    Refused,
+    /// A reply arrived that does not answer the pending operation — a
+    /// protocol-level surprise; abort and restart the transaction.
+    Protocol,
+}
+
 /// What a session operation produced.
 #[derive(Debug)]
 pub enum SessionEvent {
@@ -41,10 +71,9 @@ pub enum SessionEvent {
     /// `end`/`abort` completed with an abort (the transaction's updates
     /// were backed out).
     Aborted { cookie: u64 },
-    /// The operation could not be carried out (remote node unreachable,
-    /// registration refused, or repeated timeouts). The caller should
-    /// abort or restart the transaction.
-    Failed { cookie: u64 },
+    /// The operation could not be carried out; `error` says why. The
+    /// caller should abort or restart the transaction.
+    Failed { error: SessionError, cookie: u64 },
 }
 
 impl SessionEvent {
@@ -54,7 +83,7 @@ impl SessionEvent {
             | SessionEvent::OpDone { cookie, .. }
             | SessionEvent::Committed { cookie }
             | SessionEvent::Aborted { cookie }
-            | SessionEvent::Failed { cookie } => *cookie,
+            | SessionEvent::Failed { cookie, .. } => *cookie,
         }
     }
 }
@@ -214,64 +243,92 @@ impl TmfSession {
     // Data-base operations
     // ------------------------------------------------------------------
 
+    /// Issue a typed data-base operation. The session attaches the current
+    /// process transid and lock-wait where the operation calls for them
+    /// (`ReadLock` requires transaction mode), resolves the partition, and
+    /// routes to the owning DISCPROCESS; completion arrives as
+    /// [`SessionEvent::OpDone`] (or [`SessionEvent::Failed`]).
+    pub fn op(&mut self, ctx: &mut Ctx<'_>, op: DbOp, cookie: u64) {
+        let req = match op {
+            DbOp::Read { file, key } => DiscRequest::Read { file, key },
+            DbOp::ReadLock { file, key } => {
+                let transid = self.current.expect("ReadLock requires transaction mode");
+                DiscRequest::ReadLock {
+                    file,
+                    key,
+                    transid,
+                    lock_wait: self.lock_wait,
+                }
+            }
+            DbOp::Insert { file, key, value } => DiscRequest::Insert {
+                file,
+                key,
+                value,
+                transid: self.current,
+                lock_wait: self.lock_wait,
+            },
+            DbOp::Update { file, key, value } => DiscRequest::Update {
+                file,
+                key,
+                value,
+                transid: self.current,
+            },
+            DbOp::Delete { file, key } => DiscRequest::Delete {
+                file,
+                key,
+                transid: self.current,
+            },
+            DbOp::InsertEntry { file, value } => DiscRequest::InsertEntry {
+                file,
+                value,
+                transid: self.current,
+            },
+            DbOp::ReadRange {
+                file,
+                low,
+                high,
+                limit,
+            } => DiscRequest::ReadRange {
+                file,
+                low,
+                high,
+                limit,
+            },
+        };
+        self.submit(ctx, req, cookie);
+    }
+
+    #[deprecated(note = "build a DbOp::Read and call TmfSession::op")]
     pub fn read(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        let op = DiscRequest::Read {
-            file: file.into(),
-            key,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::Read { file: file.into(), key }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::ReadLock and call TmfSession::op")]
     pub fn read_lock(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        let transid = self.current.expect("read_lock requires transaction mode");
-        let op = DiscRequest::ReadLock {
-            file: file.into(),
-            key,
-            transid,
-            lock_wait: self.lock_wait,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::ReadLock { file: file.into(), key }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::Insert and call TmfSession::op")]
     pub fn insert(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
-        let op = DiscRequest::Insert {
-            file: file.into(),
-            key,
-            value,
-            transid: self.current,
-            lock_wait: self.lock_wait,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::Insert { file: file.into(), key, value }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::Update and call TmfSession::op")]
     pub fn update(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
-        let op = DiscRequest::Update {
-            file: file.into(),
-            key,
-            value,
-            transid: self.current,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::Update { file: file.into(), key, value }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::Delete and call TmfSession::op")]
     pub fn delete(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        let op = DiscRequest::Delete {
-            file: file.into(),
-            key,
-            transid: self.current,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::Delete { file: file.into(), key }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::InsertEntry and call TmfSession::op")]
     pub fn insert_entry(&mut self, ctx: &mut Ctx<'_>, file: &str, value: Bytes, cookie: u64) {
-        let op = DiscRequest::InsertEntry {
-            file: file.into(),
-            value,
-            transid: self.current,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(ctx, DbOp::InsertEntry { file: file.into(), value }, cookie);
     }
 
+    #[deprecated(note = "build a DbOp::ReadRange and call TmfSession::op")]
     pub fn read_range(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -281,13 +338,16 @@ impl TmfSession {
         limit: usize,
         cookie: u64,
     ) {
-        let op = DiscRequest::ReadRange {
-            file: file.into(),
-            low,
-            high,
-            limit,
-        };
-        self.submit(ctx, op, cookie);
+        self.op(
+            ctx,
+            DbOp::ReadRange {
+                file: file.into(),
+                low,
+                high,
+                limit,
+            },
+            cookie,
+        );
     }
 
     /// Route an already-built request (advanced callers). Panics on files
@@ -487,11 +547,23 @@ impl TmfSession {
                 self.advance(ctx);
                 None
             }
-            TmpReply::Failed | TmpReply::Phase1Refused | TmpReply::Phase1Ok
-            | TmpReply::Disposition { .. } | TmpReply::Open { .. } => {
+            TmpReply::Failed | TmpReply::Phase1Refused => {
                 self.pending = None;
                 ctx.count("tmf.session_failures", 1);
-                Some(SessionEvent::Failed { cookie })
+                Some(SessionEvent::Failed {
+                    error: SessionError::Refused,
+                    cookie,
+                })
+            }
+            TmpReply::Phase1Ok | TmpReply::Disposition { .. } | TmpReply::Open { .. } => {
+                // these replies answer TMP-internal or utility requests,
+                // never a session verb
+                self.pending = None;
+                ctx.count("tmf.session_failures", 1);
+                Some(SessionEvent::Failed {
+                    error: SessionError::Protocol,
+                    cookie,
+                })
             }
         }
     }
@@ -508,7 +580,10 @@ impl TmfSession {
         if expired {
             if let Some(p) = self.pending.take() {
                 ctx.count("tmf.session_failures", 1);
-                return Some(SessionEvent::Failed { cookie: p.cookie });
+                return Some(SessionEvent::Failed {
+                    error: SessionError::Timeout,
+                    cookie: p.cookie,
+                });
             }
         }
         None

@@ -42,6 +42,15 @@ use std::collections::{BTreeSet, HashMap};
 const TAG_MONITOR_BASE: u64 = 1 << 16;
 /// Periodic in-doubt sweep on non-home nodes (below TAG_MONITOR_BASE).
 const TAG_JANITOR: u64 = 7;
+/// Group-commit window expiry for the monitor-trail boxcar.
+const TAG_MONITOR_WINDOW: u64 = 8;
+/// Physical completion of a boxcarred monitor-trail force.
+const TAG_MONITOR_FLUSH: u64 = 9;
+
+/// Cumulative bucket bounds for the boxcar-size histogram.
+const BOXCAR_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+/// Cumulative bucket bounds (µs) for home-commit latency.
+const LATENCY_BOUNDS: &[u64] = &[1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
 
 /// Requests handled by a TMP (from sessions, operators, and other TMPs).
 #[derive(Clone, Debug)]
@@ -110,6 +119,12 @@ pub struct TmpConfig {
     /// table without progress are resolved against the home node's TMP
     /// (ROLLFORWARD's "negotiation with other nodes", done online).
     pub indoubt_probe: SimDuration,
+    /// How long a decided completion record may wait for other concurrently
+    /// completing transactions to board the same monitor-trail force. Zero
+    /// keeps the one-force-per-record behavior (and its exact trace).
+    pub group_commit_window: SimDuration,
+    /// Start the boxcarred force early once this many records are waiting.
+    pub group_commit_max: usize,
 }
 
 impl Default for TmpConfig {
@@ -121,6 +136,8 @@ impl Default for TmpConfig {
             critical_retries: 3,
             safe_retry: SimDuration::from_millis(100),
             indoubt_probe: SimDuration::from_millis(250),
+            group_commit_window: SimDuration::ZERO,
+            group_commit_max: 64,
         }
     }
 }
@@ -144,6 +161,10 @@ struct Txn {
     /// seen armed on the *next* sweep has made no progress and its
     /// disposition is queried from the home node.
     janitor_armed: bool,
+    /// When this home transaction entered Ending (commit-latency metric).
+    /// Primary-memory only: after a takeover the latency is unknowable and
+    /// simply not observed.
+    ending_at: Option<encompass_sim::SimTime>,
 }
 
 impl Txn {
@@ -159,6 +180,7 @@ impl Txn {
             abort_reason: None,
             pending_deliveries: 0,
             janitor_armed: false,
+            ending_at: None,
         }
     }
 }
@@ -201,6 +223,14 @@ pub struct TmpProcess {
     remote_begins: HashMap<u64, (Transid, NodeId, u64, Pid)>,
     backouts: HashMap<u64, Transid>,
     monitor_timers: HashMap<u64, (Transid, bool)>,
+    /// Completion records waiting to board the next monitor-trail force
+    /// (group-commit path; unused when the window is zero).
+    monitor_boxcar: Vec<(Transid, bool)>,
+    /// The boxcar whose physical force is in flight.
+    monitor_inflight: Option<Vec<(Transid, bool)>>,
+    /// A `TAG_MONITOR_WINDOW` timer is outstanding for the accumulating
+    /// boxcar.
+    monitor_window_armed: bool,
     /// safe-delivery Phase2/AbortTxn/ReleaseLocks rpc → transid
     deliveries: HashMap<u64, Transid>,
     /// in-doubt QueryDisposition rpc → transid
@@ -223,6 +253,9 @@ impl TmpProcess {
             remote_begins: HashMap::new(),
             backouts: HashMap::new(),
             monitor_timers: HashMap::new(),
+            monitor_boxcar: Vec::new(),
+            monitor_inflight: None,
+            monitor_window_armed: false,
             deliveries: HashMap::new(),
             janitor_rpcs: HashMap::new(),
             next_tag: 0,
@@ -397,12 +430,86 @@ impl TmpProcess {
     }
 
     fn schedule_monitor_write(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, commit: bool) {
-        let tag = TAG_MONITOR_BASE + self.next_tag;
-        self.next_tag += 1;
-        self.monitor_timers.insert(tag, (transid, commit));
-        let latency = ctx.config().disc_access;
-        ctx.set_timer(latency, tag);
+        if self.cfg.group_commit_window == SimDuration::ZERO {
+            // one force per completion record: the pre-boxcar path, kept
+            // byte-identical so window=0 reproduces historical traces
+            let tag = TAG_MONITOR_BASE + self.next_tag;
+            self.next_tag += 1;
+            self.monitor_timers.insert(tag, (transid, commit));
+            let latency = ctx.config().disc_access;
+            ctx.set_timer(latency, tag);
+            ctx.count("tmf.monitor_forces", 1);
+            return;
+        }
+        self.monitor_boxcar.push((transid, commit));
+        self.maybe_start_monitor_force(ctx);
+    }
+
+    fn maybe_start_monitor_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        if self.monitor_inflight.is_some() || self.monitor_boxcar.is_empty() {
+            return;
+        }
+        if self.monitor_boxcar.len() < self.cfg.group_commit_max {
+            // hold the boxcar open for other transactions reaching their
+            // completion point; a stale window timer may close it early,
+            // which only shortens the wait
+            if !self.monitor_window_armed {
+                self.monitor_window_armed = true;
+                ctx.set_timer(self.cfg.group_commit_window, TAG_MONITOR_WINDOW);
+            }
+            return;
+        }
+        self.start_monitor_force(ctx);
+    }
+
+    /// Start the single physical force for everything in the boxcar.
+    fn start_monitor_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        self.monitor_window_armed = false;
+        let batch = std::mem::take(&mut self.monitor_boxcar);
         ctx.count("tmf.monitor_forces", 1);
+        ctx.observe("tmf.monitor_boxcar_size", batch.len() as u64, BOXCAR_BOUNDS);
+        self.monitor_inflight = Some(batch);
+        let latency = ctx.config().disc_access;
+        ctx.set_timer(latency, TAG_MONITOR_FLUSH);
+    }
+
+    /// The boxcarred force reached the platter: every surviving record in
+    /// the batch becomes durable at once, under ONE trail force.
+    fn monitor_flush(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        let Some(batch) = self.monitor_inflight.take() else {
+            return;
+        };
+        // The state at write completion is authoritative, exactly as in
+        // monitor_written: an abort may have overtaken a boxcarred commit.
+        let mut writable: Vec<(Transid, bool)> = Vec::new();
+        for &(transid, commit) in &batch {
+            let state = self.txns.get(&transid).map(|t| t.state);
+            if commit && state != Some(TxState::Ending) {
+                ctx.count("tmf.commit_overtaken_by_abort", 1);
+                continue;
+            }
+            if !commit && state != Some(TxState::Aborting) {
+                continue;
+            }
+            writable.push((transid, commit));
+        }
+        let node = ctx.node();
+        let now = ctx.now();
+        MonitorTrail::of(ctx.stable(), node).record_group(&writable, now);
+        for (transid, commit) in writable {
+            if commit {
+                ctx.count("tmf.commits", 1);
+                self.finish_commit(ctx, transid);
+            } else {
+                ctx.count("tmf.aborts", 1);
+                self.finish_abort_home(ctx, transid);
+            }
+        }
+        // records that arrived while this force was spinning form the next
+        // boxcar; they have already waited, so force without a new window
+        if !self.monitor_boxcar.is_empty() {
+            self.start_monitor_force(ctx);
+        }
     }
 
     /// The commit/abort record is now on the Monitor Audit Trail.
@@ -434,6 +541,10 @@ impl TmpProcess {
 
     /// Phase two: release locks everywhere, complete END-TRANSACTION.
     fn finish_commit(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let now = ctx.now();
+        if let Some(at) = self.txns.get_mut(&transid).and_then(|t| t.ending_at.take()) {
+            ctx.observe("tmf.commit_latency_us", now.since(at).as_micros(), LATENCY_BOUNDS);
+        }
         self.set_state(ctx, transid, TxState::Ended);
         let Some(t) = self.txns.get_mut(&transid) else {
             return;
@@ -720,8 +831,10 @@ impl TmpProcess {
                         self.answer(ctx, req_id, from, r);
                     }
                     Some(TxState::Active) => {
+                        let now = ctx.now();
                         if let Some(t) = self.txns.get_mut(&transid) {
                             t.end_waiter = Some((req_id, from));
+                            t.ending_at = Some(now);
                         }
                         self.set_state(ctx, transid, TxState::Ending);
                         ctx.count("tmf.ends", 1);
@@ -1075,6 +1188,17 @@ impl PairApp for TmpProcess {
             ctx.set_timer(self.cfg.indoubt_probe, TAG_JANITOR);
             return;
         }
+        if tag == TAG_MONITOR_WINDOW {
+            self.monitor_window_armed = false;
+            if self.monitor_inflight.is_none() && !self.monitor_boxcar.is_empty() {
+                self.start_monitor_force(ctx);
+            }
+            return;
+        }
+        if tag == TAG_MONITOR_FLUSH {
+            self.monitor_flush(ctx);
+            return;
+        }
         if let Some((transid, commit)) = self.monitor_timers.remove(&tag) {
             self.monitor_written(ctx, transid, commit);
             return;
@@ -1124,6 +1248,12 @@ impl PairApp for TmpProcess {
         self.remote_begins.clear();
         self.backouts.clear();
         self.monitor_timers.clear();
+        // boxcarred records that never reached the trail die with the
+        // primary; the per-state re-drive below recovers each transaction
+        // (trail consult for Ending-home, backout re-drive for Aborting)
+        self.monitor_boxcar.clear();
+        self.monitor_inflight = None;
+        self.monitor_window_armed = false;
         self.deliveries.clear();
         self.janitor_rpcs.clear();
         let mut in_flight: Vec<(Transid, TxState, bool)> = self

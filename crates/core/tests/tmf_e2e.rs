@@ -13,7 +13,7 @@ use encompass_storage::types::{FileDef, PartitionSpec, Transid, VolumeRef};
 use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
 use tmf::facility::{spawn_tmf_network, TmfNodeConfig};
-use tmf::session::{SessionEvent, TmfSession};
+use tmf::session::{DbOp, SessionEvent, TmfSession};
 use tmf::state::AbortReason;
 use tmf::tmp::{TmpMsg, TmpReply};
 use std::cell::RefCell;
@@ -67,11 +67,21 @@ impl TxnDriver {
             self.next += 1;
             match step {
                 Step::Begin => self.session.begin(ctx, 0),
-                Step::Read(f, k) => self.session.read(ctx, f, b(k), 0),
-                Step::ReadLock(f, k) => self.session.read_lock(ctx, f, b(k), 0),
-                Step::Insert(f, k, v) => self.session.insert(ctx, f, b(k), b(v), 0),
-                Step::Update(f, k, v) => self.session.update(ctx, f, b(k), b(v), 0),
-                Step::Delete(f, k) => self.session.delete(ctx, f, b(k), 0),
+                Step::Read(f, k) => self
+                    .session
+                    .op(ctx, DbOp::Read { file: f.into(), key: b(k) }, 0),
+                Step::ReadLock(f, k) => self
+                    .session
+                    .op(ctx, DbOp::ReadLock { file: f.into(), key: b(k) }, 0),
+                Step::Insert(f, k, v) => self
+                    .session
+                    .op(ctx, DbOp::Insert { file: f.into(), key: b(k), value: b(v) }, 0),
+                Step::Update(f, k, v) => self
+                    .session
+                    .op(ctx, DbOp::Update { file: f.into(), key: b(k), value: b(v) }, 0),
+                Step::Delete(f, k) => self
+                    .session
+                    .op(ctx, DbOp::Delete { file: f.into(), key: b(k) }, 0),
                 Step::End => self.session.end(ctx, 0),
                 Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
                 Step::Pause(d) => {
@@ -203,11 +213,16 @@ fn ask_tmp(world: &mut World, node: NodeId, cpu: u8, msg: TmpMsg) -> Rc<RefCell<
 
 /// One node, one volume, one audited file.
 fn single_node() -> (World, NodeId, Catalog) {
+    single_node_with(TmfNodeConfig::default())
+}
+
+/// Like [`single_node`], with an explicit TMF configuration.
+fn single_node_with(cfg: TmfNodeConfig) -> (World, NodeId, Catalog) {
     let mut w = World::new(SimConfig::default());
     let n = w.add_node(4);
     let mut catalog = Catalog::new();
     catalog.add(FileDef::key_sequenced("accounts", VolumeRef::new(n, "$DATA")));
-    spawn_tmf_network(&mut w, &catalog, TmfNodeConfig::default());
+    spawn_tmf_network(&mut w, &catalog, cfg);
     (w, n, catalog)
 }
 
@@ -1108,4 +1123,81 @@ fn deterministic_distributed_run() {
         w.trace_hash()
     }
     assert_eq!(run(), run());
+}
+
+#[test]
+fn abort_mid_boxcar_keeps_dispositions_separate() {
+    // a commit record and an abort record ride the same monitor boxcar;
+    // each transaction must get its own disposition, and the abort's
+    // backout must not disturb the committed passenger
+    let cfg = TmfNodeConfig::builder()
+        .group_commit_window(SimDuration::from_millis(5))
+        .build()
+        .expect("valid tmf config");
+    let (mut w, n, catalog) = single_node_with(cfg);
+    let committer = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "carol", "100"),
+            Step::End,
+        ],
+    );
+    let aborter = drive(
+        &mut w,
+        n,
+        1,
+        catalog,
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "dave", "50"),
+            Step::Abort,
+            Step::Read("accounts", "dave"),
+        ],
+    );
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(committer.borrow().last().unwrap(), "committed");
+    assert_eq!(
+        aborter.borrow().as_slice(),
+        &["began", "ok", "aborted", "value:<none>"],
+        "dave's insert backed out"
+    );
+    assert_eq!(w.metrics().get("tmf.commits"), 1);
+    assert_eq!(w.metrics().get("tmf.aborts"), 1);
+    let trail = MonitorTrail::of(w.stable_mut(), n);
+    assert_eq!(trail.commits(), 1);
+    assert_eq!(trail.aborts(), 1);
+    // the batched monitor path ran (the window knob reached the TMP)
+    assert!(w.metrics().get("tmf.monitor_boxcar_size.count") >= 1);
+}
+
+#[test]
+fn group_commit_window_batches_monitor_forces() {
+    let cfg = TmfNodeConfig::builder()
+        .group_commit_window(SimDuration::from_millis(10))
+        .build()
+        .expect("valid tmf config");
+    let (mut w, n, catalog) = single_node_with(cfg);
+    let mut logs = Vec::new();
+    for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+        logs.push(drive(
+            &mut w,
+            n,
+            i as u8,
+            catalog.clone(),
+            vec![Step::Begin, Step::Insert("accounts", key, "1"), Step::End],
+        ));
+    }
+    w.run_for(SimDuration::from_secs(5));
+    for log in &logs {
+        assert_eq!(log.borrow().last().unwrap(), "committed");
+    }
+    assert_eq!(w.metrics().get("tmf.commits"), 4);
+    // near-simultaneous commits share physical monitor forces
+    let forces = w.metrics().get("tmf.monitor_forces");
+    assert!(forces < 4, "expected boxcarring, got {forces} forces for 4 commits");
+    assert_eq!(MonitorTrail::of(w.stable_mut(), n).commits(), 4);
 }

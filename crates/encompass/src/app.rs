@@ -125,6 +125,10 @@ pub struct BankAppParams {
     /// Simulator cost model (latencies, jitter); the seed field above
     /// overrides `sim.seed`.
     pub sim: SimConfig,
+    /// Per-node TMF configuration (group-commit knobs live here; build it
+    /// with `TmfNodeConfig::builder()`). The `recovery_mode` field above
+    /// overrides the mode inside this config.
+    pub tmf: TmfNodeConfig,
 }
 
 impl Default for BankAppParams {
@@ -143,6 +147,7 @@ impl Default for BankAppParams {
             seed: 42,
             lock_wait: SimDuration::from_millis(500),
             sim: SimConfig::default(),
+            tmf: TmfNodeConfig::default(),
         }
     }
 }
@@ -159,6 +164,7 @@ pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
     }
     builder = builder
         .mesh(SimDuration::from_millis(2))
+        .tmf_config(params.tmf.clone())
         .recovery_mode(params.recovery_mode);
 
     // provisional world to learn node ids (deterministic: 0..n)

@@ -467,8 +467,16 @@ impl SuspenseMonitor {
     fn scan(&mut self, ctx: &mut Ctx<'_>) {
         self.state = MonState::Scanning;
         let node = ctx.node();
-        self.session
-            .read_range(ctx, &suspense(node), num_key(0), None, 64, 0);
+        self.session.op(
+            ctx,
+            DbOp::ReadRange {
+                file: suspense(node),
+                low: num_key(0),
+                high: None,
+                limit: 64,
+            },
+            0,
+        );
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
@@ -526,7 +534,14 @@ impl SuspenseMonitor {
                     let entry = self.current.as_ref().expect("work chosen").0;
                     let node = ctx.node();
                     self.state = MonState::Deleting;
-                    self.session.delete(ctx, &suspense(node), num_key(entry), 0);
+                    self.session.op(
+                        ctx,
+                        DbOp::Delete {
+                            file: suspense(node),
+                            key: num_key(entry),
+                        },
+                        0,
+                    );
                 }
                 _ => {
                     self.state = MonState::Aborting;
@@ -586,8 +601,14 @@ impl Process for SuspenseMonitor {
                     let entry = self.current.as_ref().expect("work chosen").0;
                     let node = ctx.node();
                     self.state = MonState::Locking;
-                    self.session
-                        .read_lock(ctx, &suspense(node), num_key(entry), 0);
+                    self.session.op(
+                        ctx,
+                        DbOp::ReadLock {
+                            file: suspense(node),
+                            key: num_key(entry),
+                        },
+                        0,
+                    );
                 } else {
                     self.state = MonState::Aborting;
                     self.session.abort(ctx, AbortReason::Restart, 0);

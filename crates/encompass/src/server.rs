@@ -13,24 +13,15 @@
 //! transaction is immaterial".
 
 use crate::messages::{AppReply, AppRequest, ServerRequest};
-use bytes::Bytes;
 use encompass_sim::{Ctx, Payload, Pid, Process, TimerId};
 use encompass_storage::discprocess::DiscReply;
 use encompass_storage::Catalog;
 use guardian::reply;
 use tmf::session::{SessionEvent, TmfSession};
 
-/// A data-base operation a server step may issue.
-#[derive(Clone, Debug)]
-pub enum DbOp {
-    Read { file: String, key: Bytes },
-    ReadLock { file: String, key: Bytes },
-    Insert { file: String, key: Bytes, value: Bytes },
-    Update { file: String, key: Bytes, value: Bytes },
-    Delete { file: String, key: Bytes },
-    InsertEntry { file: String, value: Bytes },
-    ReadRange { file: String, low: Bytes, high: Option<Bytes>, limit: usize },
-}
+/// A data-base operation a server step may issue. This is the session
+/// layer's typed request enum, re-exported where server authors expect it.
+pub use tmf::session::DbOp;
 
 /// What a server-logic step decided.
 pub enum ServerStep {
@@ -88,23 +79,7 @@ impl ServerProcess {
 
     fn run_step(&mut self, ctx: &mut Ctx<'_>, step: ServerStep) {
         match step {
-            ServerStep::Db(op) => {
-                let s = &mut self.session;
-                match op {
-                    DbOp::Read { file, key } => s.read(ctx, &file, key, 0),
-                    DbOp::ReadLock { file, key } => s.read_lock(ctx, &file, key, 0),
-                    DbOp::Insert { file, key, value } => s.insert(ctx, &file, key, value, 0),
-                    DbOp::Update { file, key, value } => s.update(ctx, &file, key, value, 0),
-                    DbOp::Delete { file, key } => s.delete(ctx, &file, key, 0),
-                    DbOp::InsertEntry { file, value } => s.insert_entry(ctx, &file, value, 0),
-                    DbOp::ReadRange {
-                        file,
-                        low,
-                        high,
-                        limit,
-                    } => s.read_range(ctx, &file, low, high, limit, 0),
-                }
-            }
+            ServerStep::Db(op) => self.session.op(ctx, op, 0),
             ServerStep::Reply(r) => self.finish(ctx, r),
         }
     }
@@ -208,6 +183,7 @@ impl Process for ServerProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     struct Fixed;
     impl ServerLogic for Fixed {

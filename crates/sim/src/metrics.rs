@@ -60,6 +60,33 @@ impl Metrics {
             *v = 0;
         }
     }
+
+    /// Record one observation into a fixed-bound histogram built from plain
+    /// counters: cumulative buckets `<name>.le_<bound>` (plus the implicit
+    /// `<name>.le_inf`), an observation count `<name>.count`, and a running
+    /// `<name>.sum`. Bounds must be ascending; the experiment harnesses
+    /// read the buckets back with [`Metrics::with_prefix`].
+    pub fn observe(&mut self, name: &str, value: u64, bounds: &[u64]) {
+        for b in bounds {
+            if value <= *b {
+                self.add(&format!("{name}.le_{b}"), 1);
+            }
+        }
+        self.add(&format!("{name}.le_inf"), 1);
+        self.add(&format!("{name}.count"), 1);
+        self.add(&format!("{name}.sum"), value);
+    }
+
+    /// Mean of every observation recorded with [`Metrics::observe`] under
+    /// `name` (zero if nothing was observed).
+    pub fn observed_mean(&self, name: &str) -> f64 {
+        let count = self.get(&format!("{name}.count"));
+        if count == 0 {
+            0.0
+        } else {
+            self.get(&format!("{name}.sum")) as f64 / count as f64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,12 @@ impl<'a> Ctx<'a> {
         self.world.metrics_mut().add(name, delta);
     }
 
+    /// Record one observation into a counter-backed histogram (see
+    /// [`crate::Metrics::observe`]).
+    pub fn observe(&mut self, name: &str, value: u64, bounds: &[u64]) {
+        self.world.metrics_mut().observe(name, value, bounds);
+    }
+
     /// Record a trace event attributed to this process.
     pub fn trace(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
         self.world.trace_note(kind, self.pid.index as u64, detail);

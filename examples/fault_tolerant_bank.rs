@@ -7,9 +7,9 @@
 //! cargo run --example fault_tolerant_bank
 //! ```
 
-use encompass_repro::encompass::app::{launch_bank_app, BankAppParams};
-use encompass_repro::encompass::workload::total_balance;
-use encompass_repro::sim::{CpuId, Fault, SimDuration};
+use encompass_tmf::encompass::workload::total_balance;
+use encompass_tmf::prelude::*;
+use encompass_tmf::sim::CpuId;
 
 fn main() {
     let terminals = 8usize;

@@ -8,15 +8,14 @@
 //! ```
 
 use bytes::Bytes;
-use encompass_repro::encompass::app::{launch_mfg_app, read_replica, MfgAppParams};
-use encompass_repro::encompass::manufacturing::suspense;
-use encompass_repro::encompass::messages::{AppReply, AppRequest, ServerRequest};
-use encompass_repro::sim::{Ctx, Fault, NodeId, Payload, Pid, Process, SimDuration, TimerId};
-use encompass_repro::storage::media::{media_key, VolumeMedia};
+use encompass_tmf::encompass::app::{launch_mfg_app, read_replica, MfgAppParams};
+use encompass_tmf::encompass::manufacturing::suspense;
+use encompass_tmf::encompass::messages::{AppReply, AppRequest, ServerRequest};
+use encompass_tmf::prelude::*;
+use encompass_tmf::storage::media::{media_key, VolumeMedia};
 use guardian::{Rpc, Target};
 use std::cell::RefCell;
 use std::rc::Rc;
-use tmf::session::{SessionEvent, TmfSession};
 
 /// Issues one `master-update` transaction and records success.
 struct Update {
@@ -116,7 +115,7 @@ fn main() {
     app.world.run_for(SimDuration::from_secs(15));
     println!("   committed: {:?}", ok.borrow().unwrap());
 
-    let show = |app: &mut encompass_repro::encompass::app::AppHandles| {
+    let show = |app: &mut encompass_tmf::encompass::app::AppHandles| {
         for (i, &n) in app.nodes.clone().iter().enumerate() {
             let r = read_replica(&mut app.world, n, "item", b"widget");
             let backlog = app

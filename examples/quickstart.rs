@@ -6,15 +6,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use encompass_repro::sim::{NodeId, SimDuration};
-use encompass_repro::storage::types::{FileDef, VolumeRef};
-use encompass_repro::storage::Catalog;
-use encompass_repro::tmf::facility::{spawn_tmf_network, TmfNodeConfig};
-
 use bytes::Bytes;
-use encompass_repro::sim::{Ctx, Payload, Pid, Process, SimConfig, TimerId, World};
-use encompass_repro::tmf::session::{SessionEvent, TmfSession};
-use encompass_repro::tmf::state::AbortReason;
+use encompass_tmf::prelude::*;
 
 fn b(s: &str) -> Bytes {
     Bytes::copy_from_slice(s.as_bytes())
@@ -42,8 +35,11 @@ impl Process for Quickstart {
             (1, SessionEvent::Began { transid, .. }) => {
                 println!("[{}]   transid = {transid}", ctx.now());
                 self.step = 2;
-                self.session
-                    .insert(ctx, "accounts", b("alice"), b("100"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::Insert { file: "accounts".into(), key: b("alice"), value: b("100") },
+                    0,
+                );
             }
             (2, SessionEvent::OpDone { reply, .. }) => {
                 println!("[{}]   insert alice=100 -> {reply:?}", ctx.now());
@@ -58,12 +54,20 @@ impl Process for Quickstart {
             }
             (4, SessionEvent::Began { .. }) => {
                 self.step = 5;
-                self.session.read_lock(ctx, "accounts", b("alice"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::ReadLock { file: "accounts".into(), key: b("alice") },
+                    0,
+                );
             }
             (5, SessionEvent::OpDone { reply, .. }) => {
                 println!("[{}]   read-lock alice -> {reply:?}", ctx.now());
                 self.step = 6;
-                self.session.update(ctx, "accounts", b("alice"), b("0"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::Update { file: "accounts".into(), key: b("alice"), value: b("0") },
+                    0,
+                );
             }
             (6, SessionEvent::OpDone { .. }) => {
                 println!("[{}]   updated alice=0 … now ABORT-TRANSACTION", ctx.now());
@@ -73,7 +77,11 @@ impl Process for Quickstart {
             (7, SessionEvent::Aborted { .. }) => {
                 println!("[{}] ABORT-TRANSACTION: backed out", ctx.now());
                 self.step = 8;
-                self.session.read(ctx, "accounts", b("alice"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::Read { file: "accounts".into(), key: b("alice") },
+                    0,
+                );
             }
             (8, SessionEvent::OpDone { reply, .. }) => {
                 println!(

@@ -11,13 +11,13 @@
 //! breaks the equation.
 
 use bytes::Bytes;
-use encompass_repro::encompass::app::{launch_bank_app, BankAppParams};
-use encompass_repro::encompass::workload::total_balance;
-use encompass_repro::sim::{CpuId, Fault, SimDuration};
-use encompass_repro::storage::media::{media_key, VolumeMedia};
+use encompass_tmf::encompass::app::{launch_bank_app, BankAppParams};
+use encompass_tmf::encompass::workload::total_balance;
+use encompass_tmf::sim::{CpuId, Fault, SimDuration};
+use encompass_tmf::storage::media::{media_key, VolumeMedia};
 
 /// Sum of debit amounts recorded in the committed history file.
-fn history_total(app: &mut encompass_repro::encompass::app::AppHandles) -> i64 {
+fn history_total(app: &mut encompass_tmf::encompass::app::AppHandles) -> i64 {
     let node = app.nodes[0];
     let media = app
         .world
@@ -40,7 +40,7 @@ fn history_total(app: &mut encompass_repro::encompass::app::AppHandles) -> i64 {
 }
 
 /// Run a bank app to completion (+ flush drain) and assert conservation.
-fn assert_conservation(mut app: encompass_repro::encompass::app::AppHandles, accounts: u64) {
+fn assert_conservation(mut app: encompass_tmf::encompass::app::AppHandles, accounts: u64) {
     // drain: in-flight work, backouts, safe-delivery retries, cache flushes
     app.world.run_for(SimDuration::from_secs(240));
     let final_total = total_balance(&mut app.world, &app.catalog, "accounts");
@@ -190,7 +190,7 @@ fn deterministic_full_stack_replay() {
         });
         let n = app.nodes[0];
         app.world
-            .schedule_fault(encompass_repro::sim::SimTime::from_micros(400_000), Fault::KillCpu(n, CpuId(2)));
+            .schedule_fault(encompass_tmf::sim::SimTime::from_micros(400_000), Fault::KillCpu(n, CpuId(2)));
         app.world.run_for(SimDuration::from_secs(30));
         app.world.trace_hash()
     }
@@ -200,9 +200,9 @@ fn deterministic_full_stack_replay() {
 
 #[test]
 fn rollforward_restores_exact_committed_state_full_stack() {
-    use encompass_repro::audit::rollforward::rollforward_volume;
-    use encompass_repro::audit::trail::trail_key;
-    use encompass_repro::storage::types::VolumeRef;
+    use encompass_tmf::audit::rollforward::rollforward_volume;
+    use encompass_tmf::audit::trail::trail_key;
+    use encompass_tmf::storage::types::VolumeRef;
     use guardian::Target;
 
     let accounts = 150u64;
@@ -215,12 +215,12 @@ fn rollforward_restores_exact_committed_state_full_stack() {
     });
     let n = app.nodes[0];
     // archive while the workload is running (a fuzzy dump)
-    let _ = encompass_repro::storage::testkit::run_script(
+    let _ = encompass_tmf::storage::testkit::run_script(
         &mut app.world,
         n,
         0,
         Target::Named(n, "$BANK".into()),
-        vec![encompass_repro::storage::discprocess::DiscRequest::Archive { generation: 1 }],
+        vec![encompass_tmf::storage::discprocess::DiscRequest::Archive { generation: 1 }],
     );
     app.world.run_for(SimDuration::from_secs(120));
     assert_eq!(app.world.metrics().get("tcp.terminals_finished"), 4);
@@ -265,7 +265,7 @@ fn rollforward_restores_exact_committed_state_full_stack() {
 #[test]
 fn umbrella_crate_reexports_work() {
     // the public API advertised in the README
-    use encompass_repro::sim::{SimConfig, World};
+    use encompass_tmf::sim::{SimConfig, World};
     let mut w = World::new(SimConfig::with_seed(1));
     let n = w.add_node(2);
     assert_eq!(w.cpu_count(n), 2);

@@ -7,19 +7,19 @@
 //! Also covers the multi-AUDITPROCESS configuration: two volumes on one
 //! node, each with its own audit service and trail, recovered together.
 
-use encompass_repro::encompass::app::AppBuilder;
-use encompass_repro::sim::{NodeId, SimDuration};
-use encompass_repro::storage::types::{FileDef, VolumeRef};
-use encompass_repro::storage::Catalog;
-use encompass_repro::tmf::facility::TmfNodeConfig;
+use encompass_tmf::encompass::app::AppBuilder;
+use encompass_tmf::sim::{NodeId, SimDuration};
+use encompass_tmf::storage::types::{FileDef, VolumeRef};
+use encompass_tmf::storage::Catalog;
+use encompass_tmf::tmf::facility::TmfNodeConfig;
 
 mod driver {
     use bytes::Bytes;
-    use encompass_repro::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
-    use encompass_repro::storage::Catalog;
+    use encompass_tmf::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
+    use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, TmfSession};
     use tmf::state::AbortReason;
 
     /// Runs `count` two-node transactions back to back, restarting on any
@@ -55,19 +55,31 @@ mod driver {
                     self.step = 2;
                     self.seq += 1;
                     let k = Bytes::from(format!("k{}", self.seq));
-                    self.session.insert(ctx, "f0", k, Bytes::from_static(b"v"), 0);
+                    self.session.op(
+                        ctx,
+                        DbOp::Insert { file: "f0".into(), key: k, value: Bytes::from_static(b"v") },
+                        0,
+                    );
                 }
                 (2, SessionEvent::OpDone { reply, .. }) => {
-                    if matches!(reply, encompass_repro::storage::discprocess::DiscReply::Ok) {
+                    if matches!(reply, encompass_tmf::storage::discprocess::DiscReply::Ok) {
                         self.step = 3;
                         let k = Bytes::from(format!("k{}", self.seq));
-                        self.session.insert(ctx, "f1", k, Bytes::from_static(b"v"), 0);
+                        self.session.op(
+                            ctx,
+                            DbOp::Insert {
+                                file: "f1".into(),
+                                key: k,
+                                value: Bytes::from_static(b"v"),
+                            },
+                            0,
+                        );
                     } else {
                         self.bail(ctx);
                     }
                 }
                 (3, SessionEvent::OpDone { reply, .. }) => {
-                    if matches!(reply, encompass_repro::storage::discprocess::DiscReply::Ok) {
+                    if matches!(reply, encompass_tmf::storage::discprocess::DiscReply::Ok) {
                         self.step = 4;
                         self.session.end(ctx, 0);
                     } else {
@@ -137,7 +149,7 @@ fn distributed_transactions_complete_over_a_lossy_link() {
         .build(catalog);
     // 10% of all packets on the only link vanish
     app.world
-        .set_link_loss(encompass_repro::sim::LinkId(0), 0.10);
+        .set_link_loss(encompass_tmf::sim::LinkId(0), 0.10);
 
     let committed = driver::spawn(&mut app.world, app.nodes[0], app.catalog.clone(), 20);
     app.world.run_for(SimDuration::from_secs(600));
@@ -155,7 +167,7 @@ fn distributed_transactions_complete_over_a_lossy_link() {
     // uniformity: every commit on the home monitor trail has its f1 write
     // present (flush drain first)
     app.world.run_for(SimDuration::from_secs(10));
-    use encompass_repro::storage::media::{media_key, VolumeMedia};
+    use encompass_tmf::storage::media::{media_key, VolumeMedia};
     let media = app
         .world
         .stable()
@@ -166,9 +178,9 @@ fn distributed_transactions_complete_over_a_lossy_link() {
 
 #[test]
 fn multiple_audit_processes_share_the_load_and_recover_together() {
-    use encompass_repro::audit::rollforward::rollforward_volume;
-    use encompass_repro::sim::{CpuId, Fault};
-    use encompass_repro::storage::media::{media_key, VolumeMedia};
+    use encompass_tmf::audit::rollforward::rollforward_volume;
+    use encompass_tmf::sim::{CpuId, Fault};
+    use encompass_tmf::storage::media::{media_key, VolumeMedia};
     use guardian::Target;
 
     let n0 = NodeId(0);
@@ -177,20 +189,22 @@ fn multiple_audit_processes_share_the_load_and_recover_together() {
     catalog.add(FileDef::key_sequenced("fb", VolumeRef::new(n0, "$DB")));
     let mut app = AppBuilder::new()
         .node(8)
-        .tmf_config(TmfNodeConfig {
-            audit_processes: 2,
-            ..TmfNodeConfig::default()
-        })
+        .tmf_config(
+            TmfNodeConfig::builder()
+                .audit_processes(2)
+                .build()
+                .expect("valid tmf config"),
+        )
         .build(catalog);
 
     // archive both volumes, then run transactions touching both
     for vol in ["$DA", "$DB"] {
-        let _ = encompass_repro::storage::testkit::run_script(
+        let _ = encompass_tmf::storage::testkit::run_script(
             &mut app.world,
             n0,
             0,
             Target::Named(n0, vol.into()),
-            vec![encompass_repro::storage::discprocess::DiscRequest::Archive { generation: 1 }],
+            vec![encompass_tmf::storage::discprocess::DiscRequest::Archive { generation: 1 }],
         );
     }
     app.world.run_for(SimDuration::from_millis(200));
@@ -202,14 +216,14 @@ fn multiple_audit_processes_share_the_load_and_recover_together() {
     assert_eq!(*committed.borrow(), 10);
     // both trails carry records
     let trails = [
-        encompass_repro::audit::trail::trail_key(n0, "$AUDIT0"),
-        encompass_repro::audit::trail::trail_key(n0, "$AUDIT1"),
+        encompass_tmf::audit::trail::trail_key(n0, "$AUDIT0"),
+        encompass_tmf::audit::trail::trail_key(n0, "$AUDIT1"),
     ];
     for tk in &trails {
         let t = app
             .world
             .stable()
-            .get::<encompass_repro::audit::trail::TrailMedia>(tk)
+            .get::<encompass_tmf::audit::trail::TrailMedia>(tk)
             .expect("trail exists");
         assert!(!t.is_empty(), "{tk} carries audit records");
     }
@@ -241,11 +255,11 @@ fn multiple_audit_processes_share_the_load_and_recover_together() {
 
 mod dual_driver {
     use bytes::Bytes;
-    use encompass_repro::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
-    use encompass_repro::storage::Catalog;
+    use encompass_tmf::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
+    use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, TmfSession};
 
     pub struct Dual {
         session: TmfSession,
@@ -286,11 +300,19 @@ mod dual_driver {
                     self.seq += 1;
                     self.step = 2;
                     let k = Bytes::from(format!("k{}", self.seq));
-                    self.session.insert(ctx, "fa", k, Bytes::from_static(b"v"), 0);
+                    self.session.op(
+                        ctx,
+                        DbOp::Insert { file: "fa".into(), key: k, value: Bytes::from_static(b"v") },
+                        0,
+                    );
                 }
                 (2, SessionEvent::OpDone { .. }) => {
                     self.step = 3;
-                    self.session.insert(ctx, "fb", k, Bytes::from_static(b"v"), 0);
+                    self.session.op(
+                        ctx,
+                        DbOp::Insert { file: "fb".into(), key: k, value: Bytes::from_static(b"v") },
+                        0,
+                    );
                 }
                 (3, SessionEvent::OpDone { .. }) => {
                     self.step = 4;

@@ -5,15 +5,15 @@
 //! communications between participating nodes".
 
 use bytes::Bytes;
-use encompass_repro::audit::monitor::MonitorTrail;
-use encompass_repro::encompass::app::AppBuilder;
-use encompass_repro::sim::{Fault, NodeId, SimDuration, SimTime};
-use encompass_repro::storage::media::{media_key, VolumeMedia};
-use encompass_repro::storage::types::{FileDef, VolumeRef};
-use encompass_repro::storage::Catalog;
-use encompass_repro::tmf::session::{SessionEvent, TmfSession};
-use encompass_repro::tmf::state::AbortReason;
-use encompass_repro::sim::{Ctx, Payload, Pid, Process, TimerId};
+use encompass_tmf::audit::monitor::MonitorTrail;
+use encompass_tmf::encompass::app::AppBuilder;
+use encompass_tmf::sim::{Fault, NodeId, SimDuration, SimTime};
+use encompass_tmf::storage::media::{media_key, VolumeMedia};
+use encompass_tmf::storage::types::{FileDef, VolumeRef};
+use encompass_tmf::storage::Catalog;
+use encompass_tmf::tmf::session::{DbOp, SessionEvent, TmfSession};
+use encompass_tmf::tmf::state::AbortReason;
+use encompass_tmf::sim::{Ctx, Payload, Pid, Process, TimerId};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -48,13 +48,27 @@ impl OneTxn {
         match (self.step, ev) {
             (1, SessionEvent::Began { .. }) => {
                 self.step = 2;
-                self.session
-                    .insert(ctx, "f0", Bytes::from_static(b"key"), Bytes::from_static(b"v"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::Insert {
+                        file: "f0".into(),
+                        key: Bytes::from_static(b"key"),
+                        value: Bytes::from_static(b"v"),
+                    },
+                    0,
+                );
             }
             (2, SessionEvent::OpDone { .. }) => {
                 self.step = 3;
-                self.session
-                    .insert(ctx, "f1", Bytes::from_static(b"key"), Bytes::from_static(b"v"), 0);
+                self.session.op(
+                    ctx,
+                    DbOp::Insert {
+                        file: "f1".into(),
+                        key: Bytes::from_static(b"key"),
+                        value: Bytes::from_static(b"v"),
+                    },
+                    0,
+                );
             }
             (3, SessionEvent::OpDone { .. }) => {
                 self.step = 4;
@@ -116,7 +130,7 @@ fn run_with_cut(cut_us: u64) -> (&'static str, Option<bool>, bool) {
 
     let driver_outcome = outcome.borrow().unwrap_or("in-doubt");
     // the transaction this run created is always T0.0.1
-    let transid = encompass_repro::tmf::Transid {
+    let transid = encompass_tmf::tmf::Transid {
         home_node: n0,
         cpu: 0,
         seq: 1,

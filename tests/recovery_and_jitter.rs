@@ -4,29 +4,29 @@
 //! message jitter enabled (shakes out accidental ordering assumptions).
 
 use bytes::Bytes;
-use encompass_repro::audit::monitor::MonitorTrail;
-use encompass_repro::audit::rollforward::rollforward_volume;
-use encompass_repro::audit::trail::{trail_key, TrailMedia};
-use encompass_repro::encompass::app::{launch_bank_app, AppBuilder, BankAppParams};
-use encompass_repro::encompass::workload::total_balance;
-use encompass_repro::sim::{
+use encompass_tmf::audit::monitor::MonitorTrail;
+use encompass_tmf::audit::rollforward::rollforward_volume;
+use encompass_tmf::audit::trail::{trail_key, TrailMedia};
+use encompass_tmf::encompass::app::{launch_bank_app, AppBuilder, BankAppParams};
+use encompass_tmf::encompass::workload::total_balance;
+use encompass_tmf::sim::{
     CpuId, Fault, NodeId, SimConfig, SimDuration,
 };
-use encompass_repro::storage::media::{media_key, VolumeMedia};
-use encompass_repro::storage::types::{FileDef, VolumeRef};
-use encompass_repro::storage::Catalog;
+use encompass_tmf::storage::media::{media_key, VolumeMedia};
+use encompass_tmf::storage::types::{FileDef, VolumeRef};
+use encompass_tmf::storage::Catalog;
 use guardian::Target;
 
 mod driver {
     //! A minimal copy of the scripted transaction driver (tests cannot
     //! import each other's modules).
     use bytes::Bytes;
-    use encompass_repro::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
-    use encompass_repro::storage::discprocess::DiscReply;
-    use encompass_repro::storage::Catalog;
+    use encompass_tmf::sim::{Ctx, NodeId, Payload, Pid, Process, TimerId, World};
+    use encompass_tmf::storage::discprocess::DiscReply;
+    use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, TmfSession};
     use tmf::state::AbortReason;
 
     #[derive(Clone)]
@@ -74,8 +74,10 @@ mod driver {
             self.next += 1;
             match step {
                 Step::Begin => self.session.begin(ctx, 0),
-                Step::Read(f, k) => self.session.read(ctx, &f, k, 0),
-                Step::Insert(f, k, v) => self.session.insert(ctx, &f, k, v, 0),
+                Step::Read(f, k) => self.session.op(ctx, DbOp::Read { file: f, key: k }, 0),
+                Step::Insert(f, k, v) => self
+                    .session
+                    .op(ctx, DbOp::Insert { file: f, key: k, value: v }, 0),
                 Step::End => self.session.end(ctx, 0),
                 Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
             }
@@ -141,12 +143,12 @@ fn rollforward_negotiates_with_remote_home_node() {
     let (n0, n1) = (app.nodes[0], app.nodes[1]);
 
     // archive node 1's volume up front
-    let _ = encompass_repro::storage::testkit::run_script(
+    let _ = encompass_tmf::storage::testkit::run_script(
         &mut app.world,
         n1,
         0,
         Target::Named(n1, "$D1".into()),
-        vec![encompass_repro::storage::discprocess::DiscRequest::Archive { generation: 1 }],
+        vec![encompass_tmf::storage::discprocess::DiscRequest::Archive { generation: 1 }],
     );
     app.world.run_for(SimDuration::from_millis(200));
 
@@ -167,7 +169,7 @@ fn rollforward_negotiates_with_remote_home_node() {
     assert_eq!(log.borrow().last().unwrap(), "committed");
     // the commit record lives at the HOME node only if node 1 never saw
     // phase 2 — normally both have it; verify home has it
-    let transid = encompass_repro::tmf::Transid {
+    let transid = encompass_tmf::tmf::Transid {
         home_node: n0,
         cpu: 0,
         seq: 1,
@@ -196,7 +198,7 @@ fn rollforward_negotiates_with_remote_home_node() {
         assert!(!media.available());
     }
     app.world.stable_mut().remove(
-        &encompass_repro::audit::monitor::monitor_key(n1),
+        &encompass_tmf::audit::monitor::monitor_key(n1),
     );
 
     let report = rollforward_volume(
@@ -232,12 +234,12 @@ fn trail_purge_respects_archive_watermark() {
     let n = app.nodes[0];
     // run half the workload, then archive (watermark captures progress)
     app.world.run_for(SimDuration::from_millis(700));
-    let _ = encompass_repro::storage::testkit::run_script(
+    let _ = encompass_tmf::storage::testkit::run_script(
         &mut app.world,
         n,
         0,
         Target::Named(n, "$BANK".into()),
-        vec![encompass_repro::storage::discprocess::DiscRequest::Archive { generation: 2 }],
+        vec![encompass_tmf::storage::discprocess::DiscRequest::Archive { generation: 2 }],
     );
     app.world.run_for(SimDuration::from_secs(120));
     assert_eq!(app.world.metrics().get("tcp.terminals_finished"), 3);
@@ -249,8 +251,8 @@ fn trail_purge_respects_archive_watermark() {
     let watermark = app
         .world
         .stable()
-        .get::<encompass_repro::storage::media::ArchiveImage>(
-            &encompass_repro::storage::media::archive_key(&VolumeRef::new(n, "$BANK"), 2),
+        .get::<encompass_tmf::storage::media::ArchiveImage>(
+            &encompass_tmf::storage::media::archive_key(&VolumeRef::new(n, "$BANK"), 2),
         )
         .expect("archive present")
         .audit_watermark;
@@ -285,9 +287,9 @@ fn trail_purge_respects_archive_watermark() {
 /// The TMF utility: query a completed transaction's disposition.
 #[test]
 fn disposition_query_after_completion() {
-    use encompass_repro::tmf::tmp::{TmpMsg, TmpReply};
-    use encompass_repro::tmf::TxState;
-    use encompass_repro::sim::{Ctx, Payload, Pid, Process, TimerId};
+    use encompass_tmf::tmf::tmp::{TmpMsg, TmpReply};
+    use encompass_tmf::tmf::TxState;
+    use encompass_tmf::sim::{Ctx, Payload, Pid, Process, TimerId};
     use guardian::Rpc;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -313,7 +315,7 @@ fn disposition_query_after_completion() {
     }
     impl Process for Query {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            let transid = encompass_repro::tmf::Transid {
+            let transid = encompass_tmf::tmf::Transid {
                 home_node: self.node,
                 cpu: 0,
                 seq: 1,
@@ -376,11 +378,11 @@ fn bank_workload_correct_under_message_jitter() {
     });
     let n = app.nodes[0];
     app.world.schedule_fault(
-        encompass_repro::sim::SimTime::from_micros(333_333),
+        encompass_tmf::sim::SimTime::from_micros(333_333),
         Fault::KillCpu(n, CpuId(1)),
     );
     app.world.schedule_fault(
-        encompass_repro::sim::SimTime::from_micros(777_777),
+        encompass_tmf::sim::SimTime::from_micros(777_777),
         Fault::RestoreCpu(n, CpuId(1)),
     );
     app.world.run_for(SimDuration::from_secs(240));
