@@ -12,12 +12,12 @@
 //!   with `force: true`.
 
 use crate::trail::{trail_key, TrailMedia};
-use encompass_sim::{Payload, Pid, World};
+use encompass_sim::NodeId;
+use encompass_sim::{FlightCause, HistogramHandle, Payload, Pid, World};
 use encompass_storage::audit_api::{AuditMsg, AuditReply, ImageRecord};
 use encompass_storage::types::Transid;
-use encompass_sim::NodeId;
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// Identity of one image record: duplicates arise when a DISCPROCESS
 /// takeover re-sends retained images whose original append already
@@ -69,6 +69,9 @@ struct Waiter {
     needed: u64,
     /// The reply to send when satisfied.
     reply: AuditReply,
+    /// The transaction this force is on behalf of (`ForceTxn` only; WAL
+    /// appends force anonymously).
+    transid: Option<Transid>,
 }
 
 enum AuditDelta {
@@ -100,6 +103,7 @@ pub struct AuditProcess {
     /// Keys of every record on the trail or in the buffer; `None` until
     /// first needed (rebuilt by scanning the trail after a takeover).
     seen: Option<HashSet<ImageKey>>,
+    boxcar_hist: HistogramHandle,
 }
 
 impl AuditProcess {
@@ -114,6 +118,7 @@ impl AuditProcess {
             replies: ReplyCache::new(8192),
             in_progress: HashSet::new(),
             seen: None,
+            boxcar_hist: HistogramHandle::new("audit.boxcar_size", BOXCAR_BOUNDS),
         }
     }
 
@@ -158,7 +163,14 @@ impl AuditProcess {
 
     /// Enqueue a waiter that needs everything currently buffered to be on
     /// the trail, and kick the force machinery.
-    fn enqueue_force(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, r: AuditReply) {
+    fn enqueue_force(
+        &mut self,
+        ctx: &mut PairCtx<'_, '_>,
+        req_id: u64,
+        from: Pid,
+        r: AuditReply,
+        transid: Option<Transid>,
+    ) {
         if self.buffer.is_empty() {
             // nothing to force (e.g. an append fully deduplicated away)
             self.replies.store(req_id, r.clone());
@@ -167,11 +179,15 @@ impl AuditProcess {
         }
         let needed = self.forced_count + self.buffer.len() as u64;
         self.in_progress.insert(req_id);
+        if let Some(t) = transid {
+            ctx.flight(t.flight_id(), FlightCause::AuditForceStart);
+        }
         self.waiters.push(Waiter {
             req_id,
             from,
             needed,
             reply: r,
+            transid,
         });
         self.maybe_start_force(ctx);
     }
@@ -222,9 +238,13 @@ impl AuditProcess {
         let (done, rest): (Vec<Waiter>, Vec<Waiter>) =
             self.waiters.drain(..).partition(|w| w.needed <= forced);
         self.waiters = rest;
-        ctx.observe("audit.boxcar_size", done.len() as u64, BOXCAR_BOUNDS);
+        ctx.observe_handle(&self.boxcar_hist, done.len() as u64);
+        let boxcar = done.len() as u32;
         for w in done {
             self.in_progress.remove(&w.req_id);
+            if let Some(t) = w.transid {
+                ctx.flight(t.flight_id(), FlightCause::AuditForced { boxcar });
+            }
             self.replies.store(w.req_id, w.reply.clone());
             reply(ctx, w.req_id, w.from, w.reply);
         }
@@ -262,9 +282,16 @@ impl PairApp for AuditProcess {
                     req_id: req.id,
                     records: records.clone(),
                 }));
+                let mut per_txn: BTreeMap<Transid, u32> = BTreeMap::new();
+                for r in &records {
+                    *per_txn.entry(r.transid).or_insert(0) += 1;
+                }
+                for (t, n) in per_txn {
+                    ctx.flight(t.flight_id(), FlightCause::AuditAppend { records: n });
+                }
                 self.buffer.extend(records);
                 if force {
-                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Appended);
+                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Appended, None);
                 } else {
                     self.replies.store(req.id, AuditReply::Appended);
                     reply(ctx, req.id, req.from, AuditReply::Appended);
@@ -273,7 +300,7 @@ impl PairApp for AuditProcess {
             AuditMsg::ForceTxn { transid } => {
                 ctx.count("audit.force_txn", 1);
                 if self.buffered_for(transid) {
-                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Forced);
+                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Forced, Some(transid));
                 } else {
                     self.replies.store(req.id, AuditReply::Forced);
                     reply(ctx, req.id, req.from, AuditReply::Forced);

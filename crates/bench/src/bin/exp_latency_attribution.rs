@@ -1,0 +1,27 @@
+//! Latency-attribution sweep — see
+//! `encompass_bench::experiments::latency_attribution`.
+//!
+//! ```text
+//! cargo run -p encompass-bench --release --bin exp_latency_attribution           # full sweep
+//! cargo run -p encompass-bench --release --bin exp_latency_attribution -- --smoke
+//! cargo run -p encompass-bench --release --bin exp_latency_attribution -- --out path.json
+//! ```
+//!
+//! Writes the machine-readable decomposition to
+//! `BENCH_latency_attribution.json` (or `--out PATH`) in addition to
+//! printing the table.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_latency_attribution.json".to_string());
+
+    let result = encompass_bench::experiments::latency_attribution(smoke);
+    println!("{}", result.table());
+    std::fs::write(&out, result.to_json()).expect("write sweep json");
+    println!("wrote {out}");
+}

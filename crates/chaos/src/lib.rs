@@ -22,5 +22,5 @@ pub mod probe;
 pub mod runner;
 pub mod schedule;
 
-pub use runner::{run_schedule, run_seed, RunReport};
+pub use runner::{run_schedule, run_schedule_with, run_seed, FlightDump, RunReport};
 pub use schedule::{ChaosAction, Schedule, ScheduledEvent};

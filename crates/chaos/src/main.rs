@@ -11,7 +11,7 @@
 //! Exit status is non-zero if any run violates an invariant (or a seed
 //! fails to reproduce its own determinism hash).
 
-use encompass_chaos::{run_schedule, Schedule};
+use encompass_chaos::{run_schedule, run_schedule_with, RunReport, Schedule};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,18 +85,19 @@ fn print_usage() {
     );
 }
 
-/// One seed, verbose: print the schedule, run it twice, and require the
-/// two runs to produce the same determinism hash.
+/// One seed, verbose: print the schedule, run it twice — the second time
+/// with the flight recorder on — and require both runs to produce the
+/// same determinism hash (which also pins recorder-off/on equivalence).
 fn run_single(seed: u64, window: Option<u64>) -> bool {
     let schedule = schedule_for(seed, window);
     print!("{}", schedule.describe());
     let a = run_schedule(&schedule);
-    let b = run_schedule(&schedule);
+    let b = run_schedule_with(&schedule, true);
     println!("{}", a.summary_line());
     let mut failed = false;
     if a.trace_hash != b.trace_hash {
         println!(
-            "DETERMINISM VIOLATION: rerun produced hash {:016x} != {:016x}",
+            "DETERMINISM VIOLATION: recorded rerun produced hash {:016x} != {:016x}",
             b.trace_hash, a.trace_hash
         );
         failed = true;
@@ -105,10 +106,32 @@ fn run_single(seed: u64, window: Option<u64>) -> bool {
         println!("  violation: {v}");
         failed = true;
     }
-    if !failed {
+    if failed {
+        dump_flight(&b);
+    } else {
         println!("seed {seed}: all invariants hold, deterministic");
     }
     failed
+}
+
+/// Print the implicated-transaction timelines of a recorded failing run
+/// and export the full recorder state to `flightrec.json`.
+fn dump_flight(report: &RunReport) {
+    let Some(flight) = &report.flight else {
+        return;
+    };
+    if report.implicated.is_empty() {
+        println!("  implicated transactions: none named by the oracles");
+    } else {
+        println!("  implicated transactions: {}", report.implicated.join(", "));
+        for t in &flight.timelines {
+            print!("{t}");
+        }
+    }
+    match std::fs::write("flightrec.json", &flight.json) {
+        Ok(()) => println!("  flight records written to flightrec.json"),
+        Err(e) => println!("  could not write flightrec.json: {e}"),
+    }
 }
 
 fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
@@ -129,6 +152,9 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
             for v in &report.violations {
                 println!("  violation: {v}");
             }
+            // recording is hash-neutral, so this replays the same run
+            let recorded = run_schedule_with(&schedule_for(seed, window), true);
+            dump_flight(&recorded);
         }
     }
     println!(

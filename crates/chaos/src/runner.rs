@@ -36,7 +36,10 @@ use encompass::app::{launch_bank_app, BankAppParams};
 use encompass::workload::total_balance;
 use encompass_audit::monitor::{monitor_key, MonitorTrail};
 use encompass_audit::rollforward::rollforward_volume;
-use encompass_sim::{CpuId, Fault, NodeId, SimDuration, World};
+use encompass_sim::{
+    format_timeline, CpuId, Fault, FlightEvent, FlightTransid, NodeId, SimConfig, SimDuration,
+    World,
+};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
 use encompass_storage::media::{archive_key, ArchiveImage, VolumeMedia};
 use encompass_storage::media::media_key;
@@ -60,6 +63,24 @@ pub struct RunReport {
     pub violations: Vec<String>,
     /// The fault timeline, for one-line repro reports.
     pub schedule_desc: String,
+    /// Transids implicated in oracle failures (atomicity disagreements
+    /// and transactions leaked in a TMP table), as display strings.
+    pub implicated: Vec<String>,
+    /// Flight-recorder artifacts; `Some` only on recorder-enabled runs.
+    pub flight: Option<FlightDump>,
+}
+
+/// What a recorder-enabled run exports for post-mortems.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// The full recorder export — the `flightrec.json` payload.
+    pub json: String,
+    /// Rendered per-transaction timelines of the implicated transids.
+    pub timelines: Vec<String>,
+    /// Merged per-transaction event timelines, every transaction.
+    pub timelines_by_txn: BTreeMap<FlightTransid, Vec<FlightEvent>>,
+    /// Transids the Monitor Audit Trails record as committed.
+    pub committed: Vec<FlightTransid>,
 }
 
 impl RunReport {
@@ -91,10 +112,22 @@ pub fn run_seed(seed: u64) -> RunReport {
 
 /// Run one schedule to completion and evaluate every oracle.
 pub fn run_schedule(schedule: &Schedule) -> RunReport {
+    run_schedule_with(schedule, false)
+}
+
+/// [`run_schedule`], optionally with the flight recorder on. Recording is
+/// a pure side channel, so the trace hash is identical either way — a
+/// failing seed can be re-run recorded and the same execution replays.
+pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunReport {
     let tmf = tmf::facility::TmfNodeConfig::builder()
         .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us))
         .build()
         .expect("schedule produced an invalid TMF config");
+    let sim = if flight_recorder {
+        SimConfig::default().flight_recording()
+    } else {
+        SimConfig::default()
+    };
     let mut app = launch_bank_app(BankAppParams {
         node_cpus: vec![schedule.cpus_per_node; schedule.nodes],
         accounts: ACCOUNTS,
@@ -105,6 +138,7 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
         hot_set: 8,
         seed: schedule.seed,
         lock_wait: SimDuration::from_millis(300),
+        sim,
         tmf,
         ..BankAppParams::default()
     });
@@ -170,18 +204,24 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
     let end_ms = app.world.now().as_millis();
 
     // ---- phase 5: oracles -------------------------------------------
-    check_atomicity(&mut app.world, &app.nodes, &mut violations);
+    let mut implicated: Vec<Transid> = Vec::new();
+    check_atomicity(&mut app.world, &app.nodes, &mut violations, &mut implicated);
     check_conservation(&mut app.world, &app.catalog, &app.nodes, &mut violations);
     for (node, slot) in &open_probes {
         match &*slot.borrow() {
             None => violations.push(format!("{node}: $TMP unreachable after heal")),
-            Some(open) if !open.is_empty() => violations.push(format!(
-                "{node}: {} transaction(s) leaked in the TMP table: {open:?}",
-                open.len()
-            )),
+            Some(open) if !open.is_empty() => {
+                implicated.extend(open.iter().copied());
+                violations.push(format!(
+                    "{node}: {} transaction(s) leaked in the TMP table: {open:?}",
+                    open.len()
+                ));
+            }
             Some(_) => {}
         }
     }
+    implicated.sort();
+    implicated.dedup();
     for (vol, replies) in &lock_probes {
         match replies.borrow().first() {
             Some(DiscReply::LockAudit { held: 0, waiting: 0 }) => {}
@@ -202,6 +242,26 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
         .collect();
     check_convergence(&mut app.world, &volumes, &trail_keys, &mut violations);
 
+    let flight = if flight_recorder {
+        let by_txn = app.world.flightrec().timelines();
+        let empty = Vec::new();
+        let timelines = implicated
+            .iter()
+            .map(|t| {
+                let ft = t.flight_id();
+                format_timeline(ft, by_txn.get(&ft).unwrap_or(&empty))
+            })
+            .collect();
+        Some(FlightDump {
+            json: app.world.flightrec().to_json(),
+            timelines,
+            timelines_by_txn: by_txn,
+            committed: committed_transids(&app.world, &app.nodes),
+        })
+    } else {
+        None
+    };
+
     RunReport {
         seed: schedule.seed,
         trace_hash,
@@ -211,6 +271,8 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
         end_ms,
         violations,
         schedule_desc: schedule.describe(),
+        implicated: implicated.iter().map(|t| t.to_string()).collect(),
+        flight,
     }
 }
 
@@ -282,9 +344,36 @@ fn heal_everything(world: &mut World, schedule: &Schedule) {
     }
 }
 
+/// Every transid any node's Monitor Audit Trail records as committed,
+/// sorted and deduplicated — the ground truth the timeline-completeness
+/// test checks flight records against.
+fn committed_transids(world: &World, nodes: &[NodeId]) -> Vec<FlightTransid> {
+    let mut out: Vec<FlightTransid> = Vec::new();
+    for &node in nodes {
+        let Some(trail) = world.stable().get::<MonitorTrail>(&monitor_key(node)) else {
+            continue;
+        };
+        out.extend(
+            trail
+                .records
+                .iter()
+                .filter(|r| r.committed)
+                .map(|r| r.transid.flight_id()),
+        );
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
 /// Oracle: a transid is committed everywhere or aborted everywhere, as
 /// judged by each node's Monitor Audit Trail.
-fn check_atomicity(world: &mut World, nodes: &[NodeId], violations: &mut Vec<String>) {
+fn check_atomicity(
+    world: &mut World,
+    nodes: &[NodeId],
+    violations: &mut Vec<String>,
+    implicated: &mut Vec<Transid>,
+) {
     let mut first_seen: HashMap<Transid, (bool, NodeId)> = HashMap::new();
     for &node in nodes {
         let Some(trail) = world.stable().get::<MonitorTrail>(&monitor_key(node)) else {
@@ -296,6 +385,7 @@ fn check_atomicity(world: &mut World, nodes: &[NodeId], violations: &mut Vec<Str
                     first_seen.insert(rec.transid, (rec.committed, node));
                 }
                 Some(&(committed, first_node)) if committed != rec.committed => {
+                    implicated.push(rec.transid);
                     violations.push(format!(
                         "atomicity: {:?} is {} on {first_node} but {} on {node}",
                         rec.transid,

@@ -14,7 +14,9 @@ use crate::table::TxTableProcess;
 use crate::tmp::{spawn_tmp, TmpConfig};
 use encompass_audit::auditprocess::{spawn_audit_process, AuditConfig};
 use encompass_audit::backout::spawn_backout_process;
-use encompass_sim::{NodeId, SimDuration, World};
+use encompass_sim::{
+    attribute_commit, CommitAttribution, FlightEvent, FlightTransid, NodeId, SimDuration, World,
+};
 use encompass_storage::discprocess::{spawn_disc_process, DiscConfig};
 use encompass_storage::types::RecoveryMode;
 use encompass_storage::Catalog;
@@ -313,6 +315,34 @@ pub fn spawn_tmf_node(
         discs,
         trail_keys,
     }
+}
+
+/// One transaction's flight record, assembled after a run: the merged
+/// event timeline plus (for committed transactions with a full
+/// end-request → commit window) the latency attribution.
+pub struct FlightReport {
+    pub transid: FlightTransid,
+    pub events: Vec<FlightEvent>,
+    pub attribution: Option<CommitAttribution>,
+}
+
+/// Post-run flight-recorder pass: one [`FlightReport`] per transaction the
+/// recorder saw, in transid order. Empty when the recorder was disabled
+/// (enable with `SimConfig::flight_recording` before building the world).
+pub fn flight_reports(world: &World) -> Vec<FlightReport> {
+    world
+        .flightrec()
+        .timelines()
+        .into_iter()
+        .map(|(transid, events)| {
+            let attribution = attribute_commit(&events);
+            FlightReport {
+                transid,
+                events,
+                attribution,
+            }
+        })
+        .collect()
 }
 
 /// Spawn TMF on every node the catalog references (nodes must already

@@ -41,8 +41,8 @@ pub mod tmp;
 
 pub use encompass_storage::types::Transid;
 pub use facility::{
-    spawn_tmf_network, spawn_tmf_node, ConfigError, NodeHandles, TmfNodeConfig,
-    TmfNodeConfigBuilder,
+    flight_reports, spawn_tmf_network, spawn_tmf_node, ConfigError, FlightReport, NodeHandles,
+    TmfNodeConfig, TmfNodeConfigBuilder,
 };
 pub use session::{DbOp, SessionError, SessionEvent, TmfSession};
 pub use state::{AbortReason, TxState};

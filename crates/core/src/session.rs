@@ -22,7 +22,7 @@
 
 use crate::tmp::{TmpMsg, TmpReply};
 use bytes::Bytes;
-use encompass_sim::{Ctx, NodeId, Payload, SimDuration};
+use encompass_sim::{Ctx, FlightCause, NodeId, Payload, SimDuration};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
 use encompass_storage::types::{Transid, VolumeRef};
 use encompass_storage::Catalog;
@@ -504,9 +504,13 @@ impl TmfSession {
             TmpReply::Began { transid } => {
                 self.current = Some(transid);
                 self.pending = None;
+                ctx.flight(transid.flight_id(), FlightCause::SessionBegan);
                 Some(SessionEvent::Began { transid, cookie })
             }
             TmpReply::Committed => {
+                if let Some(t) = self.current {
+                    ctx.flight(t.flight_id(), FlightCause::SessionCommitted);
+                }
                 self.current = None;
                 self.pending = None;
                 self.registered_volumes.clear();
@@ -514,6 +518,9 @@ impl TmfSession {
                 Some(SessionEvent::Committed { cookie })
             }
             TmpReply::Aborted => {
+                if let Some(t) = self.current {
+                    ctx.flight(t.flight_id(), FlightCause::SessionAborted);
+                }
                 self.current = None;
                 self.pending = None;
                 self.registered_volumes.clear();

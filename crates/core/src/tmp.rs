@@ -33,7 +33,9 @@ use crate::state::{AbortReason, TxState};
 use crate::table::StateBroadcast;
 use encompass_audit::backout::{BackoutMsg, BackoutReply};
 use encompass_audit::monitor::MonitorTrail;
-use encompass_sim::{NodeId, Payload, Pid, SimDuration, SystemEvent, World};
+use encompass_sim::{
+    FlightCause, HistogramHandle, NodeId, Payload, Pid, SimDuration, SystemEvent, World,
+};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
 use encompass_storage::types::{Transid, VolumeRef};
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
@@ -236,6 +238,10 @@ pub struct TmpProcess {
     /// in-doubt QueryDisposition rpc → transid
     janitor_rpcs: HashMap<u64, Transid>,
     next_tag: u64,
+    /// Interned histogram keys: the commit path must not format counter
+    /// names per observation.
+    boxcar_hist: HistogramHandle,
+    latency_hist: HistogramHandle,
 }
 
 impl TmpProcess {
@@ -259,6 +265,8 @@ impl TmpProcess {
             deliveries: HashMap::new(),
             janitor_rpcs: HashMap::new(),
             next_tag: 0,
+            boxcar_hist: HistogramHandle::new("tmf.monitor_boxcar_size", BOXCAR_BOUNDS),
+            latency_hist: HistogramHandle::new("tmf.commit_latency_us", LATENCY_BOUNDS),
         }
     }
 
@@ -342,6 +350,12 @@ impl TmpProcess {
         if let Some(t) = self.txns.get_mut(&transid) {
             t.outstanding_phase1 = outstanding;
         }
+        ctx.flight(
+            transid.flight_id(),
+            FlightCause::Phase1Start {
+                participants: outstanding as u32,
+            },
+        );
         if outstanding == 0 {
             self.phase1_complete(ctx, transid);
             return;
@@ -396,6 +410,7 @@ impl TmpProcess {
             return; // aborted meanwhile
         }
         t.outstanding_phase1 = t.outstanding_phase1.saturating_sub(1);
+        ctx.flight(transid.flight_id(), FlightCause::Phase1VolumeDone);
         if t.outstanding_phase1 == 0 {
             self.phase1_complete(ctx, transid);
         }
@@ -430,6 +445,7 @@ impl TmpProcess {
     }
 
     fn schedule_monitor_write(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, commit: bool) {
+        ctx.flight(transid.flight_id(), FlightCause::MonitorEnqueued);
         if self.cfg.group_commit_window == SimDuration::ZERO {
             // one force per completion record: the pre-boxcar path, kept
             // byte-identical so window=0 reproduces historical traces
@@ -467,7 +483,10 @@ impl TmpProcess {
         self.monitor_window_armed = false;
         let batch = std::mem::take(&mut self.monitor_boxcar);
         ctx.count("tmf.monitor_forces", 1);
-        ctx.observe("tmf.monitor_boxcar_size", batch.len() as u64, BOXCAR_BOUNDS);
+        ctx.observe_handle(&self.boxcar_hist, batch.len() as u64);
+        for &(transid, _) in &batch {
+            ctx.flight(transid.flight_id(), FlightCause::MonitorForceStart);
+        }
         self.monitor_inflight = Some(batch);
         let latency = ctx.config().disc_access;
         ctx.set_timer(latency, TAG_MONITOR_FLUSH);
@@ -496,7 +515,9 @@ impl TmpProcess {
         let node = ctx.node();
         let now = ctx.now();
         MonitorTrail::of(ctx.stable(), node).record_group(&writable, now);
+        let boxcar = writable.len() as u32;
         for (transid, commit) in writable {
+            ctx.flight(transid.flight_id(), FlightCause::MonitorForced { boxcar });
             if commit {
                 ctx.count("tmf.commits", 1);
                 self.finish_commit(ctx, transid);
@@ -530,6 +551,7 @@ impl TmpProcess {
         let node = ctx.node();
         let now = ctx.now();
         MonitorTrail::of(ctx.stable(), node).record(transid, commit, now);
+        ctx.flight(transid.flight_id(), FlightCause::MonitorForced { boxcar: 1 });
         if commit {
             ctx.count("tmf.commits", 1);
             self.finish_commit(ctx, transid);
@@ -543,8 +565,9 @@ impl TmpProcess {
     fn finish_commit(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
         let now = ctx.now();
         if let Some(at) = self.txns.get_mut(&transid).and_then(|t| t.ending_at.take()) {
-            ctx.observe("tmf.commit_latency_us", now.since(at).as_micros(), LATENCY_BOUNDS);
+            ctx.observe_handle(&self.latency_hist, now.since(at).as_micros());
         }
+        ctx.flight(transid.flight_id(), FlightCause::Committed);
         self.set_state(ctx, transid, TxState::Ended);
         let Some(t) = self.txns.get_mut(&transid) else {
             return;
@@ -648,6 +671,9 @@ impl TmpProcess {
         let children: Vec<NodeId> = t.children.iter().copied().collect();
         self.set_state(ctx, transid, TxState::Aborting);
         ctx.count("tmf.abort_started", 1);
+        if !volumes.is_empty() {
+            ctx.flight(transid.flight_id(), FlightCause::BackoutStart);
+        }
         // abort notifications to children are safe-delivery
         for child in children {
             ctx.count("tmf.msgs.abort_net", 1);
@@ -687,6 +713,7 @@ impl TmpProcess {
             return;
         }
         let home = t.home;
+        ctx.flight(transid.flight_id(), FlightCause::BackoutDone);
         // lock release is part of the terminal safe-delivery set (sent in
         // finish_abort_*), so a takeover between backout and release still
         // re-drives it
@@ -699,6 +726,7 @@ impl TmpProcess {
     }
 
     fn finish_abort_home(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        ctx.flight(transid.flight_id(), FlightCause::Aborted);
         self.set_state(ctx, transid, TxState::Aborted);
         if let Some(t) = self.txns.get_mut(&transid) {
             let waiters: Vec<(u64, Pid)> = t
@@ -715,6 +743,7 @@ impl TmpProcess {
     }
 
     fn finish_abort_nonhome(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        ctx.flight(transid.flight_id(), FlightCause::Aborted);
         self.set_state(ctx, transid, TxState::Aborted);
         // record the disposition on this node's trail so late retries
         // (e.g. a duplicate RegisterVolume) see a completed transaction
@@ -752,6 +781,7 @@ impl TmpProcess {
                 };
                 self.txns.insert(transid, Txn::new(true));
                 ctx.count("tmf.begins", 1);
+                ctx.flight(transid.flight_id(), FlightCause::Begin);
                 self.set_state(ctx, transid, TxState::Active);
                 self.answer(ctx, req_id, from, TmpReply::Began { transid });
             }
@@ -836,6 +866,7 @@ impl TmpProcess {
                             t.end_waiter = Some((req_id, from));
                             t.ending_at = Some(now);
                         }
+                        ctx.flight(transid.flight_id(), FlightCause::EndRequested);
                         self.set_state(ctx, transid, TxState::Ending);
                         ctx.count("tmf.ends", 1);
                         self.start_phase1(ctx, transid);
@@ -1263,6 +1294,7 @@ impl PairApp for TmpProcess {
             .collect();
         in_flight.sort_by_key(|(t, _, _)| *t); // map order is not deterministic
         for (transid, state, home) in in_flight {
+            ctx.flight(transid.flight_id(), FlightCause::Takeover);
             match state {
                 TxState::Ending if home => {
                     // The commit point is the forced record on the Monitor

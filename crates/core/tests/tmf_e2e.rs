@@ -1201,3 +1201,64 @@ fn group_commit_window_batches_monitor_forces() {
     assert!(forces < 4, "expected boxcarring, got {forces} forces for 4 commits");
     assert_eq!(MonitorTrail::of(w.stable_mut(), n).commits(), 4);
 }
+
+/// A parked lock request that is retransmitted after a DISCPROCESS
+/// takeover re-parks on the new primary; the replicated counted-waits set
+/// must keep `disc.lock_waits` exact (one wait, not one per park).
+#[test]
+fn retransmitted_repark_counts_one_lock_wait() {
+    let (mut w, n, catalog) = single_node();
+    // T1 inserts "acct" (acquiring its record lock) and holds it across a
+    // pause long enough for T2 to park and the disc primary to die
+    let log1 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "acct", "100"),
+            Step::Pause(SimDuration::from_millis(600)),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_millis(200));
+    // T2 queues behind T1's record lock
+    let log2 = drive(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::ReadLock("accounts", "acct"),
+            Step::Update("accounts", "acct", "200"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_millis(150));
+    assert_eq!(w.metrics().get("disc.lock_waits"), 1, "T2 parked once");
+    // kill the disc primary mid-wait; the parked request dies with it,
+    // T2's session retransmits, and the request re-parks on the backup
+    let disc_cpu = w.lookup_name(n, "$DATA").expect("disc process").cpu;
+    w.inject(Fault::KillCpu(n, disc_cpu));
+    w.run_for(SimDuration::from_millis(150));
+    w.inject(Fault::RestoreCpu(n, disc_cpu));
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(log1.borrow().last().unwrap(), "committed");
+    assert_eq!(
+        log2.borrow().as_slice(),
+        &["began", "value:100", "ok", "committed"],
+        "T2 got the lock after T1 released it"
+    );
+    assert_eq!(
+        w.metrics().get("disc.lock_waits"),
+        1,
+        "the retransmitted re-park must not count as a second wait"
+    );
+    assert_eq!(
+        w.metrics().get("disc.fenced_lock_waits"),
+        0,
+        "no waiter was fenced in this run"
+    );
+}

@@ -37,6 +37,11 @@ pub struct SimConfig {
     pub trace_enabled: bool,
     /// Maximum number of retained trace events (oldest dropped first).
     pub trace_capacity: usize,
+    /// Record per-transaction flight events (see [`crate::FlightRecorder`]).
+    /// A pure side channel: on or off, the trace hash is identical.
+    pub flight_recorder: bool,
+    /// Flight-event ring capacity per node (oldest dropped first).
+    pub flight_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -52,6 +57,8 @@ impl Default for SimConfig {
             failure_detect_delay: SimDuration::from_millis(5),
             trace_enabled: false,
             trace_capacity: 65_536,
+            flight_recorder: false,
+            flight_capacity: 65_536,
         }
     }
 }
@@ -70,6 +77,12 @@ impl SimConfig {
         self.trace_enabled = true;
         self
     }
+
+    /// Enable the transaction flight recorder (builder style).
+    pub fn flight_recording(mut self) -> Self {
+        self.flight_recorder = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,8 +99,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = SimConfig::with_seed(7).traced();
+        let c = SimConfig::with_seed(7).traced().flight_recording();
         assert_eq!(c.seed, 7);
         assert!(c.trace_enabled);
+        assert!(c.flight_recorder);
+        assert!(!SimConfig::default().flight_recorder, "off by default");
     }
 }

@@ -4,6 +4,7 @@
 use crate::config::SimConfig;
 use crate::event::{EventKind, QueuedEvent};
 use crate::fault::Fault;
+use crate::flightrec::FlightRecorder;
 use crate::ids::{CpuId, LinkId, NodeId, Pid};
 use crate::metrics::Metrics;
 use crate::msg::Payload;
@@ -38,6 +39,7 @@ pub struct World {
     rng: StdRng,
     metrics: Metrics,
     trace: Trace,
+    flightrec: FlightRecorder,
     cancelled_timers: HashSet<TimerId>,
     next_timer: u64,
     subscribers: Vec<Pid>,
@@ -48,6 +50,7 @@ impl World {
     pub fn new(cfg: SimConfig) -> World {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let trace = Trace::new(cfg.trace_enabled, cfg.trace_capacity);
+        let flightrec = FlightRecorder::new(cfg.flight_recorder, cfg.flight_capacity);
         World {
             cfg,
             now: SimTime::ZERO,
@@ -60,6 +63,7 @@ impl World {
             rng,
             metrics: Metrics::new(),
             trace,
+            flightrec,
             cancelled_timers: HashSet::new(),
             next_timer: 0,
             subscribers: Vec::new(),
@@ -216,6 +220,15 @@ impl World {
     /// Retained human-readable trace events (empty unless tracing enabled).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace.events().cloned().collect()
+    }
+
+    /// The transaction flight recorder (read side: timelines, JSON export).
+    pub fn flightrec(&self) -> &FlightRecorder {
+        &self.flightrec
+    }
+
+    pub fn flightrec_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flightrec
     }
 
     /// Number of events dispatched so far.

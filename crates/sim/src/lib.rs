@@ -55,6 +55,7 @@
 pub mod config;
 pub mod event;
 pub mod fault;
+pub mod flightrec;
 pub mod ids;
 pub mod kernel;
 pub mod metrics;
@@ -67,9 +68,13 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use fault::Fault;
+pub use flightrec::{
+    attribute_commit, format_timeline, CommitAttribution, FlightCause, FlightEvent,
+    FlightRecorder, FlightTransid, LatencyComponent,
+};
 pub use ids::{CpuId, LinkId, NodeId, Pid};
 pub use kernel::World;
-pub use metrics::Metrics;
+pub use metrics::{HistogramHandle, Metrics};
 pub use msg::Payload;
 pub use process::{Ctx, Process, SendError, SystemEvent, TimerId};
 pub use stable::StableStorage;

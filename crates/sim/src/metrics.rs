@@ -6,6 +6,33 @@
 
 use std::collections::BTreeMap;
 
+/// Pre-resolved counter keys for one histogram: the hot observation path
+/// (`Metrics::observe_handle`) must not build `format!` strings per bucket
+/// per observation, so call sites intern the keys once at construction and
+/// observe against the handle.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    bounds: Vec<u64>,
+    bucket_keys: Vec<String>,
+    inf_key: String,
+    count_key: String,
+    sum_key: String,
+}
+
+impl HistogramHandle {
+    /// Intern the counter keys for `name` over ascending `bounds`.
+    pub fn new(name: &str, bounds: &[u64]) -> HistogramHandle {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        HistogramHandle {
+            bounds: bounds.to_vec(),
+            bucket_keys: bounds.iter().map(|b| format!("{name}.le_{b}")).collect(),
+            inf_key: format!("{name}.le_inf"),
+            count_key: format!("{name}.count"),
+            sum_key: format!("{name}.sum"),
+        }
+    }
+}
+
 /// A set of named monotonic counters.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
@@ -67,14 +94,21 @@ impl Metrics {
     /// `<name>.sum`. Bounds must be ascending; the experiment harnesses
     /// read the buckets back with [`Metrics::with_prefix`].
     pub fn observe(&mut self, name: &str, value: u64, bounds: &[u64]) {
-        for b in bounds {
+        // thin convenience wrapper; hot paths hold a pre-built handle
+        self.observe_handle(&HistogramHandle::new(name, bounds), value);
+    }
+
+    /// Record one observation against interned keys (the hot path —
+    /// allocates nothing).
+    pub fn observe_handle(&mut self, h: &HistogramHandle, value: u64) {
+        for (b, key) in h.bounds.iter().zip(&h.bucket_keys) {
             if value <= *b {
-                self.add(&format!("{name}.le_{b}"), 1);
+                self.add(key, 1);
             }
         }
-        self.add(&format!("{name}.le_inf"), 1);
-        self.add(&format!("{name}.count"), 1);
-        self.add(&format!("{name}.sum"), value);
+        self.add(&h.inf_key, 1);
+        self.add(&h.count_key, 1);
+        self.add(&h.sum_key, value);
     }
 
     /// Mean of every observation recorded with [`Metrics::observe`] under
@@ -112,6 +146,22 @@ mod tests {
         assert_eq!(net.len(), 2);
         assert_eq!(net[0].0, "net.drops");
         assert_eq!(net[1].0, "net.msgs");
+    }
+
+    #[test]
+    fn handle_observation_matches_string_api() {
+        let mut by_name = Metrics::new();
+        let mut by_handle = Metrics::new();
+        let bounds = [10, 100, 1000];
+        let h = HistogramHandle::new("lat", &bounds);
+        for v in [3, 10, 11, 5_000] {
+            by_name.observe("lat", v, &bounds);
+            by_handle.observe_handle(&h, v);
+        }
+        assert_eq!(by_name.snapshot(), by_handle.snapshot());
+        assert_eq!(by_handle.get("lat.le_10"), 2);
+        assert_eq!(by_handle.get("lat.le_inf"), 4);
+        assert_eq!(by_handle.get("lat.sum"), 3 + 10 + 11 + 5_000);
     }
 
     #[test]

@@ -208,6 +208,20 @@ impl<'a> Ctx<'a> {
         self.world.metrics_mut().observe(name, value, bounds);
     }
 
+    /// Record one observation against a pre-resolved histogram handle
+    /// (the allocation-free hot path; see [`crate::HistogramHandle`]).
+    pub fn observe_handle(&mut self, h: &crate::HistogramHandle, value: u64) {
+        self.world.metrics_mut().observe_handle(h, value);
+    }
+
+    /// Record a transaction flight event attributed to this process
+    /// (no-op unless [`crate::SimConfig::flight_recorder`] is on).
+    pub fn flight(&mut self, transid: crate::FlightTransid, cause: crate::FlightCause) {
+        let now = self.world.now();
+        let pid = self.pid;
+        self.world.flightrec_mut().record(now, pid, transid, cause);
+    }
+
     /// Record a trace event attributed to this process.
     pub fn trace(&mut self, kind: &'static str, detail: impl FnOnce() -> String) {
         self.world.trace_note(kind, self.pid.index as u64, detail);

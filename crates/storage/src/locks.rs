@@ -124,11 +124,29 @@ impl LockManager {
     }
 
     fn record_compatible(&self, txn: Transid, file: &str, key: &Bytes) -> bool {
-        // a file lock by another transaction blocks all record locks
         if let Some(fq) = self.files.get(file) {
-            if let Some(h) = fq.holder {
-                if h != txn {
-                    return false;
+            match fq.holder {
+                // a file lock by another transaction blocks all record locks
+                Some(h) if h != txn => return false,
+                Some(_) => {} // txn's own file lock covers its record locks
+                None => {
+                    // Fairness fence: once a file-lock waiter from another
+                    // transaction is queued, record-lock requests from
+                    // transactions that hold nothing in the file yet are
+                    // refused — otherwise a stream of latecomers keeps the
+                    // record-holder count non-zero and starves the file
+                    // waiter until its timeout. Transactions already
+                    // holding record locks in the file stay exempt (their
+                    // further locks, and their own file-lock upgrade, must
+                    // not deadlock against the fence).
+                    let foreign_waiter = fq.waiters.iter().any(|w| w.txn != txn);
+                    let already_in_file = self
+                        .file_record_holders
+                        .get(file)
+                        .is_some_and(|m| m.contains_key(&txn));
+                    if foreign_waiter && !already_in_file {
+                        return false;
+                    }
                 }
             }
         }
@@ -145,11 +163,12 @@ impl LockManager {
                     return false;
                 }
             }
-            // NOTE: compatible requests may overtake queued file waiters —
-            // blocking on the queue would deadlock a transaction that holds
-            // record locks against its own file-lock upgrade. Starvation of
-            // the queued waiter resolves through its lock-wait timeout, the
-            // paper's only deadlock mechanism.
+            // NOTE: compatible file requests may overtake queued file
+            // waiters — blocking on the queue would deadlock a transaction
+            // that holds record locks against its own file-lock upgrade.
+            // Record-lock latecomers, however, are fenced while a foreign
+            // file waiter queues (see `record_compatible`), so the waiter
+            // cannot be starved by a stream of new record locks.
         }
         // any record lock in the file by another transaction blocks it
         if let Some(holders) = self.file_record_holders.get(file) {
@@ -227,15 +246,34 @@ impl LockManager {
         }
     }
 
-    /// Remove a queued waiter (its timeout fired). Returns true if found.
-    pub fn cancel_waiter(&mut self, token: u64) -> bool {
-        for q in self.records.values_mut().chain(self.files.values_mut()) {
+    /// Remove a queued waiter (its timeout fired, or its transaction was
+    /// fenced). Returns `None` if the token is unknown; otherwise the
+    /// queued requests its removal made grantable — cancelling a *file*
+    /// waiter lifts the fairness fence, so fenced record waiters in that
+    /// file may be granted and must be completed by the caller.
+    pub fn cancel_waiter(&mut self, token: u64) -> Option<Vec<GrantedWaiter>> {
+        let mut in_file: Option<String> = None;
+        for ((file, _), q) in self.records.iter_mut() {
             if let Some(pos) = q.waiters.iter().position(|w| w.token == token) {
                 q.waiters.remove(pos);
-                return true;
+                in_file = Some(file.clone());
+                break;
             }
         }
-        false
+        if in_file.is_none() {
+            for (file, q) in self.files.iter_mut() {
+                if let Some(pos) = q.waiters.iter().position(|w| w.token == token) {
+                    q.waiters.remove(pos);
+                    in_file = Some(file.clone());
+                    break;
+                }
+            }
+        }
+        let file = in_file?;
+        let mut granted = Vec::new();
+        self.wake_file(&file, &mut granted);
+        self.wake_records_of_file(&file, &mut granted);
+        Some(granted)
     }
 
     /// Release everything `txn` holds (phase two of commit, or the end of
@@ -458,8 +496,8 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(t(1), rec("f", "k"), 0);
         lm.acquire(t(2), rec("f", "k"), 55);
-        assert!(lm.cancel_waiter(55));
-        assert!(!lm.cancel_waiter(55), "already cancelled");
+        assert_eq!(lm.cancel_waiter(55), Some(Vec::new()));
+        assert!(lm.cancel_waiter(55).is_none(), "already cancelled");
         let g = lm.release_all(t(1));
         assert!(g.is_empty(), "cancelled waiter is not granted");
         assert_eq!(lm.waiting(), 0);
@@ -481,20 +519,81 @@ mod tests {
     }
 
     #[test]
-    fn file_waiter_respects_queue_order_over_latecomers() {
+    fn file_waiter_fences_latecomer_record_locks() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), rec("f", "a"), 0);
         // t2 queues for the file lock
         assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
-        // t3 arriving later for a different record in f is still granted —
-        // exclusive-mode TMF has no intention locks; only actual conflicts
-        // queue. (The queued file lock waits for *all* record locks.)
-        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Granted);
+        // t3 arrives later for a fresh record in f: fenced behind the
+        // queued file waiter, even though the record itself is free
+        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Queued);
+        // other files are unaffected by the fence
+        assert_eq!(lm.acquire(t(3), rec("g", "b"), 3), Acquire::Granted);
+        // t1 already holds a record in f: its further locks overtake
+        assert_eq!(lm.acquire(t(1), rec("f", "c"), 4), Acquire::Granted);
         let g = lm.release_all(t(1));
-        assert!(g.is_empty(), "t3 still holds a record lock in f");
-        let g = lm.release_all(t(3));
+        assert_eq!(g.len(), 1, "file waiter granted first: {g:?}");
+        assert_eq!(g[0].txn, t(2));
+        assert_eq!(g[0].scope, fl("f"));
+        // once the file lock releases, the fenced record waiter is granted
+        let g = lm.release_all(t(2));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, t(3));
+        assert_eq!(g[0].scope, rec("f", "b"));
+    }
+
+    #[test]
+    fn latecomer_stream_cannot_starve_file_waiter() {
+        // Regression: previously each latecomer record lock was granted,
+        // keeping the record-holder count non-zero forever, so the queued
+        // file waiter starved until its timeout.
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "a"), 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        // a stream of latecomers, arriving while t1 still works
+        for (i, seq) in (3..8).enumerate() {
+            assert_eq!(
+                lm.acquire(t(seq), rec("f", &format!("k{seq}")), 10 + i as u64),
+                Acquire::Queued,
+                "latecomer t{seq} must be fenced"
+            );
+        }
+        // as soon as the pre-existing holder finishes, the file waiter wins
+        let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].txn, t(2));
+        assert!(lm.holds(t(2), &fl("f")));
+    }
+
+    #[test]
+    fn same_transid_upgrade_overtakes_its_own_wait() {
+        // the no-self-deadlock property: a transaction holding record locks
+        // may take more record locks (and upgrade to the file lock) even
+        // while its own file-lock request queues
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "a"), 0);
+        lm.acquire(t(2), rec("f", "b"), 1);
+        assert_eq!(lm.acquire(t(1), fl("f"), 2), Acquire::Queued);
+        assert_eq!(lm.acquire(t(1), rec("f", "c"), 3), Acquire::Granted);
+        let g = lm.release_all(t(2));
+        assert_eq!(g.len(), 1, "t1's own upgrade is granted: {g:?}");
+        assert_eq!(g[0].txn, t(1));
+        assert_eq!(g[0].scope, fl("f"));
+    }
+
+    #[test]
+    fn cancelled_file_waiter_unfences_records() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "a"), 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Queued);
+        // the file waiter times out: the fence lifts and the fenced record
+        // waiter is granted right away (record "b" was free all along)
+        let g = lm.cancel_waiter(1).expect("file waiter present");
+        assert_eq!(g.len(), 1, "fenced record waiter granted: {g:?}");
+        assert_eq!(g[0].txn, t(3));
+        assert_eq!(g[0].scope, rec("f", "b"));
+        assert!(lm.holds(t(3), &rec("f", "b")));
     }
 
     #[test]

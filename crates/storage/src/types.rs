@@ -22,6 +22,18 @@ pub struct Transid {
     pub seq: u64,
 }
 
+impl Transid {
+    /// This transaction's identity in the sim-layer flight recorder
+    /// (the sim crate sits below storage and mirrors the fields).
+    pub fn flight_id(&self) -> encompass_sim::FlightTransid {
+        encompass_sim::FlightTransid {
+            home_node: self.home_node.0,
+            cpu: self.cpu,
+            seq: self.seq,
+        }
+    }
+}
+
 impl fmt::Debug for Transid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "T{}.{}.{}", self.home_node.0, self.cpu, self.seq)
