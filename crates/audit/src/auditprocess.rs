@@ -306,6 +306,48 @@ impl PairApp for AuditProcess {
                     reply(ctx, req.id, req.from, AuditReply::Forced);
                 }
             }
+            AuditMsg::Purge { below, open } => {
+                ctx.count("audit.purges", 1);
+                // belt and braces under the dump-floor proof: never cut
+                // past the first image of a transaction that is still open
+                // (its before-images may yet drive a backout)
+                let open: HashSet<Transid> = open.into_iter().collect();
+                let oldest_open = self.with_trail(ctx, |t| {
+                    t.files
+                        .iter()
+                        .flat_map(|f| f.records.iter())
+                        .filter(|r| open.contains(&r.transid))
+                        .map(|r| r.seq)
+                        .min()
+                });
+                let oldest_open = self
+                    .buffer
+                    .iter()
+                    .filter(|r| open.contains(&r.transid))
+                    .map(|r| r.seq)
+                    .min()
+                    .into_iter()
+                    .chain(oldest_open)
+                    .min();
+                let below = match oldest_open {
+                    Some(first) => below.min(first),
+                    None => below,
+                };
+                let files = self.with_trail(ctx, |t| t.purge_below(below)) as u64;
+                ctx.count("audit.purged_files", files);
+                let marker = Transid::dump_marker(ctx.node(), below);
+                ctx.flight(
+                    marker.flight_id(),
+                    FlightCause::TrailPurge {
+                        files: files as u32,
+                    },
+                );
+                // The seen-set (if built) still names purged records; that
+                // is harmless — it only makes dedup drop re-sent copies of
+                // records the capacity manager proved dispensable.
+                self.replies.store(req.id, AuditReply::Purged { files });
+                reply(ctx, req.id, req.from, AuditReply::Purged { files });
+            }
             AuditMsg::ReadTxnImages { transid } => {
                 let mut images = self.with_trail(ctx, |t| t.txn_images(transid));
                 images.extend(

@@ -1,0 +1,313 @@
+//! The DUMPPROCESS: a process-pair that takes **online fuzzy dumps** of
+//! audited volumes.
+//!
+//! "TMF's approach to recovery from total node failure is based on
+//! occasional archived copies of audited data base files" — and taking
+//! those copies must not stop transaction processing. The DUMPPROCESS
+//! copies a volume file by file in bounded pages (`DiscRequest::DumpScan`)
+//! while the DISCPROCESS keeps applying updates; the copy is *fuzzy*, and
+//! the DumpBegin/DumpEnd markers it brackets onto the volume's audit trail
+//! are what lets ROLLFORWARD converge the image to the committed state
+//! (see DESIGN.md D10 and [`crate::rollforward`]).
+//!
+//! Protocol per dump:
+//!
+//! 1. `DumpBegin` — the DISCPROCESS cuts a begin marker into the audit
+//!    stream and reports the dump's audit watermark, its purge floor, and
+//!    the files to copy;
+//! 2. `DumpScan` per file, resuming page by page until exhausted — each
+//!    page costs one disc access and sees the live state of the volume;
+//! 3. the [`ArchiveImage`] is written to archive media (stable storage);
+//! 4. `DumpEnd` — the end marker is *forced*, so everything buffered
+//!    before it (including any dirty value a page may have caught) is
+//!    durable on the trail;
+//! 5. only then is the [`DumpRegistry`] updated — the record the TMP's
+//!    trail-capacity manager trusts when purging.
+//!
+//! The pair is deliberately stateless across failures, like the
+//! BACKOUTPROCESS: a takeover drops the in-flight copy and the requester's
+//! safe-delivery retry restarts the dump from scratch. Duplicate begin/end
+//! markers from a restarted dump are harmless — recovery filters them.
+
+use encompass_sim::{Payload, Pid, SimDuration, World};
+use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::media::{archive_key, dump_registry_key, ArchiveImage, DumpRegistry, FileImage};
+use encompass_storage::types::{FileOrganization, VolumeRef};
+use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
+use std::collections::{BTreeMap, HashMap};
+
+/// Requests to the DUMPPROCESS.
+#[derive(Clone, Debug)]
+pub enum DumpMsg {
+    /// Take an online dump of `volume` as archive `generation`.
+    DumpVolume { volume: VolumeRef, generation: u64 },
+}
+
+/// Reply from the DUMPPROCESS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DumpReply {
+    /// Archive and registry are durable; the trail may now be purged below
+    /// `purge_floor`.
+    Done {
+        watermark: u64,
+        purge_floor: u64,
+        records: u64,
+    },
+    /// The volume was unavailable; retry once it is back.
+    Failed,
+}
+
+/// One dump being taken (primary-memory only; reconstructible).
+struct Job {
+    req_id: u64,
+    from: Pid,
+    volume: VolumeRef,
+    generation: u64,
+    watermark: u64,
+    purge_floor: u64,
+    /// Files still to copy, in deterministic (sorted) order; `current`
+    /// indexes the one being paged.
+    file_list: Vec<(String, FileOrganization)>,
+    current: usize,
+    /// Key to resume the current file's scan after.
+    resume: Option<bytes::Bytes>,
+    files: BTreeMap<String, FileImage>,
+    records: u64,
+}
+
+/// The DUMPPROCESS application.
+pub struct DumpProcess {
+    service: String,
+    disc_rpc: Rpc<DiscRequest, DiscReply>,
+    /// In-flight dumps, keyed by originating request id.
+    jobs: HashMap<u64, Job>,
+    /// disc-rpc id → job request id.
+    waits: HashMap<u64, u64>,
+    replies: ReplyCache<DumpReply>,
+}
+
+impl DumpProcess {
+    pub fn new(service: &str) -> DumpProcess {
+        DumpProcess {
+            service: service.to_string(),
+            disc_rpc: Rpc::new(1),
+            jobs: HashMap::new(),
+            waits: HashMap::new(),
+            replies: ReplyCache::new(4096),
+        }
+    }
+
+    fn send_disc(&mut self, ctx: &mut PairCtx<'_, '_>, job_id: u64, req: DiscRequest) {
+        let Some(job) = self.jobs.get(&job_id) else {
+            return;
+        };
+        let target = Target::Named(job.volume.node, job.volume.service_name());
+        let rpc_id =
+            self.disc_rpc
+                .call_persistent(ctx, target, req, SimDuration::from_millis(50), 0);
+        self.waits.insert(rpc_id, job_id);
+    }
+
+    /// Request the next page, or move to archiving + DumpEnd when every
+    /// file is copied.
+    fn advance(&mut self, ctx: &mut PairCtx<'_, '_>, job_id: u64) {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if let Some((file, _)) = job.file_list.get(job.current).cloned() {
+            let req = DiscRequest::DumpScan {
+                generation: job.generation,
+                file,
+                resume: job.resume.clone(),
+                limit: usize::MAX, // DISCPROCESS clamps to its page size
+            };
+            self.send_disc(ctx, job_id, req);
+            return;
+        }
+        // every file copied: write the archive image, then cut the forced
+        // end marker — the registry is only updated once that marker (and
+        // with it every image the copy may have caught) is durable
+        let akey = archive_key(&job.volume, job.generation);
+        let snapshot = ArchiveImage {
+            volume: job.volume.clone(),
+            files: std::mem::take(&mut job.files),
+            audit_watermark: job.watermark,
+            purge_floor: job.purge_floor,
+            generation: job.generation,
+        };
+        let generation = job.generation;
+        ctx.stable().remove(&akey);
+        ctx.stable()
+            .get_or_create::<ArchiveImage, _>(&akey, move || snapshot);
+        ctx.count("dump.archives", 1);
+        self.send_disc(ctx, job_id, DiscRequest::DumpEnd { generation });
+    }
+
+    fn finish(&mut self, ctx: &mut PairCtx<'_, '_>, job_id: u64, r: DumpReply) {
+        let Some(job) = self.jobs.remove(&job_id) else {
+            return;
+        };
+        self.replies.store(job.req_id, r.clone());
+        reply(ctx, job.req_id, job.from, r);
+    }
+
+    fn on_disc_reply(&mut self, ctx: &mut PairCtx<'_, '_>, rpc_id: u64, body: DiscReply) {
+        let Some(job_id) = self.waits.remove(&rpc_id) else {
+            return;
+        };
+        match body {
+            DiscReply::DumpBegun {
+                watermark,
+                purge_floor,
+                files,
+            } => {
+                let Some(job) = self.jobs.get_mut(&job_id) else {
+                    return;
+                };
+                job.watermark = watermark;
+                job.purge_floor = purge_floor;
+                for (name, org) in &files {
+                    job.files.insert(name.clone(), FileImage::new(*org));
+                }
+                job.file_list = files;
+                job.current = 0;
+                job.resume = None;
+                self.advance(ctx, job_id);
+            }
+            DiscReply::DumpPage { entries, done } => {
+                let Some(job) = self.jobs.get_mut(&job_id) else {
+                    return;
+                };
+                job.records += entries.len() as u64;
+                ctx.count("dump.records", entries.len() as u64);
+                if let Some((file, _)) = job.file_list.get(job.current) {
+                    let image = job.files.get_mut(file).expect("inserted at DumpBegun");
+                    for (k, v) in &entries {
+                        image.apply(k, Some(v.clone()));
+                    }
+                }
+                job.resume = entries.last().map(|(k, _)| k.clone()).or(job.resume.take());
+                if done {
+                    job.current += 1;
+                    job.resume = None;
+                }
+                self.advance(ctx, job_id);
+            }
+            DiscReply::Ok => {
+                // DumpEnd acknowledged: register the completed dump
+                let Some(job) = self.jobs.get(&job_id) else {
+                    return;
+                };
+                let entry = DumpRegistry {
+                    generation: job.generation,
+                    watermark: job.watermark,
+                    purge_floor: job.purge_floor,
+                };
+                let rkey = dump_registry_key(&job.volume);
+                let current = ctx.stable().get::<DumpRegistry>(&rkey).copied();
+                // never let a stale retried dump roll the registry back
+                if current.is_none_or(|c| c.generation <= entry.generation) {
+                    ctx.stable().remove(&rkey);
+                    ctx.stable().get_or_create::<DumpRegistry, _>(&rkey, move || entry);
+                }
+                ctx.count("dump.completed", 1);
+                let done = DumpReply::Done {
+                    watermark: job.watermark,
+                    purge_floor: job.purge_floor,
+                    records: job.records,
+                };
+                self.finish(ctx, job_id, done);
+            }
+            DiscReply::Err(_) => {
+                // volume down mid-dump: abandon; the operator retries later
+                ctx.count("dump.failed", 1);
+                self.finish(ctx, job_id, DumpReply::Failed);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl PairApp for DumpProcess {
+    fn service_name(&self) -> String {
+        self.service.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "dumpprocess"
+    }
+
+    fn on_request(&mut self, ctx: &mut PairCtx<'_, '_>, _src: Pid, payload: Payload) {
+        let payload = match self.disc_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                self.on_disc_reply(ctx, c.id, c.body);
+                return;
+            }
+            Err(p) => p,
+        };
+        if !payload.is::<Request<DumpMsg>>() {
+            return;
+        }
+        let req = payload.expect::<Request<DumpMsg>>();
+        if let Some(cached) = self.replies.check(req.id) {
+            reply(ctx, req.id, req.from, cached);
+            return;
+        }
+        if self.jobs.contains_key(&req.id) {
+            return; // retransmission of an in-flight dump
+        }
+        let DumpMsg::DumpVolume { volume, generation } = req.body;
+        ctx.count("dump.requests", 1);
+        self.jobs.insert(
+            req.id,
+            Job {
+                req_id: req.id,
+                from: req.from,
+                volume,
+                generation,
+                watermark: 0,
+                purge_floor: 1,
+                file_list: Vec::new(),
+                current: 0,
+                resume: None,
+                files: BTreeMap::new(),
+                records: 0,
+            },
+        );
+        self.send_disc(ctx, req.id, DiscRequest::DumpBegin { generation });
+    }
+
+    fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
+        let _ = self.disc_rpc.on_timer(ctx, tag);
+    }
+
+    fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        // the copy in progress died with the primary; the requester's
+        // safe-delivery retry restarts the dump from DumpBegin
+        self.jobs.clear();
+        self.waits.clear();
+        ctx.count("dump.takeovers", 1);
+    }
+
+    fn apply_checkpoint(&mut self, _delta: Payload) {
+        // stateless by design: nothing to mirror
+    }
+
+    fn snapshot(&self) -> Payload {
+        Payload::new(())
+    }
+
+    fn restore(&mut self, _snapshot: Payload) {}
+}
+
+/// Spawn a DUMPPROCESS pair named `$DUMP` on `node`.
+pub fn spawn_dump_process(
+    world: &mut World,
+    node: encompass_sim::NodeId,
+    cpu_primary: u8,
+    cpu_backup: u8,
+) -> PairHandle {
+    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, || {
+        DumpProcess::new("$DUMP")
+    })
+}

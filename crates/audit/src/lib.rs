@@ -19,6 +19,10 @@
 //! * **The BACKOUTPROCESS** ([`backout`]): a process-pair that backs out a
 //!   transaction "using the transaction's before-images recorded in the
 //!   audit trails".
+//! * **The DUMPPROCESS** ([`dump`]): a process-pair that takes online
+//!   *fuzzy* dumps — archived copies of audited volumes taken page by page
+//!   while transactions keep updating, bracketed by DumpBegin/DumpEnd
+//!   markers on the audit trail so recovery can converge the copy.
 //! * **ROLLFORWARD** ([`rollforward`]): the utility that recovers a volume
 //!   after total node failure from an archived copy plus the audit trails,
 //!   reapplying the updates of committed transactions and consulting the
@@ -27,12 +31,14 @@
 
 pub mod auditprocess;
 pub mod backout;
+pub mod dump;
 pub mod monitor;
 pub mod rollforward;
 pub mod trail;
 
 pub use auditprocess::{spawn_audit_process, AuditConfig, AuditProcess};
 pub use backout::{spawn_backout_process, BackoutMsg, BackoutProcess, BackoutReply};
+pub use dump::{spawn_dump_process, DumpMsg, DumpProcess, DumpReply};
 pub use monitor::{monitor_key, CompletionRecord, MonitorTrail};
 pub use rollforward::{rollforward_volume, RollforwardReport};
 pub use trail::{trail_key, TrailFile, TrailMedia};

@@ -18,8 +18,9 @@
 //! The algorithm is idempotent because images carry absolute values:
 //!
 //! 1. restore the volume's files from the archive;
-//! 2. REDO: apply the after-images of every *committed* transaction, in
-//!    ascending audit-sequence order;
+//! 2. REDO: apply the after-images of every *committed* transaction whose
+//!    sequence is **above the archive's audit watermark**, in ascending
+//!    audit-sequence order;
 //! 3. UNDO: apply the before-images of every *non-committed* transaction
 //!    (aborted, or still in flight at the failure), in descending order —
 //!    **except** where a committed write with a higher sequence touched
@@ -30,6 +31,30 @@
 //!
 //! Record locks serialize writers per key, so this reconstructs exactly
 //! the committed state.
+//!
+//! # Fuzzy ONLINEDUMP archives
+//!
+//! An archive produced by the DUMPPROCESS was copied page by page *while
+//! transactions kept updating* (see DESIGN.md D10), so its image is fuzzy:
+//!
+//! * every write with `seq <= audit_watermark` is fully reflected (the
+//!   watermark is taken when the DumpBegin marker is cut, before any page
+//!   is read, and in the WAL design it is clamped below any assigned-but-
+//!   unapplied sequence);
+//! * a write above the watermark may or may not be in the image, depending
+//!   on whether its page was copied before or after the update.
+//!
+//! REDO therefore starts *above* the watermark — images carry absolute
+//! values, so reapplying an update the page already caught is a no-op.
+//! UNDO replays all surviving loser before-images: a loser undone on the
+//! live volume before the dump began replays idempotently (or is
+//! superseded by a later committed write), and a loser whose dirty value
+//! the page caught is exactly what the replay repairs. The archive's
+//! `purge_floor` proves which trail prefix is dispensable; a trail that
+//! purged at or above that floor may have dropped records recovery still
+//! needs, so this utility fails loudly rather than silently reconstructing
+//! a wrong state. ONLINEDUMP marker records are bookkeeping, not data,
+//! and are filtered out before replay.
 
 use crate::monitor::MonitorTrail;
 use crate::trail::TrailMedia;
@@ -75,14 +100,30 @@ pub fn rollforward_volume(
         .get::<encompass_storage::media::ArchiveImage>(&akey)
         .unwrap_or_else(|| panic!("no archive {akey} — cannot roll forward"))
         .clone();
+    let watermark = archive.audit_watermark;
+    let floor = archive.purge_floor;
 
-    // 2. gather this volume's images from the trails
+    // 2. gather this volume's images from the trails. Only trails on the
+    // volume's own node can hold its images (each DISCPROCESS audits to an
+    // AUDITPROCESS on its node); for those, the capacity manager must not
+    // have purged any record recovery still needs — every sequence at or
+    // above the archive's purge floor.
+    let node_prefix = format!("{}.", volume.node);
     let mut images: Vec<ImageRecord> = Vec::new();
     for tk in trail_keys {
         if let Some(trail) = world.stable().get::<TrailMedia>(tk) {
+            if tk.starts_with(&node_prefix) && trail.purged_through >= floor {
+                panic!(
+                    "trail {tk} purged through seq {} but archive {akey} needs \
+                     every record from seq {floor} — cannot roll forward",
+                    trail.purged_through
+                );
+            }
             images.extend(trail.volume_images(volume));
         }
     }
+    // ONLINEDUMP begin/end markers are trail bookkeeping, not data images
+    images.retain(|r| !r.is_dump_marker());
     images.sort_by_key(|r| r.seq);
 
     // 3. resolve outcomes against the home nodes' monitor trails
@@ -103,12 +144,20 @@ pub fn rollforward_volume(
     let mut committed_seen: HashMap<Transid, ()> = HashMap::new();
     let mut rolled_seen: HashMap<Transid, ()> = HashMap::new();
     // REDO committed, ascending; remember the newest committed sequence
-    // per record for the UNDO pass below
+    // per record for the UNDO pass below. The committed-high map covers
+    // *all* committed images — including those at or below the watermark,
+    // whose values the fuzzy image already holds — because a loser's undo
+    // is superseded by any later committed write, replayed or not.
     let mut committed_high: HashMap<(&str, &bytes::Bytes), u64> = HashMap::new();
     for img in &images {
         if outcomes[&img.transid] {
             committed_seen.insert(img.transid, ());
             committed_high.insert((img.file.as_str(), &img.key), img.seq);
+            if img.seq <= watermark {
+                // applied to the volume before the dump began reading
+                // pages, so the archive image already reflects this write
+                continue;
+            }
             files
                 .entry(img.file.clone())
                 .or_insert_with(|| encompass_storage::media::FileImage::new(img.organization))
@@ -212,6 +261,7 @@ mod tests {
             volume: vol.clone(),
             files: archive_files,
             audit_watermark: 0,
+            purge_floor: 1,
             generation: 1,
         });
 
@@ -272,6 +322,7 @@ mod tests {
             volume: vol.clone(),
             files: std::collections::BTreeMap::new(),
             audit_watermark: 0,
+            purge_floor: 1,
             generation: 1,
         });
         let tk = crate::trail::trail_key(n, "$AUDIT");
@@ -308,6 +359,7 @@ mod tests {
             volume: vol.clone(),
             files: std::collections::BTreeMap::new(),
             audit_watermark: 0,
+            purge_floor: 1,
             generation: 0,
         });
         // Lock-serialized history of one record:
@@ -346,5 +398,145 @@ mod tests {
         let n = w.add_node(2);
         let vol = VolumeRef::new(n, "$D");
         let _ = rollforward_volume(&mut w, &vol, &[], 9);
+    }
+
+    /// Fuzzy ONLINEDUMP recovery: the archive was copied while
+    /// transactions updated, so it holds a dirty value a loser wrote
+    /// mid-dump and misses a committed write that landed after its page
+    /// was read. The trail also carries the DumpBegin/DumpEnd markers,
+    /// which must be filtered out, and rotates across several files.
+    #[test]
+    fn fuzzy_archive_recovers_committed_state() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+
+        // History (audit sequence order):
+        //   seq 1: t1 commits k1 1000 -> 900 before the dump
+        //   seq 2: DumpBegin marker, watermark = 1
+        //   seq 3: t2 writes k1 900 -> 850, later aborts; the dump page
+        //          catches the dirty 850
+        //   seq 4: t3 inserts k2 = 7 and commits after its page was read
+        //   seq 5: DumpEnd marker
+        let mut archive_files = std::collections::BTreeMap::new();
+        let mut f = encompass_storage::media::FileImage::new(FileOrganization::KeySequenced);
+        f.apply(b"k1", Some(Bytes::from_static(b"850"))); // dirty loser value
+        archive_files.insert("accounts".to_string(), f);
+        let akey = archive_key(&vol, 2);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: archive_files,
+            audit_watermark: 1,
+            purge_floor: 2,
+            generation: 2,
+        });
+
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        let trail = w
+            .stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(2));
+        trail.force(vec![
+            img(1, t(1), "k1", Some("1000"), Some("900")),
+            ImageRecord::dump_marker(2, vol.clone(), 2, false),
+            img(3, t(2), "k1", Some("900"), Some("850")),
+            img(4, t(3), "k2", None, Some("7")),
+            ImageRecord::dump_marker(5, vol.clone(), 2, true),
+        ]);
+        assert!(trail.files.len() > 1, "trail rotated across files");
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(2), false, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(3), true, SimTime::ZERO);
+
+        let report = rollforward_volume(&mut w, &vol, &[tk], 2);
+        assert_eq!(report.redone, 1, "only t3's post-watermark write replays");
+        assert_eq!(report.undone, 1, "t2's dirty write is repaired");
+        assert_eq!(report.committed_txns, 2);
+        let media = w.stable().get::<VolumeMedia>(&media_key(n, "$D")).unwrap();
+        let accounts = media.file("accounts").unwrap();
+        assert_eq!(accounts.read(b"k1"), Some(Bytes::from_static(b"900")));
+        assert_eq!(accounts.read(b"k2"), Some(Bytes::from_static(b"7")));
+        assert!(
+            media
+                .file(encompass_storage::audit_api::DUMP_MARKER_FILE)
+                .is_none(),
+            "marker records were filtered, not replayed"
+        );
+    }
+
+    /// Capacity management interplay: once a dump's purge floor covers a
+    /// trail prefix, purging that prefix must not break recovery from the
+    /// dump — the purged records were all reflected in the archive image.
+    #[test]
+    fn purge_covered_by_dump_floor_recovers() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+
+        // Everything committed before the dump; the fuzzy image holds the
+        // final values and the floor proves seqs 1..=3 are dispensable.
+        let mut archive_files = std::collections::BTreeMap::new();
+        let mut f = encompass_storage::media::FileImage::new(FileOrganization::KeySequenced);
+        f.apply(b"a", Some(Bytes::from_static(b"2")));
+        f.apply(b"b", Some(Bytes::from_static(b"9")));
+        archive_files.insert("accounts".to_string(), f);
+        let akey = archive_key(&vol, 3);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: archive_files,
+            audit_watermark: 3,
+            purge_floor: 4,
+            generation: 3,
+        });
+
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        let trail = w
+            .stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(2));
+        trail.force(vec![
+            img(1, t(1), "a", None, Some("1")),
+            img(2, t(1), "a", Some("1"), Some("2")),
+            img(3, t(2), "b", None, Some("9")),
+        ]);
+        let dropped = trail.purge_below(4);
+        assert!(dropped >= 1, "old trail files purged");
+        assert_eq!(trail.purged_through, 3);
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+        MonitorTrail::of(w.stable_mut(), n).record(t(2), true, SimTime::ZERO);
+
+        let report = rollforward_volume(&mut w, &vol, &[tk], 3);
+        assert_eq!(report.redone, 0, "purged prefix was already in the image");
+        let media = w.stable().get::<VolumeMedia>(&media_key(n, "$D")).unwrap();
+        let accounts = media.file("accounts").unwrap();
+        assert_eq!(accounts.read(b"a"), Some(Bytes::from_static(b"2")));
+        assert_eq!(accounts.read(b"b"), Some(Bytes::from_static(b"9")));
+    }
+
+    /// A trail purged past the archive's floor may have dropped records
+    /// recovery still needs: fail loudly, never reconstruct silently.
+    #[test]
+    #[should_panic(expected = "purged through")]
+    fn purged_needed_trail_fails_loudly() {
+        let mut w = World::new(SimConfig::default());
+        let n = w.add_node(2);
+        let vol = VolumeRef::new(n, "$D");
+        let akey = archive_key(&vol, 0);
+        w.stable_mut().get_or_create::<ArchiveImage, _>(&akey, || ArchiveImage {
+            volume: vol.clone(),
+            files: std::collections::BTreeMap::new(),
+            audit_watermark: 0,
+            purge_floor: 1,
+            generation: 0,
+        });
+        let tk = crate::trail::trail_key(n, "$AUDIT");
+        let trail = w
+            .stable_mut()
+            .get_or_create::<TrailMedia, _>(&tk, || TrailMedia::new(1));
+        trail.force(vec![
+            img(1, t(1), "a", None, Some("1")),
+            img(2, t(1), "a", Some("1"), Some("2")),
+        ]);
+        trail.purge_below(2); // drops seq 1, which gen-0 recovery needs
+        MonitorTrail::of(w.stable_mut(), n).record(t(1), true, SimTime::ZERO);
+        let _ = rollforward_volume(&mut w, &vol, &[tk], 0);
     }
 }

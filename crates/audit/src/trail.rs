@@ -30,6 +30,13 @@ pub struct TrailMedia {
     pub rotate_every: usize,
     /// Physical force operations performed (each models one disc write).
     pub forces: u64,
+    /// Highest audit sequence number ever dropped by [`purge_below`]
+    /// (0 = nothing purged). ROLLFORWARD compares this against an
+    /// archive's `purge_floor` to fail loudly instead of silently
+    /// replaying an incomplete trail.
+    ///
+    /// [`purge_below`]: TrailMedia::purge_below
+    pub purged_through: u64,
     next_file_number: u64,
 }
 
@@ -42,6 +49,7 @@ impl TrailMedia {
             }],
             rotate_every: rotate_every.max(1),
             forces: 0,
+            purged_through: 0,
             next_file_number: 1,
         }
     }
@@ -100,11 +108,34 @@ impl TrailMedia {
     }
 
     /// Drop trail files whose records are all below `seq` (safe once every
-    /// archive's watermark is at or above `seq`).
+    /// image at or above `seq` covers everything a backout or rollforward
+    /// could still need — see the capacity manager in `encompass-core`).
+    ///
+    /// Returns the number of files dropped. Empty files are dropped too,
+    /// except the current tail file (the one new records append to); if
+    /// every file is purged, a fresh empty file is created so the trail
+    /// remains appendable.
     pub fn purge_below(&mut self, seq: u64) -> usize {
-        let before = self.files.len();
-        self.files
-            .retain(|f| f.records.is_empty() || f.records.iter().any(|r| r.seq >= seq));
+        let tail = self.files.last().map(|f| f.number);
+        let mut dropped = 0usize;
+        let mut purged_through = self.purged_through;
+        self.files.retain(|f| {
+            let keep = if f.records.is_empty() {
+                // only the current tail may stay empty; older empty files
+                // are stale leftovers and get purged
+                Some(f.number) == tail
+            } else {
+                f.records.iter().any(|r| r.seq >= seq)
+            };
+            if !keep {
+                dropped += 1;
+                if let Some(hi) = f.records.iter().map(|r| r.seq).max() {
+                    purged_through = purged_through.max(hi);
+                }
+            }
+            keep
+        });
+        self.purged_through = purged_through;
         if self.files.is_empty() {
             self.files.push(TrailFile {
                 number: self.next_file_number,
@@ -112,7 +143,7 @@ impl TrailMedia {
             });
             self.next_file_number += 1;
         }
-        before - self.files.len()
+        dropped
     }
 }
 
@@ -175,10 +206,38 @@ mod tests {
         assert_eq!(t.files.len(), 3);
         let dropped = t.purge_below(5);
         assert_eq!(dropped, 2);
+        assert_eq!(t.purged_through, 4);
         assert_eq!(t.txn_images(Transid { home_node: NodeId(0), cpu: 0, seq: 1 }).len(), 2);
-        // purging everything leaves one fresh empty file
-        t.purge_below(100);
+        // purging everything drops the last data file (counted!) and
+        // leaves one fresh empty file
+        let dropped = t.purge_below(100);
+        assert_eq!(dropped, 1);
+        assert_eq!(t.purged_through, 6);
         assert_eq!(t.len(), 0);
         assert_eq!(t.files.len(), 1);
+        // idempotent: the fresh tail file is not repeatedly churned
+        assert_eq!(t.purge_below(100), 0);
+        assert_eq!(t.files.len(), 1);
+    }
+
+    #[test]
+    fn purge_drops_stale_empty_files() {
+        let mut t = TrailMedia::new(2);
+        t.force((1..=4).map(|i| img(i, 1, "$D")).collect());
+        // fabricate a stale empty file in the middle (e.g. left over from
+        // an older purge implementation)
+        t.files.insert(
+            1,
+            TrailFile {
+                number: 99,
+                records: Vec::new(),
+            },
+        );
+        assert_eq!(t.files.len(), 3);
+        // nothing is below seq 1, but the stale empty file still goes
+        assert_eq!(t.purge_below(1), 1);
+        assert_eq!(t.files.len(), 2);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.purged_through, 0, "no records were dropped");
     }
 }

@@ -24,6 +24,7 @@ fn prepared(n: u64) -> (World, VolumeRef, String) {
         files: std::collections::BTreeMap::new(),
         audit_watermark: 0,
         generation: 1,
+        purge_floor: 1,
     });
     let tk = trail_key(node, "$AUDIT");
     let vol3 = vol.clone();

@@ -1,0 +1,25 @@
+//! Online-dump sweep — see `encompass_bench::experiments::online_dump`.
+//!
+//! ```text
+//! cargo run -p encompass-bench --release --bin exp_online_dump           # full sweep
+//! cargo run -p encompass-bench --release --bin exp_online_dump -- --smoke
+//! cargo run -p encompass-bench --release --bin exp_online_dump -- --out path.json
+//! ```
+//!
+//! Writes the machine-readable sweep to `BENCH_online_dump.json` (or
+//! `--out PATH`) in addition to printing the table.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_online_dump.json".to_string());
+
+    let result = encompass_bench::experiments::online_dump(smoke);
+    println!("{}", result.table());
+    std::fs::write(&out, result.to_json()).expect("write sweep json");
+    println!("wrote {out}");
+}

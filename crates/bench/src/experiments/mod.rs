@@ -6,6 +6,7 @@ mod claims;
 mod figures;
 mod group_commit;
 mod latency_attribution;
+mod online_dump;
 
 pub use claims::{t1, t2, t3, t4, t5, t6, t7, t8};
 pub use figures::{f1, f2, f3, f4};
@@ -13,6 +14,7 @@ pub use group_commit::{group_commit, GroupCommitResult, GroupCommitRow};
 pub use latency_attribution::{
     latency_attribution, LatencyAttributionResult, LatencyAttributionRow,
 };
+pub use online_dump::{online_dump, OnlineDumpResult, OnlineDumpRow};
 
 /// Run every experiment (the `exp_all` binary), in parallel — each
 /// experiment builds its own simulated worlds, so they are independent;

@@ -23,4 +23,4 @@ pub mod runner;
 pub mod schedule;
 
 pub use runner::{run_schedule, run_schedule_with, run_seed, FlightDump, RunReport};
-pub use schedule::{ChaosAction, Schedule, ScheduledEvent};
+pub use schedule::{ChaosAction, Schedule, ScheduledDump, ScheduledEvent};

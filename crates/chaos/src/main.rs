@@ -19,6 +19,7 @@ fn main() {
     let mut sweep: Option<u64> = None;
     let mut start: u64 = 0;
     let mut window: Option<u64> = None;
+    let mut dumps = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +39,10 @@ fn main() {
                 window = Some(parse_num(args.get(i + 1), "--window"));
                 i += 2;
             }
+            "--dumps" => {
+                dumps = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -51,9 +56,9 @@ fn main() {
     }
 
     let failed = match (seed, sweep) {
-        (Some(s), _) => run_single(s, window),
-        (None, Some(count)) => run_sweep(start, count, window),
-        (None, None) => run_sweep(0, 25, window), // CI smoke default
+        (Some(s), _) => run_single(s, window, dumps),
+        (None, Some(count)) => run_sweep(start, count, window, dumps),
+        (None, None) => run_sweep(0, 25, window, dumps), // CI smoke default
     };
     if failed {
         std::process::exit(1);
@@ -61,12 +66,14 @@ fn main() {
 }
 
 /// Generate the schedule for `seed`, overriding the drawn group-commit
-/// window when `--window US` was given.
-fn schedule_for(seed: u64, window: Option<u64>) -> Schedule {
+/// window when `--window US` was given and enabling the online-dump plan
+/// when `--dumps` was.
+fn schedule_for(seed: u64, window: Option<u64>, dumps: bool) -> Schedule {
     let mut schedule = Schedule::generate(seed);
     if let Some(us) = window {
         schedule.group_commit_window_us = us;
     }
+    schedule.dumps_enabled = dumps;
     schedule
 }
 
@@ -79,17 +86,18 @@ fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
 
 fn print_usage() {
     println!(
-        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US]\n\
+        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US] [--dumps]\n\
          default: --sweep 25 (the CI smoke subset)\n\
-         --window US overrides each schedule's group-commit window (microseconds)"
+         --window US overrides each schedule's group-commit window (microseconds)\n\
+         --dumps enables each schedule's online-dump plan + trail purging"
     );
 }
 
 /// One seed, verbose: print the schedule, run it twice — the second time
 /// with the flight recorder on — and require both runs to produce the
 /// same determinism hash (which also pins recorder-off/on equivalence).
-fn run_single(seed: u64, window: Option<u64>) -> bool {
-    let schedule = schedule_for(seed, window);
+fn run_single(seed: u64, window: Option<u64>, dumps: bool) -> bool {
+    let schedule = schedule_for(seed, window, dumps);
     print!("{}", schedule.describe());
     let a = run_schedule(&schedule);
     let b = run_schedule_with(&schedule, true);
@@ -134,17 +142,21 @@ fn dump_flight(report: &RunReport) {
     }
 }
 
-fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
+fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool) -> bool {
     let mut failures = 0u64;
     let mut commits = 0u64;
     let mut aborts = 0u64;
     let mut takeover_commits = 0u64;
+    let mut dumps_done = 0u64;
+    let mut purged_files = 0u64;
     for seed in start..start + count {
-        let report = run_schedule(&schedule_for(seed, window));
+        let report = run_schedule(&schedule_for(seed, window, dumps));
         println!("{}", report.summary_line());
         commits += report.commits;
         aborts += report.aborts;
         takeover_commits += report.takeover_commit_completions;
+        dumps_done += report.dumps_completed;
+        purged_files += report.purged_trail_files;
         if !report.ok() {
             failures += 1;
             println!("--- failing schedule (repro: --seed {seed}) ---");
@@ -153,7 +165,7 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
                 println!("  violation: {v}");
             }
             // recording is hash-neutral, so this replays the same run
-            let recorded = run_schedule_with(&schedule_for(seed, window), true);
+            let recorded = run_schedule_with(&schedule_for(seed, window, dumps), true);
             dump_flight(&recorded);
         }
     }
@@ -162,5 +174,10 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>) -> bool {
          ({commits} commits, {aborts} aborts, {takeover_commits} commits completed by takeover)",
         count - failures
     );
+    if dumps {
+        println!(
+            "online dumps: {dumps_done} completed, {purged_files} trail files purged"
+        );
+    }
     failures > 0
 }

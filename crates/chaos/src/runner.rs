@@ -30,21 +30,23 @@
 //!   from total node failure and nothing uncommitted does.
 
 use crate::probe::TmpProbe;
-use crate::schedule::{ChaosAction, Schedule};
+use crate::schedule::{ChaosAction, Schedule, ScheduledDump};
 use bytes::Bytes;
 use encompass::app::{launch_bank_app, BankAppParams};
 use encompass::workload::total_balance;
+use encompass_audit::dump::{DumpMsg, DumpReply};
 use encompass_audit::monitor::{monitor_key, MonitorTrail};
 use encompass_audit::rollforward::rollforward_volume;
 use encompass_sim::{
-    format_timeline, CpuId, Fault, FlightEvent, FlightTransid, NodeId, SimConfig, SimDuration,
-    World,
+    format_timeline, CpuId, Ctx, Fault, FlightEvent, FlightTransid, NodeId, Payload, Pid,
+    SimConfig, SimDuration, SimTime, TimerId, World,
 };
+use encompass_storage::audit_api::{AuditMsg, AuditReply};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
 use encompass_storage::media::{archive_key, ArchiveImage, VolumeMedia};
-use encompass_storage::media::media_key;
+use encompass_storage::media::{dump_registry_key, media_key, DumpRegistry};
 use encompass_storage::types::{Transid, VolumeRef};
-use guardian::Target;
+use guardian::{Rpc, Target, TimerOutcome};
 use std::collections::{BTreeMap, HashMap};
 
 /// Accounts preloaded per run (balance 1000 each).
@@ -59,6 +61,10 @@ pub struct RunReport {
     pub commits: u64,
     pub aborts: u64,
     pub takeover_commit_completions: u64,
+    /// Online dumps that completed (archive + registry durable).
+    pub dumps_completed: u64,
+    /// Trail files dropped by the TMP's capacity-purge pass.
+    pub purged_trail_files: u64,
     pub end_ms: u64,
     pub violations: Vec<String>,
     /// The fault timeline, for one-line repro reports.
@@ -119,8 +125,14 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
 /// a pure side channel, so the trace hash is identical either way — a
 /// failing seed can be re-run recorded and the same execution replays.
 pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunReport {
-    let tmf = tmf::facility::TmfNodeConfig::builder()
-        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us))
+    let mut builder = tmf::facility::TmfNodeConfig::builder()
+        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us));
+    if schedule.dumps_enabled {
+        builder = builder
+            .trail_purge_interval(SimDuration::from_micros(schedule.trail_purge_interval_us))
+            .audit_rotate_every(schedule.audit_rotate_every);
+    }
+    let tmf = builder
         .build()
         .expect("schedule produced an invalid TMF config");
     let sim = if flight_recorder {
@@ -145,11 +157,25 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
     let volumes: Vec<VolumeRef> = app.catalog.all_volumes();
     snapshot_archives(&mut app.world, &volumes);
 
-    // ---- phase 2: the fault timeline --------------------------------
+    // ---- phase 2: the fault timeline (+ online dumps, if enabled) ---
+    let dumps: &[ScheduledDump] = if schedule.dumps_enabled {
+        &schedule.dumps
+    } else {
+        &[]
+    };
+    let mut next_dump = 0usize;
     for ev in &schedule.events {
+        start_due_dumps(&mut app.world, &volumes, dumps, &mut next_dump, ev.at);
         app.world.run_until(ev.at);
         apply(&mut app.world, &ev.action);
     }
+    start_due_dumps(
+        &mut app.world,
+        &volumes,
+        dumps,
+        &mut next_dump,
+        schedule.heal_at,
+    );
     app.world.run_until(schedule.heal_at);
     heal_everything(&mut app.world, schedule);
 
@@ -172,6 +198,17 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
     }
     // safe-delivery tail: phase 2, abort notifications, backouts
     app.world.run_for(SimDuration::from_secs(5));
+
+    // When dumps ran, drain every AUDITPROCESS buffer to the trail media
+    // before the convergence oracle reads the trails: a fuzzy archive may
+    // have caught a dirty value whose undo image is still sitting in a
+    // buffer (an empty forced append is the AUDITPROCESS flush barrier).
+    if schedule.dumps_enabled {
+        for &node in &app.nodes {
+            app.world
+                .spawn(node, 0, Box::new(AuditFlushClient::new(node)));
+        }
+    }
 
     // ---- phase 4: leak probes ---------------------------------------
     let open_probes: Vec<_> = app
@@ -201,6 +238,8 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
         .world
         .metrics()
         .get("tmf.takeover_commit_completions");
+    let dumps_completed = app.world.metrics().get("dump.completed");
+    let purged_trail_files = app.world.metrics().get("tmf.purged_trail_files");
     let end_ms = app.world.now().as_millis();
 
     // ---- phase 5: oracles -------------------------------------------
@@ -268,6 +307,8 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
         commits,
         aborts,
         takeover_commit_completions,
+        dumps_completed,
+        purged_trail_files,
         end_ms,
         violations,
         schedule_desc: schedule.describe(),
@@ -292,8 +333,128 @@ fn snapshot_archives(world: &mut World, volumes: &[VolumeRef]) {
             volume: vol,
             files,
             audit_watermark: 0,
+            purge_floor: 1,
             generation: 0,
         });
+    }
+}
+
+/// Start every scheduled dump due at or before `upto`: one [`DumpClient`]
+/// per volume of the dump's node, spawned at the dump's own time.
+fn start_due_dumps(
+    world: &mut World,
+    volumes: &[VolumeRef],
+    dumps: &[ScheduledDump],
+    next: &mut usize,
+    upto: SimTime,
+) {
+    while *next < dumps.len() && dumps[*next].at <= upto {
+        let d = dumps[*next].clone();
+        world.run_until(d.at);
+        // the dump may be scheduled while a processor of the node is
+        // down; host the client on any live one
+        let cpu = (0..world.cpu_count(d.node))
+            .find(|&c| world.cpu_up(d.node, CpuId(c)))
+            .unwrap_or(0);
+        for v in volumes.iter().filter(|v| v.node == d.node) {
+            world.spawn(
+                d.node,
+                cpu,
+                Box::new(DumpClient {
+                    volume: v.clone(),
+                    generation: d.generation,
+                    rpc: Rpc::new(2),
+                }),
+            );
+        }
+        *next += 1;
+    }
+}
+
+/// One-shot client asking a node's `$DUMP` pair for one online dump. The
+/// request retries persistently — a CPU fault mid-copy forces a takeover
+/// that drops the dump, and the retry is what restarts it after the heal.
+struct DumpClient {
+    volume: VolumeRef,
+    generation: u64,
+    rpc: Rpc<DumpMsg, DumpReply>,
+}
+
+impl encompass_sim::Process for DumpClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.rpc.call_persistent(
+            ctx,
+            Target::Named(self.volume.node, "$DUMP".into()),
+            DumpMsg::DumpVolume {
+                volume: self.volume.clone(),
+                generation: self.generation,
+            },
+            SimDuration::from_millis(100),
+            0,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        if self.rpc.accept(ctx, payload).is_ok() {
+            ctx.exit();
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if let TimerOutcome::Expired { .. } = self.rpc.on_timer(ctx, tag) {
+            ctx.exit();
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "dump-client"
+    }
+}
+
+/// One-shot client that sends a node's `$AUDIT` an empty forced append —
+/// the flush barrier that pushes every buffered image onto the trail.
+struct AuditFlushClient {
+    node: NodeId,
+    rpc: Rpc<AuditMsg, AuditReply>,
+}
+
+impl AuditFlushClient {
+    fn new(node: NodeId) -> AuditFlushClient {
+        AuditFlushClient {
+            node,
+            rpc: Rpc::new(3),
+        }
+    }
+}
+
+impl encompass_sim::Process for AuditFlushClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.rpc.call_persistent(
+            ctx,
+            Target::Named(self.node, "$AUDIT".into()),
+            AuditMsg::Append {
+                records: Vec::new(),
+                force: true,
+            },
+            SimDuration::from_millis(100),
+            0,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        if self.rpc.accept(ctx, payload).is_ok() {
+            ctx.exit();
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        if let TimerOutcome::Expired { .. } = self.rpc.on_timer(ctx, tag) {
+            ctx.exit();
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "audit-flush-client"
     }
 }
 
@@ -452,8 +613,9 @@ fn parse_history_amount(v: &Bytes) -> Option<i64> {
     s.rsplit(':').next()?.parse().ok()
 }
 
-/// Oracle: ROLLFORWARD from the generation-0 archive plus every audit
-/// trail reproduces the live media exactly.
+/// Oracle: ROLLFORWARD from the latest completed dump (the fuzzy online
+/// archive, when one registered; the generation-0 snapshot otherwise)
+/// plus every surviving audit trail reproduces the live media exactly.
 fn check_convergence(
     world: &mut World,
     volumes: &[VolumeRef],
@@ -461,8 +623,13 @@ fn check_convergence(
     violations: &mut Vec<String>,
 ) {
     for v in volumes {
+        let generation = world
+            .stable()
+            .get::<DumpRegistry>(&dump_registry_key(v))
+            .map(|r| r.generation)
+            .unwrap_or(0);
         let live = snapshot_volume(world, v);
-        let _ = rollforward_volume(world, v, trail_keys, 0);
+        let _ = rollforward_volume(world, v, trail_keys, generation);
         let rebuilt = snapshot_volume(world, v);
         if live != rebuilt {
             let detail = diff_summary(&live, &rebuilt);

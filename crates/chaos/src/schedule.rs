@@ -52,6 +52,17 @@ pub struct ScheduledEvent {
     pub action: ChaosAction,
 }
 
+/// One planned ONLINEDUMP: at `at`, dump every volume of `node` as
+/// archive `generation`. Dumps are anchored shortly before a scheduled
+/// CPU kill when the timeline has one, so the sweep routinely exercises
+/// faults landing mid-copy.
+#[derive(Clone, Debug)]
+pub struct ScheduledDump {
+    pub at: SimTime,
+    pub node: NodeId,
+    pub generation: u64,
+}
+
 /// A complete chaos run description.
 #[derive(Clone, Debug)]
 pub struct Schedule {
@@ -68,6 +79,18 @@ pub struct Schedule {
     pub events: Vec<ScheduledEvent>,
     /// When the final heal-everything barrier runs.
     pub heal_at: SimTime,
+    /// Run the ONLINEDUMP plan below and the TMP's trail purge pass.
+    /// Off by default (`--dumps` turns it on) so legacy schedules replay
+    /// their historical traces unchanged; the plan itself is drawn for
+    /// every seed, after all other draws, so enabling it never shifts
+    /// the fault timeline.
+    pub dumps_enabled: bool,
+    pub dumps: Vec<ScheduledDump>,
+    /// TMP trail-capacity purge interval (µs), used when dumps run.
+    pub trail_purge_interval_us: u64,
+    /// Audit-trail rotation size when dumps run (small, so capacity
+    /// purging has whole files to drop within a short run).
+    pub audit_rotate_every: usize,
 }
 
 impl Schedule {
@@ -100,6 +123,8 @@ impl Schedule {
         let mut t: u64 = 100_000 + rng.random_range(0..100_000u64);
         let n_faults = rng.random_range(3..=8usize);
         let mut last = t;
+        // CPU-kill start times (µs), collected as anchors for the dump plan
+        let mut kill_starts: Vec<u64> = Vec::new();
         for _ in 0..n_faults {
             t += rng.random_range(30_000..250_000u64);
             let heal_after = rng.random_range(80_000..500_000u64);
@@ -121,6 +146,7 @@ impl Schedule {
                         action: ChaosAction::RestoreDownCpus { node },
                     });
                     cpu_free_at[ni] = t + heal_after + 50_000;
+                    kill_starts.push(t);
                 }
                 // 2-3: kill the processor hosting a service primary
                 2 | 3 => {
@@ -141,6 +167,7 @@ impl Schedule {
                         action: ChaosAction::RestoreDownCpus { node },
                     });
                     cpu_free_at[ni] = t + heal_after + 50_000;
+                    kill_starts.push(t);
                 }
                 // 4: one interprocessor bus
                 4 => {
@@ -197,6 +224,36 @@ impl Schedule {
         events.sort_by_key(|e| e.at);
         let heal_at = SimTime::from_micros(last + 300_000);
 
+        // ONLINEDUMP plan — drawn last so the draws above are a stable
+        // prefix: a seed's fault timeline is identical with or without
+        // dumps. Each dump starts ~30ms before a scheduled CPU kill (when
+        // there is one) so takeovers land mid-copy.
+        let n_dumps = rng.random_range(1..=2usize);
+        let mut dumps = Vec::new();
+        for _ in 0..n_dumps {
+            let node = NodeId(rng.random_range(0..nodes as u8));
+            let at = if kill_starts.is_empty() {
+                150_000 + rng.random_range(0..200_000u64)
+            } else {
+                let anchor = kill_starts[rng.random_range(0..kill_starts.len())];
+                anchor.saturating_sub(30_000).max(50_000)
+            };
+            dumps.push(ScheduledDump {
+                at: SimTime::from_micros(at),
+                node,
+                generation: 0,
+            });
+        }
+        dumps.sort_by_key(|d| d.at);
+        // generation 0 is the runner's pre-run snapshot; dumps count up
+        // from 1 in timeline order so the registry never rolls back
+        for (i, d) in dumps.iter_mut().enumerate() {
+            d.generation = i as u64 + 1;
+        }
+        let trail_purge_interval_us = rng.random_range(40_000..=150_000u64);
+        // small trail files so a short run rotates (and can purge) several
+        let audit_rotate_every = rng.random_range(16..=64usize);
+
         Schedule {
             seed,
             nodes,
@@ -207,6 +264,10 @@ impl Schedule {
             group_commit_window_us,
             events,
             heal_at,
+            dumps_enabled: false,
+            dumps,
+            trail_purge_interval_us,
+            audit_rotate_every,
         }
     }
 
@@ -236,6 +297,20 @@ impl Schedule {
             out.push_str(&format!("  t={:>7}ms  {}\n", ev.at.as_millis(), what));
         }
         out.push_str(&format!("  t={:>7}ms  heal-everything\n", self.heal_at.as_millis()));
+        if self.dumps_enabled {
+            for d in &self.dumps {
+                out.push_str(&format!(
+                    "  t={:>7}ms  online-dump {} gen {}\n",
+                    d.at.as_millis(),
+                    d.node,
+                    d.generation
+                ));
+            }
+            out.push_str(&format!(
+                "  trail-purge every {}us, rotate every {} records\n",
+                self.trail_purge_interval_us, self.audit_rotate_every
+            ));
+        }
         out
     }
 }

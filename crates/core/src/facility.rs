@@ -49,6 +49,16 @@ pub struct TmfNodeConfig {
     group_commit_window: SimDuration,
     /// Boxcar size that triggers an early force before the window elapses.
     group_commit_max: usize,
+    /// Records per ONLINEDUMP page (one disc access each). Private: set
+    /// through the builder so validation always runs.
+    dump_page_size: usize,
+    /// Records per audit-trail file before the AUDITPROCESS rotates to a
+    /// new one. Capacity purging drops whole files, so smaller files
+    /// purge sooner at the cost of more rotations.
+    audit_rotate_every: usize,
+    /// Interval of the TMP's trail-capacity purge pass. Zero (the
+    /// default) disables purging, preserving historical traces.
+    trail_purge_interval: SimDuration,
 }
 
 impl Default for TmfNodeConfig {
@@ -63,6 +73,9 @@ impl Default for TmfNodeConfig {
             flush_interval: SimDuration::from_millis(50),
             group_commit_window: SimDuration::ZERO,
             group_commit_max: 64,
+            dump_page_size: 64,
+            audit_rotate_every: 4096,
+            trail_purge_interval: SimDuration::ZERO,
         }
     }
 }
@@ -82,6 +95,18 @@ impl TmfNodeConfig {
     pub fn group_commit_max(&self) -> usize {
         self.group_commit_max
     }
+
+    pub fn dump_page_size(&self) -> usize {
+        self.dump_page_size
+    }
+
+    pub fn audit_rotate_every(&self) -> usize {
+        self.audit_rotate_every
+    }
+
+    pub fn trail_purge_interval(&self) -> SimDuration {
+        self.trail_purge_interval
+    }
 }
 
 /// A rejected [`TmfNodeConfigBuilder::build`].
@@ -98,6 +123,10 @@ pub enum ConfigError {
     /// The window exceeds one second — longer than any commit timeout,
     /// so every boxcar would expire its requesters instead of forcing.
     WindowTooLong,
+    /// An ONLINEDUMP page must copy at least one record per disc access.
+    ZeroDumpPageSize,
+    /// A trail file must hold at least one record before rotating.
+    ZeroAuditRotate,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -110,6 +139,8 @@ impl std::fmt::Display for ConfigError {
             ConfigError::WindowTooLong => {
                 write!(f, "group_commit_window must be at most one second")
             }
+            ConfigError::ZeroDumpPageSize => write!(f, "dump_page_size must be >= 1"),
+            ConfigError::ZeroAuditRotate => write!(f, "audit_rotate_every must be >= 1"),
         }
     }
 }
@@ -169,6 +200,21 @@ impl TmfNodeConfigBuilder {
         self
     }
 
+    pub fn dump_page_size(mut self, size: usize) -> Self {
+        self.cfg.dump_page_size = size;
+        self
+    }
+
+    pub fn audit_rotate_every(mut self, records: usize) -> Self {
+        self.cfg.audit_rotate_every = records;
+        self
+    }
+
+    pub fn trail_purge_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.trail_purge_interval = interval;
+        self
+    }
+
     pub fn build(self) -> Result<TmfNodeConfig, ConfigError> {
         let c = &self.cfg;
         if c.audit_processes < 1 {
@@ -192,6 +238,12 @@ impl TmfNodeConfigBuilder {
         if c.group_commit_window > SimDuration::from_secs(1) {
             return Err(ConfigError::WindowTooLong);
         }
+        if c.dump_page_size < 1 {
+            return Err(ConfigError::ZeroDumpPageSize);
+        }
+        if c.audit_rotate_every < 1 {
+            return Err(ConfigError::ZeroAuditRotate);
+        }
         Ok(self.cfg)
     }
 }
@@ -203,6 +255,8 @@ pub struct NodeHandles {
     pub audits: Vec<PairHandle>,
     pub backout: PairHandle,
     pub discs: Vec<PairHandle>,
+    /// The node's `$DUMP` ONLINEDUMP pair.
+    pub dump: PairHandle,
     /// Stable-storage keys of this node's audit trails (for ROLLFORWARD).
     pub trail_keys: Vec<String>,
 }
@@ -251,7 +305,7 @@ pub fn spawn_tmf_node(
             ab,
             AuditConfig {
                 service: svc,
-                rotate_every: 4096,
+                rotate_every: cfg.audit_rotate_every,
                 group_commit_window: cfg.group_commit_window,
                 group_commit_max: cfg.group_commit_max,
             },
@@ -283,6 +337,7 @@ pub fn spawn_tmf_node(
                 recovery_mode: cfg.recovery_mode,
                 audit_service: Some(svc),
                 flush_interval: cfg.flush_interval,
+                dump_page_size: cfg.dump_page_size,
                 ..DiscConfig::default()
             },
         ));
@@ -303,9 +358,14 @@ pub fn spawn_tmf_node(
             safe_retry: cfg.safe_retry,
             group_commit_window: cfg.group_commit_window,
             group_commit_max: cfg.group_commit_max,
+            purge_interval: cfg.trail_purge_interval,
             ..TmpConfig::default()
         },
     );
+
+    // the ONLINEDUMP pair, on the slot after the TMP's
+    let (up, ub) = pair_cpus(2 + audit_count as u8 + volumes.len() as u8);
+    let dump = encompass_audit::dump::spawn_dump_process(world, node, up, ub);
 
     NodeHandles {
         node,
@@ -313,6 +373,7 @@ pub fn spawn_tmf_node(
         audits,
         backout,
         discs,
+        dump,
         trail_keys,
     }
 }

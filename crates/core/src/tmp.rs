@@ -36,10 +36,12 @@ use encompass_audit::monitor::MonitorTrail;
 use encompass_sim::{
     FlightCause, HistogramHandle, NodeId, Payload, Pid, SimDuration, SystemEvent, World,
 };
+use encompass_storage::audit_api::{AuditMsg, AuditReply};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::media::{dump_registry_key, DumpRegistry};
 use encompass_storage::types::{Transid, VolumeRef};
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 const TAG_MONITOR_BASE: u64 = 1 << 16;
 /// Periodic in-doubt sweep on non-home nodes (below TAG_MONITOR_BASE).
@@ -48,6 +50,9 @@ const TAG_JANITOR: u64 = 7;
 const TAG_MONITOR_WINDOW: u64 = 8;
 /// Physical completion of a boxcarred monitor-trail force.
 const TAG_MONITOR_FLUSH: u64 = 9;
+/// Periodic audit-trail capacity sweep (purge below each volume's latest
+/// completed dump floor).
+const TAG_PURGE: u64 = 10;
 
 /// Cumulative bucket bounds for the boxcar-size histogram.
 const BOXCAR_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
@@ -127,6 +132,12 @@ pub struct TmpConfig {
     pub group_commit_window: SimDuration,
     /// Start the boxcarred force early once this many records are waiting.
     pub group_commit_max: usize,
+    /// Interval of the audit-trail capacity sweep: for every local audit
+    /// service whose volumes all have a completed online dump registered,
+    /// ask it to purge trail files below the smallest dump purge floor
+    /// (clamped by the oldest open transaction). Zero disables the sweep
+    /// (the default, preserving historical traces).
+    pub purge_interval: SimDuration,
 }
 
 impl Default for TmpConfig {
@@ -140,6 +151,7 @@ impl Default for TmpConfig {
             indoubt_probe: SimDuration::from_millis(250),
             group_commit_window: SimDuration::ZERO,
             group_commit_max: 64,
+            purge_interval: SimDuration::ZERO,
         }
     }
 }
@@ -217,6 +229,7 @@ pub struct TmpProcess {
     disc_rpc: Rpc<DiscRequest, DiscReply>,
     tmp_rpc: Rpc<TmpMsg, TmpReply>,
     backout_rpc: Rpc<BackoutMsg, BackoutReply>,
+    audit_rpc: Rpc<AuditMsg, AuditReply>,
     /// critical EndPhase1 rpc → transid
     phase1_disc: HashMap<u64, Transid>,
     /// critical Phase1 rpc → (transid, child)
@@ -237,6 +250,8 @@ pub struct TmpProcess {
     deliveries: HashMap<u64, Transid>,
     /// in-doubt QueryDisposition rpc → transid
     janitor_rpcs: HashMap<u64, Transid>,
+    /// outstanding capacity-sweep Purge rpcs
+    purge_rpcs: HashSet<u64>,
     next_tag: u64,
     /// Interned histogram keys: the commit path must not format counter
     /// names per observation.
@@ -254,6 +269,7 @@ impl TmpProcess {
             disc_rpc: Rpc::new(10),
             tmp_rpc: Rpc::new(11),
             backout_rpc: Rpc::new(12),
+            audit_rpc: Rpc::new(13),
             phase1_disc: HashMap::new(),
             phase1_tmp: HashMap::new(),
             remote_begins: HashMap::new(),
@@ -264,6 +280,7 @@ impl TmpProcess {
             monitor_window_armed: false,
             deliveries: HashMap::new(),
             janitor_rpcs: HashMap::new(),
+            purge_rpcs: HashSet::new(),
             next_tag: 0,
             boxcar_hist: HistogramHandle::new("tmf.monitor_boxcar_size", BOXCAR_BOUNDS),
             latency_hist: HistogramHandle::new("tmf.commit_latency_us", LATENCY_BOUNDS),
@@ -1143,6 +1160,65 @@ impl TmpProcess {
         }
     }
 
+    /// Audit-trail capacity sweep. Per local audit service, the cut is the
+    /// smallest purge floor over its volumes' *latest completed* dumps —
+    /// every trail record below a dump's floor was taken by a transaction
+    /// that released its locks before the dump began, so its effects are
+    /// fully inside the archive image and neither ROLLFORWARD nor backout
+    /// can ever need it. A service with any undumped volume is skipped;
+    /// the AUDITPROCESS further clamps the cut below the oldest open
+    /// transaction's first image.
+    fn purge_tick(&mut self, ctx: &mut PairCtx<'_, '_>) {
+        let node = ctx.node();
+        let mut cuts: BTreeMap<String, Option<u64>> = BTreeMap::new();
+        let services: Vec<(String, String)> = self
+            .cfg
+            .audit_service_of
+            .iter()
+            .map(|(v, s)| (v.clone(), s.clone()))
+            .collect();
+        for (volume, service) in services {
+            let key = dump_registry_key(&VolumeRef::new(node, &volume));
+            let floor = ctx.stable().get::<DumpRegistry>(&key).map(|r| r.purge_floor);
+            cuts.entry(service)
+                .and_modify(|c| {
+                    *c = match (*c, floor) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        _ => None,
+                    }
+                })
+                .or_insert(floor);
+        }
+        let mut open: Vec<Transid> = self.txns.keys().copied().collect();
+        open.sort_unstable(); // map order is not deterministic
+        for (service, cut) in cuts {
+            let Some(below) = cut else { continue };
+            if below <= 1 {
+                continue; // nothing purgeable yet
+            }
+            ctx.count("tmf.purge_requests", 1);
+            let id = self.audit_rpc.call_persistent(
+                ctx,
+                Target::Named(node, service),
+                AuditMsg::Purge {
+                    below,
+                    open: open.clone(),
+                },
+                self.cfg.safe_retry,
+                0,
+            );
+            self.purge_rpcs.insert(id);
+        }
+    }
+
+    fn on_audit_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64, body: AuditReply) {
+        if self.purge_rpcs.remove(&id) {
+            if let AuditReply::Purged { files } = body {
+                ctx.count("tmf.purged_trail_files", files);
+            }
+        }
+    }
+
     fn on_backout_completion(&mut self, ctx: &mut PairCtx<'_, '_>, id: u64) {
         if let Some(transid) = self.backouts.remove(&id) {
             self.backout_done(ctx, transid);
@@ -1198,6 +1274,13 @@ impl PairApp for TmpProcess {
             }
             Err(p) => p,
         };
+        let payload = match self.audit_rpc.accept(ctx, payload) {
+            Ok(c) => {
+                self.on_audit_completion(ctx, c.id, c.body);
+                return;
+            }
+            Err(p) => p,
+        };
         if !payload.is::<Request<TmpMsg>>() {
             return;
         }
@@ -1211,12 +1294,20 @@ impl PairApp for TmpProcess {
 
     fn on_primary_start(&mut self, ctx: &mut PairCtx<'_, '_>) {
         ctx.set_timer(self.cfg.indoubt_probe, TAG_JANITOR);
+        if self.cfg.purge_interval > SimDuration::ZERO {
+            ctx.set_timer(self.cfg.purge_interval, TAG_PURGE);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
         if tag == TAG_JANITOR {
             self.janitor_tick(ctx);
             ctx.set_timer(self.cfg.indoubt_probe, TAG_JANITOR);
+            return;
+        }
+        if tag == TAG_PURGE {
+            self.purge_tick(ctx);
+            ctx.set_timer(self.cfg.purge_interval, TAG_PURGE);
             return;
         }
         if tag == TAG_MONITOR_WINDOW {
@@ -1244,7 +1335,9 @@ impl PairApp for TmpProcess {
         }
         if let guardian::TimerOutcome::Expired { id, .. } = self.backout_rpc.on_timer(ctx, tag) {
             self.on_rpc_expired(ctx, id);
+            return;
         }
+        let _ = self.audit_rpc.on_timer(ctx, tag);
     }
 
     fn on_system(&mut self, ctx: &mut PairCtx<'_, '_>, ev: SystemEvent) {
@@ -1287,6 +1380,8 @@ impl PairApp for TmpProcess {
         self.monitor_window_armed = false;
         self.deliveries.clear();
         self.janitor_rpcs.clear();
+        // a lost purge sweep is simply re-run at the next interval
+        self.purge_rpcs.clear();
         let mut in_flight: Vec<(Transid, TxState, bool)> = self
             .txns
             .iter()

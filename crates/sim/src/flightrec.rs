@@ -98,6 +98,16 @@ pub enum FlightCause {
     SessionCommitted,
     /// The application session observed the abort.
     SessionAborted,
+    /// An online dump of a volume began (DISCPROCESS); events of one dump
+    /// share a synthetic marker transid.
+    DumpBegin { generation: u64 },
+    /// One fuzzy-dump page copied (DISCPROCESS).
+    DumpScan { records: u32 },
+    /// An online dump completed and its end marker was forced
+    /// (DISCPROCESS).
+    DumpEnd { generation: u64 },
+    /// The capacity manager purged audit-trail files (AUDITPROCESS).
+    TrailPurge { files: u32 },
 }
 
 impl FlightCause {
@@ -127,6 +137,10 @@ impl FlightCause {
             FlightCause::SessionBegan => "session_began",
             FlightCause::SessionCommitted => "session_committed",
             FlightCause::SessionAborted => "session_aborted",
+            FlightCause::DumpBegin { .. } => "dump_begin",
+            FlightCause::DumpScan { .. } => "dump_scan",
+            FlightCause::DumpEnd { .. } => "dump_end",
+            FlightCause::TrailPurge { .. } => "trail_purge",
         }
     }
 
@@ -140,6 +154,11 @@ impl FlightCause {
             FlightCause::AuditForced { boxcar } | FlightCause::MonitorForced { boxcar } => {
                 Some(("boxcar", u64::from(*boxcar)))
             }
+            FlightCause::DumpBegin { generation } | FlightCause::DumpEnd { generation } => {
+                Some(("generation", *generation))
+            }
+            FlightCause::DumpScan { records } => Some(("records", u64::from(*records))),
+            FlightCause::TrailPurge { files } => Some(("files", u64::from(*files))),
             _ => None,
         }
     }

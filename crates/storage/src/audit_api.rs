@@ -11,6 +11,11 @@
 use crate::types::{FileOrganization, Transid, VolumeRef};
 use bytes::Bytes;
 
+/// Reserved pseudo-file name of ONLINEDUMP marker records (DumpBegin /
+/// DumpEnd brackets). No real file may use this name; recovery filters
+/// these records out instead of replaying them.
+pub const DUMP_MARKER_FILE: &str = "$DUMPMARK";
+
 /// One before/after image of a logical record update (including the
 /// automatic updates of alternate-key index files).
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +40,28 @@ impl ImageRecord {
             + self.before.as_ref().map(|b| b.len()).unwrap_or(0)
             + self.after.as_ref().map(|b| b.len()).unwrap_or(0)
     }
+
+    /// An ONLINEDUMP marker record (DumpBegin when `end` is false,
+    /// DumpEnd when true). Lives on the trail only; never applied to
+    /// media and never replayed by recovery.
+    pub fn dump_marker(seq: u64, volume: VolumeRef, generation: u64, end: bool) -> ImageRecord {
+        ImageRecord {
+            seq,
+            transid: Transid::dump_marker(volume.node, generation),
+            volume,
+            file: DUMP_MARKER_FILE.to_string(),
+            organization: FileOrganization::KeySequenced,
+            key: Bytes::from(if end { "end" } else { "begin" }),
+            before: None,
+            after: None,
+        }
+    }
+
+    /// True if this record is an ONLINEDUMP marker rather than a data
+    /// image.
+    pub fn is_dump_marker(&self) -> bool {
+        self.file == DUMP_MARKER_FILE
+    }
 }
 
 /// Requests a DISCPROCESS (or BACKOUTPROCESS / ROLLFORWARD) sends to an
@@ -54,6 +81,14 @@ pub enum AuditMsg {
     /// All images of a transaction, buffered or on the trail — used by the
     /// BACKOUTPROCESS to drive undo.
     ReadTxnImages { transid: Transid },
+    /// Capacity management: drop trail files whose records all have audit
+    /// sequence numbers below `below`. Sent by the TMP's purge pass once
+    /// each volume's latest completed dump proves those records can never
+    /// be needed by ROLLFORWARD. `open` lists the transids still open at
+    /// the sending TMP; the AUDITPROCESS additionally clamps the cut below
+    /// the first record of the oldest of them, so a backout can never find
+    /// its before-images purged.
+    Purge { below: u64, open: Vec<Transid> },
 }
 
 /// Replies from an AUDITPROCESS.
@@ -65,6 +100,8 @@ pub enum AuditReply {
     Forced,
     /// The transaction's images, in ascending sequence order.
     Images(Vec<ImageRecord>),
+    /// Purge complete; `files` trail files were dropped.
+    Purged { files: u64 },
 }
 
 #[cfg(test)]

@@ -215,15 +215,53 @@ impl VolumeMedia {
     }
 }
 
-/// A point-in-time archive of a volume, used by ROLLFORWARD. Created
-/// during normal processing; `audit_watermark` records the volume's audit
-/// sequence number at archive time, so recovery replays only later images.
+/// An archive of a volume, used by ROLLFORWARD.
+///
+/// Two kinds exist: instantaneous snapshots (`DiscRequest::Archive`, which
+/// captures media+overlay in one event) and ONLINEDUMP *fuzzy* archives
+/// copied page by page while transactions keep updating. For a snapshot
+/// the image is transaction-consistent as of `audit_watermark`; for a
+/// fuzzy dump `audit_watermark` is the volume's audit sequence number when
+/// the dump *began*, and each page may reflect any state between begin and
+/// end — recovery must REDO committed images after the watermark and UNDO
+/// captured-but-uncommitted ones to converge.
 #[derive(Clone)]
 pub struct ArchiveImage {
     pub volume: VolumeRef,
     pub files: BTreeMap<String, FileImage>,
+    /// Every image with `seq <= audit_watermark` by a transaction that
+    /// released its locks before the archive began is fully reflected in
+    /// `files`.
     pub audit_watermark: u64,
+    /// Recovery from this archive needs no trail record below this
+    /// sequence number: the lowest first-image seq of any transaction
+    /// still holding locks when the archive began (clamped to
+    /// `audit_watermark + 1` when none was active). The capacity manager
+    /// may purge trail files entirely below the floor.
+    pub purge_floor: u64,
     pub generation: u64,
+}
+
+/// The stable-storage key of a volume's dump registry.
+pub fn dump_registry_key(volume: &VolumeRef) -> String {
+    format!("dumpreg:{volume}")
+}
+
+/// Stable record of a volume's latest *completed* online dump — written by
+/// the DUMPPROCESS only after the archive image and the DumpEnd trail
+/// record are safely down. The TMP's trail-capacity manager reads it to
+/// decide how far the volume's audit trail may be purged; ROLLFORWARD
+/// reads it to pick the newest usable generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DumpRegistry {
+    pub generation: u64,
+    /// The completed dump's `audit_watermark`.
+    pub watermark: u64,
+    /// The completed dump's `purge_floor`: trail records below this are
+    /// never needed by a recovery from this dump (nor by backout — any
+    /// transaction old enough to have images below the floor released its
+    /// locks before the dump began).
+    pub purge_floor: u64,
 }
 
 #[cfg(test)]

@@ -23,6 +23,11 @@ pub struct Transid {
 }
 
 impl Transid {
+    /// The reserved pseudo-CPU number used by ONLINEDUMP marker records on
+    /// the audit trail. Real processors are numbered far below this, so a
+    /// marker transid can never collide with a live transaction.
+    pub const DUMP_MARKER_CPU: u8 = 255;
+
     /// This transaction's identity in the sim-layer flight recorder
     /// (the sim crate sits below storage and mirrors the fields).
     pub fn flight_id(&self) -> encompass_sim::FlightTransid {
@@ -31,6 +36,23 @@ impl Transid {
             cpu: self.cpu,
             seq: self.seq,
         }
+    }
+
+    /// The synthetic transid under which dump generation `generation`
+    /// brackets its DumpBegin/DumpEnd records on a volume's audit trail.
+    /// Never registered with any TMP, so the Monitor Audit Trails report
+    /// it as not-committed and recovery treats marker records specially.
+    pub fn dump_marker(home_node: NodeId, generation: u64) -> Transid {
+        Transid {
+            home_node,
+            cpu: Transid::DUMP_MARKER_CPU,
+            seq: generation,
+        }
+    }
+
+    /// True if this is an ONLINEDUMP marker pseudo-transid.
+    pub fn is_dump_marker(&self) -> bool {
+        self.cpu == Transid::DUMP_MARKER_CPU
     }
 }
 
