@@ -17,7 +17,7 @@ use encompass_sim::{FlightCause, HistogramHandle, Payload, Pid, World};
 use encompass_storage::audit_api::{AuditMsg, AuditReply, ImageRecord};
 use encompass_storage::types::Transid;
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Identity of one image record: duplicates arise when a DISCPROCESS
 /// takeover re-sends retained images whose original append already
@@ -311,7 +311,7 @@ impl PairApp for AuditProcess {
                 // belt and braces under the dump-floor proof: never cut
                 // past the first image of a transaction that is still open
                 // (its before-images may yet drive a backout)
-                let open: HashSet<Transid> = open.into_iter().collect();
+                let open: BTreeSet<Transid> = open.into_iter().collect();
                 let oldest_open = self.with_trail(ctx, |t| {
                     t.files
                         .iter()

@@ -327,6 +327,8 @@ pub fn t5() -> Vec<Table> {
             .get::<encompass_audit::trail::TrailMedia>(&tk)
             .map(|t| t.len())
             .unwrap_or(0);
+        // bench boundary: measuring real rollforward wall time is the point
+        #[allow(clippy::disallowed_methods)]
         let start = std::time::Instant::now();
         let report = rollforward_volume(&mut app.world, &vol, &[tk], 1);
         let wall = start.elapsed().as_micros() as f64 / 1000.0;

@@ -21,7 +21,7 @@ use encompass_storage::discprocess::{spawn_disc_process, DiscConfig};
 use encompass_storage::types::RecoveryMode;
 use encompass_storage::Catalog;
 use guardian::{OperatorProcess, PairHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-node configuration. Construct with [`TmfNodeConfig::builder`],
 /// which validates the knobs; `TmfNodeConfig::default()` is always valid.
@@ -317,7 +317,7 @@ pub fn spawn_tmf_node(
     // one DISCPROCESS pair per local volume; volumes share audit services
     // round-robin
     let mut discs = Vec::new();
-    let mut audit_service_of = HashMap::new();
+    let mut audit_service_of = BTreeMap::new();
     let volumes: Vec<_> = catalog
         .all_volumes()
         .into_iter()

@@ -380,7 +380,16 @@ impl TmfSession {
             DiscRequest::InsertEntry { file, .. } | DiscRequest::LockFile { file, .. } => {
                 (file.as_str(), &[][..])
             }
-            _ => return None,
+            // protocol / recovery / dump ops carry no data address
+            DiscRequest::EndPhase1 { .. }
+            | DiscRequest::FlushTxn { .. }
+            | DiscRequest::ReleaseLocks { .. }
+            | DiscRequest::Undo { .. }
+            | DiscRequest::Archive { .. }
+            | DiscRequest::DumpBegin { .. }
+            | DiscRequest::DumpScan { .. }
+            | DiscRequest::DumpEnd { .. }
+            | DiscRequest::LockAudit => return None,
         };
         self.catalog.volume_for(file, key)
     }

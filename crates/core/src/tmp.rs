@@ -113,7 +113,7 @@ pub enum TmpReply {
 #[derive(Clone, Debug)]
 pub struct TmpConfig {
     /// Audit service for each local volume name (for backout requests).
-    pub audit_service_of: HashMap<String, String>,
+    pub audit_service_of: BTreeMap<String, String>,
     /// The local BACKOUTPROCESS service name.
     pub backout_service: String,
     /// Per-attempt timeout of critical-response messages.
@@ -143,7 +143,7 @@ pub struct TmpConfig {
 impl Default for TmpConfig {
     fn default() -> Self {
         TmpConfig {
-            audit_service_of: HashMap::new(),
+            audit_service_of: BTreeMap::new(),
             backout_service: "$BACKOUT".into(),
             critical_timeout: SimDuration::from_millis(100),
             critical_retries: 3,
@@ -224,7 +224,9 @@ struct TmpSnapshot {
 pub struct TmpProcess {
     cfg: TmpConfig,
     seq: u64,
-    txns: HashMap<Transid, Txn>,
+    // BTreeMap, not HashMap: takeover/janitor/purge sweeps iterate this
+    // table, and iteration order must be deterministic (lint: L1-iter).
+    txns: BTreeMap<Transid, Txn>,
     replies: ReplyCache<TmpReply>,
     disc_rpc: Rpc<DiscRequest, DiscReply>,
     tmp_rpc: Rpc<TmpMsg, TmpReply>,
@@ -249,7 +251,7 @@ pub struct TmpProcess {
     /// safe-delivery Phase2/AbortTxn/ReleaseLocks rpc → transid
     deliveries: HashMap<u64, Transid>,
     /// in-doubt QueryDisposition rpc → transid
-    janitor_rpcs: HashMap<u64, Transid>,
+    janitor_rpcs: BTreeMap<u64, Transid>,
     /// outstanding capacity-sweep Purge rpcs
     purge_rpcs: HashSet<u64>,
     next_tag: u64,
@@ -264,7 +266,7 @@ impl TmpProcess {
         TmpProcess {
             cfg,
             seq: 0,
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             replies: ReplyCache::new(16384),
             disc_rpc: Rpc::new(10),
             tmp_rpc: Rpc::new(11),
@@ -279,7 +281,7 @@ impl TmpProcess {
             monitor_inflight: None,
             monitor_window_armed: false,
             deliveries: HashMap::new(),
-            janitor_rpcs: HashMap::new(),
+            janitor_rpcs: BTreeMap::new(),
             purge_rpcs: HashSet::new(),
             next_tag: 0,
             boxcar_hist: HistogramHandle::new("tmf.monitor_boxcar_size", BOXCAR_BOUNDS),
@@ -965,8 +967,7 @@ impl TmpProcess {
                 self.answer(ctx, req_id, from, TmpReply::Ok);
             }
             TmpMsg::ListOpen => {
-                let mut transids: Vec<Transid> = self.txns.keys().copied().collect();
-                transids.sort();
+                let transids: Vec<Transid> = self.txns.keys().copied().collect();
                 // utility query: not cached (idempotent)
                 reply(ctx, req_id, from, TmpReply::Open { transids });
             }
@@ -1127,7 +1128,7 @@ impl TmpProcess {
     /// entries resurrected by stale RemoteBegin retransmissions.
     fn janitor_tick(&mut self, ctx: &mut PairCtx<'_, '_>) {
         let in_flight: Vec<Transid> = self.janitor_rpcs.values().copied().collect();
-        let mut stale: Vec<(Transid, NodeId)> = self
+        let stale: Vec<(Transid, NodeId)> = self
             .txns
             .iter_mut()
             .filter(|(t, e)| {
@@ -1144,7 +1145,6 @@ impl TmpProcess {
                 }
             })
             .collect();
-        stale.sort_by_key(|(t, _)| *t); // map order is not deterministic
         for (transid, home) in stale {
             ctx.count("tmf.indoubt_probes", 1);
             if let Ok(id) = self.tmp_rpc.call(
@@ -1189,8 +1189,7 @@ impl TmpProcess {
                 })
                 .or_insert(floor);
         }
-        let mut open: Vec<Transid> = self.txns.keys().copied().collect();
-        open.sort_unstable(); // map order is not deterministic
+        let open: Vec<Transid> = self.txns.keys().copied().collect();
         for (service, cut) in cuts {
             let Some(below) = cut else { continue };
             if below <= 1 {
@@ -1347,7 +1346,7 @@ impl PairApp for TmpProcess {
             }
             // "failure of the primary TCP's processor" — abort the active
             // transactions begun on the failed CPU
-            let mut affected: Vec<Transid> = self
+            let affected: Vec<Transid> = self
                 .txns
                 .iter()
                 .filter(|(t, e)| {
@@ -1355,7 +1354,6 @@ impl PairApp for TmpProcess {
                 })
                 .map(|(t, _)| *t)
                 .collect();
-            affected.sort_unstable(); // map order is not deterministic
             for transid in affected {
                 ctx.count("tmf.cpu_failure_aborts", 1);
                 self.abort_txn(ctx, transid, AbortReason::CpuFailure);
@@ -1382,12 +1380,11 @@ impl PairApp for TmpProcess {
         self.janitor_rpcs.clear();
         // a lost purge sweep is simply re-run at the next interval
         self.purge_rpcs.clear();
-        let mut in_flight: Vec<(Transid, TxState, bool)> = self
+        let in_flight: Vec<(Transid, TxState, bool)> = self
             .txns
             .iter()
             .map(|(t, e)| (*t, e.state, e.home))
             .collect();
-        in_flight.sort_by_key(|(t, _, _)| *t); // map order is not deterministic
         for (transid, state, home) in in_flight {
             ctx.flight(transid.flight_id(), FlightCause::Takeover);
             match state {
@@ -1425,7 +1422,10 @@ impl PairApp for TmpProcess {
                     ctx.count("tmf.takeover_delivery_resends", 1);
                     self.send_terminal_deliveries(ctx, transid);
                 }
-                _ => {}
+                TxState::Active => {
+                    // still collecting work; the requester's timeout (or the
+                    // janitor) decides its fate, not the takeover
+                }
             }
         }
     }

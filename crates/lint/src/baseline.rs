@@ -1,0 +1,158 @@
+//! `lint-baseline.toml`: grandfathered violations.
+//!
+//! The gate is zero-*new*-violations: anything recorded here is reported but
+//! does not fail the build. Entries match on the violation's line-independent
+//! key (rule + file + message), with a `count` budget so k grandfathered
+//! instances of the same finding in a file do not mask a k+1'th new one.
+//!
+//! The format is a tiny TOML subset (array-of-tables with string/integer
+//! values) parsed by hand — the offline build has no `toml` crate.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub key: String,
+    pub count: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parse the baseline file. Unknown keys are ignored; a structurally
+    /// broken file is an error (a silently-empty baseline would fail CI
+    /// noisily, but better to say why).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<BTreeMap<String, String>> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(map) = current.take() {
+                    entries.push(Self::entry_from(map, lineno)?);
+                }
+                current = Some(BTreeMap::new());
+            } else if let Some((k, v)) = line.split_once('=') {
+                let Some(map) = current.as_mut() else {
+                    return Err(format!(
+                        "line {}: key outside [[allow]] table",
+                        lineno + 1
+                    ));
+                };
+                let v = v.trim();
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .map(|s| s.replace("\\\"", "\"").replace("\\\\", "\\"))
+                    .unwrap_or_else(|| v.to_string());
+                map.insert(k.trim().to_string(), v);
+            } else {
+                return Err(format!("line {}: unparseable `{line}`", lineno + 1));
+            }
+        }
+        if let Some(map) = current.take() {
+            entries.push(Self::entry_from(map, text.lines().count())?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    fn entry_from(
+        map: BTreeMap<String, String>,
+        lineno: usize,
+    ) -> Result<BaselineEntry, String> {
+        let get = |k: &str| {
+            map.get(k)
+                .cloned()
+                .ok_or_else(|| format!("[[allow]] ending at line {lineno}: missing `{k}`"))
+        };
+        Ok(BaselineEntry {
+            rule: get("rule")?,
+            file: get("file")?,
+            key: get("key")?,
+            count: map
+                .get("count")
+                .map(|c| c.parse::<u32>())
+                .transpose()
+                .map_err(|e| format!("bad count: {e}"))?
+                .unwrap_or(1),
+        })
+    }
+
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# lint-baseline.toml — violations grandfathered when encompass-lint was\n\
+             # introduced. The CI gate is zero NEW violations: entries here are\n\
+             # reported but do not fail the build. Shrink this file, never grow it;\n\
+             # regenerate with `cargo run -p encompass-lint -- check --write-baseline`.\n",
+        );
+        for e in &self.entries {
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", e.rule));
+            out.push_str(&format!("file = \"{}\"\n", e.file));
+            out.push_str(&format!(
+                "key = \"{}\"\n",
+                e.key.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+            if e.count != 1 {
+                out.push_str(&format!("count = {}\n", e.count));
+            }
+        }
+        out
+    }
+
+    /// Remaining budget per violation key.
+    pub fn budgets(&self) -> BTreeMap<String, u32> {
+        let mut m = BTreeMap::new();
+        for e in &self.entries {
+            *m.entry(format!("{}|{}|{}", e.rule, e.file, e.key)).or_insert(0) += e.count;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "L1-iter".into(),
+                    file: "crates/x/src/a.rs".into(),
+                    key: "iteration over hash container `m` via `.iter()`".into(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "L3-match".into(),
+                    file: "crates/x/src/b.rs".into(),
+                    key: "has a \"quoted\" part".into(),
+                    count: 1,
+                },
+            ],
+        };
+        let text = b.serialize();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries, b.entries);
+    }
+
+    #[test]
+    fn missing_field_is_error() {
+        let err = Baseline::parse("[[allow]]\nrule = \"L1-iter\"\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn empty_ok() {
+        assert!(Baseline::parse("# nothing\n").unwrap().entries.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! A minimal Rust lexer.
+//!
+//! The build environment is offline, so `syn`/`proc-macro2` are not
+//! available; the linter instead carries this small tokenizer. It only has
+//! to be good enough to never mis-tokenize the constructs the rules look at:
+//! string/char/lifetime disambiguation, nested block comments, raw strings,
+//! and line tracking. Everything else (numbers, punctuation) is lexed
+//! loosely — the rules work on identifier/punct shapes, not values.
+
+/// Token kind. Punctuation is emitted one character at a time; multi-char
+/// operators (`::`, `=>`, `..`) are recognized downstream by adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String / char / byte / numeric literal (content is irrelevant to the
+    /// rules, so it is not preserved beyond the raw text).
+    Literal,
+    /// A `//` line comment, with the full text including the slashes.
+    /// Block comments are skipped (lint directives must be line comments).
+    Comment,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenize `source`. Never fails: unterminated constructs simply run to
+/// end-of-file, which is fine for a linter (rustc reports the real error).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, n: usize) -> Option<char> {
+        self.chars.get(self.pos + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string();
+                self.push(TokKind::Literal, "\"…\"".into(), line);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line);
+            } else if c.is_ascii_digit() {
+                self.number();
+                self.push(TokKind::Literal, "0".into(), line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// A `"…"` string with escapes; the opening quote has not been consumed.
+    fn string(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string `r"…"` / `r#"…"#`, positioned after the `r`/`br` prefix,
+    /// at the first `#` or `"`. Returns false if this is not actually a raw
+    /// string opener (e.g. `r#foo` raw identifiers).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        'outer: loop {
+            match self.bump() {
+                Some('"') => {
+                    for n in 0..hashes {
+                        if self.peek(n) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// `'` starts either a char literal (`'x'`, `'\n'`) or a lifetime
+    /// (`'a`). Lifetimes are emitted as nothing at all — no rule cares.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if is_ident_start(c)) && after != Some('\'');
+        self.bump();
+        if is_lifetime {
+            while matches!(self.peek(0), Some(c) if is_ident_cont(c)) {
+                self.bump();
+            }
+        } else {
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Literal, "'…'".into(), line);
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_cont(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: r"", r#""#, b"", br"", b''.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) if self.raw_string() => {
+                self.push(TokKind::Literal, "r\"…\"".into(), line);
+                return;
+            }
+            ("b", Some('"')) => {
+                self.string();
+                self.push(TokKind::Literal, "b\"…\"".into(), line);
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.bump();
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokKind::Literal, "b'…'".into(), line);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numbers are lexed loosely: leading digit, then identifier characters
+    /// (covers hex, suffixes, exponents well enough). `.` is left to punct
+    /// so `1..5` and `x.0.iter()` tokenize predictably.
+    fn number(&mut self) {
+        while matches!(self.peek(0), Some(c) if is_ident_cont(c)) {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn foo(x: u32) -> bool { x > 1 }");
+        assert!(t.contains(&(TokKind::Ident, "foo".into())));
+        assert!(t.contains(&(TokKind::Punct, "{".into())));
+        assert!(t.contains(&(TokKind::Literal, "0".into())));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = lex("&'a str; 'x'; '\\n'");
+        let lits = t.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2, "two char literals, zero lifetime tokens: {t:?}");
+    }
+
+    #[test]
+    fn raw_and_escaped_strings() {
+        let t = kinds(r####"let s = r#"has " quote"#; let u = "esc \" q"; b"x";"####);
+        let lits = t.iter().filter(|(k, _)| *k == TokKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn nested_block_comment_and_line_comment() {
+        let t = lex("/* a /* b */ c */ x // lint: allow(L1-iter) — why\ny");
+        assert!(t[0].is_ident("x"));
+        assert_eq!(t[1].kind, TokKind::Comment);
+        assert!(t[1].text.contains("lint: allow"));
+        assert!(t[2].is_ident("y"));
+        assert_eq!(t[2].line, 2);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let t = lex("a\nb\n\nc");
+        assert_eq!(
+            t.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn hash_string_not_confused_with_raw_ident() {
+        // `r#type` raw identifiers must not swallow the rest of the file.
+        let t = kinds("let r#type = 1; done");
+        assert!(t.iter().any(|(_, s)| s == "type"));
+        assert!(t.iter().any(|(_, s)| s == "done"));
+    }
+}

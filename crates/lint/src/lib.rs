@@ -1,0 +1,298 @@
+//! `encompass-lint` — repo-specific static analysis for the ENCOMPASS
+//! reproduction. See DESIGN.md §D11 for the rule catalogue and workflow.
+//!
+//! The simulator's whole verification story (chaos sweeps, trace-hash
+//! equivalence, flight-recorder neutrality) rests on properties clippy
+//! cannot express: bit-for-bit determinism of sim-executed code and the
+//! paper's checkpoint-before-update (WAL) discipline. This crate parses the
+//! workspace with a small in-tree lexer/parser (the build is offline, so no
+//! `syn`) and enforces them on every push.
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use baseline::Baseline;
+use model::DirectiveKind;
+use rules::{FileModel, Violation};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// An inline `// lint: allow` that suppressed at least one violation.
+#[derive(Debug, Clone)]
+pub struct UsedAllow {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+    pub suppressed: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that fail the gate.
+    pub new: Vec<Violation>,
+    /// Violations covered by `lint-baseline.toml`.
+    pub baselined: Vec<Violation>,
+    /// Inline allows that fired, with their reasons.
+    pub allows_used: Vec<UsedAllow>,
+    /// Inline allows that suppressed nothing (candidates for removal).
+    pub allows_unused: Vec<UsedAllow>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for v in &self.new {
+            let _ = writeln!(s, "error[{}]: {}\n  --> {}:{}", v.rule, v.msg, v.file, v.line);
+        }
+        for v in &self.baselined {
+            let _ = writeln!(
+                s,
+                "baselined[{}]: {}\n  --> {}:{}",
+                v.rule, v.msg, v.file, v.line
+            );
+        }
+        if !self.allows_used.is_empty() {
+            let _ = writeln!(s, "inline allows in effect:");
+            for a in &self.allows_used {
+                let _ = writeln!(
+                    s,
+                    "  {}:{} allow({}) x{} — {}",
+                    a.file, a.line, a.rule, a.suppressed, a.reason
+                );
+            }
+        }
+        for a in &self.allows_unused {
+            let _ = writeln!(
+                s,
+                "warning: unused allow({}) at {}:{} — remove it or fix the reason",
+                a.rule, a.file, a.line
+            );
+        }
+        let _ = writeln!(
+            s,
+            "encompass-lint: {} files scanned; {} new violation(s), {} baselined, {} allowed inline",
+            self.files_scanned,
+            self.new.len(),
+            self.baselined.len(),
+            self.allows_used.iter().map(|a| a.suppressed).sum::<u32>(),
+        );
+        s
+    }
+}
+
+/// Apply inline allows and the baseline to raw violations.
+pub fn evaluate(files: &[FileModel], baseline: &Baseline) -> Report {
+    let raw = rules::check_workspace(files);
+
+    // Inline allows: an `allow(<rule>)` directive suppresses violations of
+    // that rule on its own line or the line directly below it.
+    struct AllowSite {
+        file: String,
+        line: u32,
+        rule: String,
+        reason: String,
+        suppressed: u32,
+    }
+    let mut allows: Vec<AllowSite> = Vec::new();
+    for f in files {
+        for d in &f.model.directives {
+            if let DirectiveKind::Allow { rule, reason } = &d.kind {
+                allows.push(AllowSite {
+                    file: f.path.clone(),
+                    line: d.line,
+                    rule: rule.clone(),
+                    reason: reason.clone(),
+                    suppressed: 0,
+                });
+            }
+        }
+    }
+
+    let mut budgets = baseline.budgets();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    'violations: for v in raw {
+        for a in allows.iter_mut() {
+            if a.file == v.file && a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line)
+            {
+                a.suppressed += 1;
+                continue 'violations;
+            }
+        }
+        if let Some(budget) = budgets.get_mut(&v.key()) {
+            if *budget > 0 {
+                *budget -= 1;
+                report.baselined.push(v);
+                continue;
+            }
+        }
+        report.new.push(v);
+    }
+
+    for a in allows {
+        let ua = UsedAllow {
+            file: a.file,
+            line: a.line,
+            rule: a.rule,
+            reason: a.reason,
+            suppressed: a.suppressed,
+        };
+        if ua.suppressed > 0 {
+            report.allows_used.push(ua);
+        } else {
+            report.allows_unused.push(ua);
+        }
+    }
+    report
+}
+
+/// Build a baseline that grandfathers every currently-unsuppressed violation.
+pub fn build_baseline(files: &[FileModel]) -> Baseline {
+    let empty = Baseline::default();
+    let report = evaluate(files, &empty);
+    let mut entries: Vec<baseline::BaselineEntry> = Vec::new();
+    for v in &report.new {
+        if let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.rule == v.rule && e.file == v.file && e.key == v.msg)
+        {
+            e.count += 1;
+        } else {
+            entries.push(baseline::BaselineEntry {
+                rule: v.rule.to_string(),
+                file: v.file.clone(),
+                key: v.msg.clone(),
+                count: 1,
+            });
+        }
+    }
+    Baseline { entries }
+}
+
+// ---- workspace walking -------------------------------------------------
+
+/// Crate directories scanned under `crates/`. `lint` itself is excluded (its
+/// fixture corpus contains deliberate violations), and `shims/` are offline
+/// stand-ins for external crates — not our code.
+const SKIP_CRATES: &[&str] = &["lint"];
+
+/// Collect and parse every workspace source file the rules apply to:
+/// `crates/*/src/**/*.rs` plus the root crate's `src/`.
+pub fn load_workspace(root: &Path) -> Result<Vec<FileModel>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if SKIP_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        collect_rs(&dir.join("src"), root, &name, &mut files)?;
+    }
+    collect_rs(&root.join("src"), root, "", &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<FileModel>,
+) -> Result<(), String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(()); // a crate without src/ (or root without src/) is fine
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, root, crate_name, out)?;
+        } else if p.extension().and_then(|s| s.to_str()) == Some("rs") {
+            let source = std::fs::read_to_string(&p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(FileModel::new(&rel, crate_name, &source));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_allow_consumes_and_reports() {
+        let f = FileModel::new(
+            "crates/core/src/x.rs",
+            "core",
+            "struct S { a: HashMap<u32, u32> }\n\
+             impl S { fn f(&self) {\n\
+             // lint: allow(L1-iter) — order-independent min-fold\n\
+             self.a.iter();\n\
+             } }",
+        );
+        let r = evaluate(&[f], &Baseline::default());
+        assert!(r.ok(), "{:?}", r.new);
+        assert_eq!(r.allows_used.len(), 1);
+        assert_eq!(r.allows_used[0].reason, "order-independent min-fold");
+    }
+
+    #[test]
+    fn baseline_budget_is_exact() {
+        let src = "struct S { a: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { self.a.iter(); self.a.iter(); } }";
+        let f = FileModel::new("crates/core/src/x.rs", "core", src);
+        let b = build_baseline(&[f]);
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].count, 2);
+        // With the generated baseline the check is green…
+        let f = FileModel::new("crates/core/src/x.rs", "core", src);
+        assert!(evaluate(&[f], &b).ok());
+        // …but a third identical violation is new.
+        let src3 = "struct S { a: HashMap<u32, u32> }\n\
+                    impl S { fn f(&self) { self.a.iter(); self.a.iter(); self.a.iter(); } }";
+        let f = FileModel::new("crates/core/src/x.rs", "core", src3);
+        let r = evaluate(&[f], &b);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.baselined.len(), 2);
+    }
+
+    #[test]
+    fn unused_allow_warns() {
+        let f = FileModel::new(
+            "crates/core/src/x.rs",
+            "core",
+            "// lint: allow(L1-iter) — nothing here anymore\nfn f() {}",
+        );
+        let r = evaluate(&[f], &Baseline::default());
+        assert!(r.ok());
+        assert_eq!(r.allows_unused.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! CLI for `encompass-lint`.
+//!
+//! Usage:
+//!   cargo run -p encompass-lint -- check [--root <dir>] [--baseline <file>]
+//!                                        [--write-baseline] [--report <file>]
+//!
+//! Exit status 0 when no new (non-baselined, non-allowed) violations exist,
+//! 1 otherwise, 2 on usage or I/O errors.
+
+use encompass_lint::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprintln!("usage: encompass-lint check [--root <dir>] [--baseline <file>] [--write-baseline] [--report <file>]");
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("unknown command `{cmd}` (only `check` exists)");
+        return ExitCode::from(2);
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut report_path: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--baseline" => baseline_path = it.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = true,
+            "--report" => report_path = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("cannot find workspace root (no Cargo.toml with [workspace] upward of cwd); pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let files = match encompass_lint::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let b = encompass_lint::build_baseline(&files);
+        if let Err(e) = std::fs::write(&baseline_path, b.serialize()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} with {} entr{}",
+            baseline_path.display(),
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // no baseline file: everything is new
+    };
+
+    let report = encompass_lint::evaluate(&files, &baseline);
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &rendered) {
+            eprintln!("error: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.ok() {
+        println!("OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: {} new violation(s)", report.new.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first Cargo.toml containing a
+/// `[workspace]` table.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,950 @@
+//! Structural source model: the subset of Rust syntax the rules need.
+//!
+//! Built on the token stream from [`crate::lexer`], this extracts
+//! functions (with their `// lint:` markers), call sites with receivers
+//! and argument spans, `match` expressions with parsed arms, `#[cfg(test)]`
+//! module regions, and the set of identifiers declared with a
+//! `HashMap`/`HashSet` type. It is deliberately approximate — a linter can
+//! afford conservative heuristics where a compiler cannot — but it must
+//! never panic on valid Rust, so every scan tolerates truncation.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A parsed `// lint: …` directive.
+#[derive(Debug, Clone)]
+pub enum DirectiveKind {
+    /// `// lint: mutates-db` or `// lint: checkpointed` — attaches to the
+    /// next `fn` item.
+    Marker(String),
+    /// `// lint: allow(<rule>) — <reason>` — suppresses violations of
+    /// `<rule>` on the same line or the next line.
+    Allow { rule: String, reason: String },
+    /// A `// lint:` comment the parser could not understand (reported as a
+    /// violation so typos cannot silently disable a rule).
+    Malformed(String),
+}
+
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub line: u32,
+    pub kind: DirectiveKind,
+}
+
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Bare name, e.g. `put`.
+    pub name: String,
+    /// Qualified with the surrounding `impl`/`trait` type, e.g. `Overlay::put`.
+    pub qualname: String,
+    pub line: u32,
+    /// Token range of the body including both braces; `None` for bodyless
+    /// trait-method declarations.
+    pub body: Option<Range<usize>>,
+    /// `lint:` markers attached to this function (`mutates-db`, `checkpointed`).
+    pub markers: Vec<String>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name: last path segment for `a::b::f(..)`, method name for
+    /// `x.f(..)`.
+    pub callee: String,
+    /// For method calls, the identifier immediately before the dot
+    /// (`self.overlay.put(..)` → receiver `overlay`). `None` for free calls
+    /// and computed receivers like `foo().bar()`.
+    pub receiver: Option<String>,
+    pub line: u32,
+    /// Token range of the argument list, excluding the parentheses.
+    pub args: Range<usize>,
+    /// Index into [`SourceModel::fns`] of the enclosing function, if any.
+    pub in_fn: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub line: u32,
+    /// Token indices of the arm pattern, guard excluded.
+    pub pattern: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    pub line: u32,
+    pub arms: Vec<Arm>,
+}
+
+/// A `for <pat> in <expr> {` loop header.
+#[derive(Debug, Clone)]
+pub struct ForLoop {
+    pub line: u32,
+    /// Token range of the iterated expression.
+    pub expr: Range<usize>,
+}
+
+pub struct SourceModel {
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnDecl>,
+    pub calls: Vec<Call>,
+    pub matches: Vec<MatchExpr>,
+    pub for_loops: Vec<ForLoop>,
+    pub directives: Vec<Directive>,
+    /// Token ranges inside `#[cfg(test)] mod … { … }` items.
+    pub test_regions: Vec<Range<usize>>,
+    /// Identifiers declared with a `HashMap`/`HashSet` type or initializer
+    /// anywhere in this file (struct fields, lets, params, literal fields).
+    pub hash_names: BTreeSet<String>,
+}
+
+impl SourceModel {
+    pub fn parse(source: &str) -> SourceModel {
+        let tokens = lex(source);
+        let mut m = SourceModel {
+            tokens,
+            fns: Vec::new(),
+            calls: Vec::new(),
+            matches: Vec::new(),
+            for_loops: Vec::new(),
+            directives: Vec::new(),
+            test_regions: Vec::new(),
+            hash_names: BTreeSet::new(),
+        };
+        m.extract_directives();
+        m.extract_items();
+        m.extract_hash_names();
+        m.extract_calls_and_loops();
+        m.parse_matches();
+        m
+    }
+
+    pub fn in_test_region(&self, tok_idx: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&tok_idx))
+    }
+
+    /// Line-based variant for violations that only carry a line.
+    pub fn line_in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|r| {
+            let (Some(a), Some(b)) = (self.tokens.get(r.start), self.tokens.get(r.end - 1))
+            else {
+                return false;
+            };
+            (a.line..=b.line).contains(&line)
+        })
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// Next non-comment token index at or after `i`.
+    fn code_at(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.tokens.get(i) {
+            if t.kind != TokKind::Comment {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn next_code(&self, i: usize) -> Option<usize> {
+        self.code_at(i + 1)
+    }
+
+    /// Previous non-comment token index strictly before `i`.
+    fn prev_code(&self, i: usize) -> Option<usize> {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if self.tokens[j].kind != TokKind::Comment {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn is_punct_at(&self, i: usize, c: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.tok(i) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// Find the matching closer for the opener at `open` (`(`/`[`/`{`).
+    /// Returns the index of the closing token. Comment-insensitive.
+    fn match_delim(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.tokens.get(open)?.text.chars().next()? {
+            '(' => ('(', ')'),
+            '[' => ('[', ']'),
+            '{' => ('{', '}'),
+            _ => return None,
+        };
+        let mut depth = 0isize;
+        let mut i = open;
+        while let Some(t) = self.tokens.get(i) {
+            if t.kind == TokKind::Punct {
+                if t.is_punct(o) {
+                    depth += 1;
+                } else if t.is_punct(c) {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Scan forward from `i` for a `{` or `;` at bracket depth 0, skipping
+    /// `(…)`, `[…]` and angle-bracket generics (with `->` arrows ignored).
+    /// Returns `(index, is_brace)`.
+    fn find_body_open(&self, mut i: usize) -> Option<(usize, bool)> {
+        let mut angle = 0isize;
+        while let Some(t) = self.tokens.get(i) {
+            if t.kind == TokKind::Punct {
+                match t.text.chars().next().unwrap() {
+                    '(' | '[' => {
+                        i = self.match_delim(i)?;
+                    }
+                    '<' => angle += 1,
+                    '-' if self.is_punct_at(i + 1, '>') => {
+                        i += 1; // arrow: skip the `>`
+                    }
+                    '>' => angle = (angle - 1).max(0),
+                    '{' if angle == 0 => return Some((i, true)),
+                    ';' if angle == 0 => return Some((i, false)),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    // ---- directives ----------------------------------------------------
+
+    fn extract_directives(&mut self) {
+        let mut out = Vec::new();
+        for t in &self.tokens {
+            if t.kind != TokKind::Comment {
+                continue;
+            }
+            let body = t.text.trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let kind = if rest == "mutates-db" || rest == "checkpointed" {
+                DirectiveKind::Marker(rest.to_string())
+            } else if let Some(after) = rest.strip_prefix("allow(") {
+                match after.split_once(')') {
+                    Some((rule, tail)) => {
+                        let reason = tail
+                            .trim_start()
+                            .trim_start_matches(['—', '–', '-', ':'])
+                            .trim();
+                        if reason.is_empty() {
+                            DirectiveKind::Malformed(format!(
+                                "allow({rule}) is missing a reason (write `// lint: allow({rule}) — <why>`)"
+                            ))
+                        } else {
+                            DirectiveKind::Allow {
+                                rule: rule.trim().to_string(),
+                                reason: reason.to_string(),
+                            }
+                        }
+                    }
+                    None => DirectiveKind::Malformed(format!("unclosed allow: `{rest}`")),
+                }
+            } else {
+                DirectiveKind::Malformed(format!("unrecognized directive `{rest}`"))
+            };
+            out.push(Directive { line: t.line, kind });
+        }
+        self.directives = out;
+    }
+
+    // ---- items: impl/trait context, fns, cfg(test) mods ----------------
+
+    fn extract_items(&mut self) {
+        // First pass: find every `fn`/`impl`/`trait` header and the
+        // `#[cfg(test)] mod` regions, recording which `{` opens what.
+        #[derive(Clone)]
+        enum Opens {
+            Impl(String),
+            Fn(usize),
+        }
+        let mut opens: Vec<(usize, Opens)> = Vec::new();
+        let mut fns: Vec<FnDecl> = Vec::new();
+
+        let mut i = 0usize;
+        while let Some(idx) = self.code_at(i) {
+            let Some(word) = self.ident_at(idx) else {
+                i = idx + 1;
+                continue;
+            };
+            match word {
+                "impl" | "trait" => {
+                    if let Some((name, body_open)) = self.parse_type_header(idx) {
+                        opens.push((body_open, Opens::Impl(name)));
+                    }
+                }
+                "fn" => {
+                    if let Some(decl) = self.parse_fn_header(idx) {
+                        if let Some(body) = &decl.body {
+                            opens.push((body.start, Opens::Fn(fns.len())));
+                        }
+                        fns.push(decl);
+                    }
+                }
+                "mod" if self.mod_is_cfg_test(idx) => {
+                    if let Some(name_i) = self.next_code(idx) {
+                        if let Some((open, true)) = self.find_body_open(name_i) {
+                            if let Some(close) = self.match_delim(open) {
+                                self.test_regions.push(open..close + 1);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i = idx + 1;
+        }
+
+        // Second pass: walk the brace tree to qualify fn names with their
+        // impl/trait type.
+        let mut stack: Vec<Option<String>> = Vec::new();
+        for (k, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.chars().next().unwrap() {
+                '{' => {
+                    let mut entry = None;
+                    for (open, what) in &opens {
+                        if *open == k {
+                            match what {
+                                Opens::Impl(name) => entry = Some(name.clone()),
+                                Opens::Fn(fi) => {
+                                    let ty = stack.iter().rev().flatten().next();
+                                    if let Some(ty) = ty {
+                                        fns[*fi].qualname =
+                                            format!("{ty}::{}", fns[*fi].name);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    stack.push(entry);
+                }
+                '}' => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+
+        self.attach_markers(&mut fns);
+        self.fns = fns;
+    }
+
+    /// Parse an `impl …`/`trait …` header starting at `kw`; returns the
+    /// self-type name (last path segment) and the index of the body `{`.
+    fn parse_type_header(&self, kw: usize) -> Option<(String, usize)> {
+        let mut i = self.next_code(kw)?;
+        // Skip generic parameter list.
+        if self.is_punct_at(i, '<') {
+            let mut depth = 0isize;
+            loop {
+                let t = self.tok(i)?;
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i = self.next_code(i)?;
+        }
+        let (open, is_brace) = self.find_body_open(i)?;
+        if !is_brace {
+            return None; // `trait Foo: Bar;` — nothing to do
+        }
+        // The self type is the first path after `for` if present (skipping
+        // `&`, `mut`, `dyn`), otherwise the first path.
+        let mut name_from = i;
+        let mut j = i;
+        while j < open {
+            if self.ident_at(j) == Some("for") {
+                name_from = self.next_code(j).unwrap_or(j + 1);
+            }
+            j += 1;
+        }
+        let name = self.last_path_segment(name_from, open)?;
+        Some((name, open))
+    }
+
+    /// Last identifier of the path starting at `from` (bounded by `until`),
+    /// skipping leading `&`/`mut`/`dyn` and stopping at generics.
+    fn last_path_segment(&self, mut from: usize, until: usize) -> Option<String> {
+        while from < until {
+            match self.ident_at(from) {
+                Some("mut" | "dyn") => from = self.next_code(from)?,
+                _ if self.is_punct_at(from, '&') => from = self.next_code(from)?,
+                _ => break,
+            }
+        }
+        let mut last = None;
+        let mut i = from;
+        while i < until {
+            match self.ident_at(i) {
+                Some(id) => last = Some(id.to_string()),
+                None => break,
+            }
+            // Continue only across `::`.
+            let Some(a) = self.next_code(i) else { break };
+            if self.is_punct_at(a, ':') && self.is_punct_at(a + 1, ':') {
+                i = self.next_code(a + 1)?;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    fn parse_fn_header(&self, kw: usize) -> Option<FnDecl> {
+        let name_i = self.next_code(kw)?;
+        let name = self.ident_at(name_i)?.to_string(); // `fn(` fn-pointer type → None
+        let (open, is_brace) = self.find_body_open(name_i + 1)?;
+        let body = if is_brace {
+            let close = self.match_delim(open)?;
+            Some(open..close + 1)
+        } else {
+            None
+        };
+        Some(FnDecl {
+            qualname: name.clone(),
+            name,
+            line: self.tokens[kw].line,
+            body,
+            markers: Vec::new(),
+        })
+    }
+
+    /// Does the `mod` keyword at `kw` carry a `#[cfg(test)]`-style attribute
+    /// (any attribute group containing both `cfg` and `test`)?
+    fn mod_is_cfg_test(&self, kw: usize) -> bool {
+        // Walk backwards over attribute groups `#[ … ]`.
+        let mut end = match self.prev_code(kw) {
+            Some(i) => i,
+            None => return false,
+        };
+        loop {
+            if !self.is_punct_at(end, ']') {
+                return false;
+            }
+            // Find the opening `[` by matching backwards.
+            let mut depth = 0isize;
+            let mut i = end;
+            let open = loop {
+                let t = match self.tok(i) {
+                    Some(t) => t,
+                    None => return false,
+                };
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break i;
+                    }
+                }
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+            };
+            let hash = match self.prev_code(open) {
+                Some(h) if self.is_punct_at(h, '#') => h,
+                _ => return false,
+            };
+            let mut has_cfg = false;
+            let mut has_test = false;
+            for k in open..end {
+                match self.ident_at(k) {
+                    Some("cfg") => has_cfg = true,
+                    Some("test") => has_test = true,
+                    _ => {}
+                }
+            }
+            if has_cfg && has_test {
+                return true;
+            }
+            end = match self.prev_code(hash) {
+                Some(i) => i,
+                None => return false,
+            };
+        }
+    }
+
+    /// Attach `Marker` directives to the next `fn` item: the directive
+    /// comment must be separated from the `fn` keyword only by other
+    /// comments, attributes, and visibility/qualifier keywords.
+    fn attach_markers(&self, fns: &mut [FnDecl]) {
+        for d in &self.directives {
+            let DirectiveKind::Marker(marker) = &d.kind else {
+                continue;
+            };
+            // Find the directive's comment token, then scan forward.
+            let Some(pos) = self.tokens.iter().position(|t| {
+                t.kind == TokKind::Comment && t.line == d.line && t.text.contains("lint:")
+            }) else {
+                continue;
+            };
+            let mut i = pos + 1;
+            let fn_line = loop {
+                let Some(idx) = self.code_at(i) else { break None };
+                match self.ident_at(idx) {
+                    Some("fn") => break Some(self.tokens[idx].line),
+                    Some("pub" | "async" | "const" | "unsafe" | "extern") => {
+                        i = idx + 1;
+                        // `pub(crate)` visibility scope
+                        if self.is_punct_at(idx + 1, '(') {
+                            if let Some(c) = self.match_delim(idx + 1) {
+                                i = c + 1;
+                            }
+                        }
+                    }
+                    _ if self.is_punct_at(idx, '#') => {
+                        let Some(open) = self.next_code(idx) else { break None };
+                        let Some(close) = self.match_delim(open) else { break None };
+                        i = close + 1;
+                    }
+                    _ => break None,
+                }
+            };
+            if let Some(fn_line) = fn_line {
+                for f in fns.iter_mut() {
+                    if f.line == fn_line {
+                        f.markers.push(marker.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- hash-typed names ----------------------------------------------
+
+    fn extract_hash_names(&mut self) {
+        let mut names = BTreeSet::new();
+        let n = self.tokens.len();
+        let mut i = 0usize;
+        while let Some(idx) = self.code_at(i) {
+            i = idx + 1;
+            let Some(name) = self.ident_at(idx) else { continue };
+            if name == "let" {
+                // `let [mut] x = HashMap::new()` / `HashSet::…`
+                let mut j = match self.next_code(idx) {
+                    Some(j) => j,
+                    None => continue,
+                };
+                if self.ident_at(j) == Some("mut") {
+                    j = match self.next_code(j) {
+                        Some(j) => j,
+                        None => continue,
+                    };
+                }
+                let Some(bound) = self.ident_at(j).map(str::to_string) else {
+                    continue;
+                };
+                let Some(eq) = self.next_code(j) else { continue };
+                if !self.is_punct_at(eq, '=') {
+                    continue; // typed lets are covered by the `name :` scan
+                }
+                if let Some(init) = self.next_code(eq) {
+                    if matches!(self.ident_at(init), Some("HashMap" | "HashSet")) {
+                        names.insert(bound);
+                    }
+                }
+                continue;
+            }
+            // `name : … HashMap/HashSet …` up to a depth-0 terminator.
+            let Some(colon) = self.next_code(idx) else { continue };
+            if !self.is_punct_at(colon, ':')
+                || self.is_punct_at(colon + 1, ':')
+                || self
+                    .prev_code(idx)
+                    .is_some_and(|p| self.is_punct_at(p, ':'))
+            {
+                continue;
+            }
+            let mut depth = 0isize;
+            let mut j = colon + 1;
+            while j < n {
+                let Some(t) = self.tok(j) else { break };
+                if t.kind == TokKind::Punct {
+                    match t.text.chars().next().unwrap() {
+                        '<' | '(' | '[' => depth += 1,
+                        '-' if self.is_punct_at(j + 1, '>') => {
+                            j += 1;
+                        }
+                        '>' | ')' | ']' => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ',' | ';' | '=' | '{' | '}' if depth == 0 => break,
+                        _ => {}
+                    }
+                } else if depth <= 1 {
+                    // Only the outermost type constructor counts: a
+                    // `Vec<HashMap<…>>` *element* type is still hash-iterated
+                    // through the Vec, so flag that too (depth 1 covers it).
+                    if matches!(self.ident_at(j), Some("HashMap" | "HashSet")) {
+                        names.insert(name.to_string());
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        self.hash_names = names;
+    }
+
+    // ---- calls and for-loops -------------------------------------------
+
+    fn extract_calls_and_loops(&mut self) {
+        const NOT_CALLS: &[&str] = &[
+            "if", "while", "for", "match", "return", "loop", "else", "let", "mut",
+            "ref", "move", "async", "await", "unsafe", "as", "in", "where", "impl",
+            "fn", "pub", "use", "mod", "struct", "enum", "trait", "type", "const",
+            "static", "crate", "super", "box", "dyn",
+        ];
+        let mut calls = Vec::new();
+        let mut loops = Vec::new();
+        for k in 0..self.tokens.len() {
+            let Some(name) = self.ident_at(k) else { continue };
+            if name == "for" {
+                if let Some(l) = self.parse_for_header(k) {
+                    loops.push(l);
+                }
+                continue;
+            }
+            if NOT_CALLS.contains(&name) {
+                continue;
+            }
+            let Some(next) = self.next_code(k) else { continue };
+            if !self.is_punct_at(next, '(') {
+                continue;
+            }
+            let prev = self.prev_code(k);
+            // `fn name(` is a declaration; `name!(…)` is a macro (the `!`
+            // sits between the ident and `(`, so it never reaches here).
+            if prev.is_some_and(|p| self.ident_at(p) == Some("fn")) {
+                continue;
+            }
+            let receiver = match prev {
+                Some(p) if self.is_punct_at(p, '.') => self
+                    .prev_code(p)
+                    .and_then(|r| self.ident_at(r))
+                    .map(str::to_string),
+                _ => None,
+            };
+            let is_method = prev.is_some_and(|p| self.is_punct_at(p, '.'));
+            let Some(close) = self.match_delim(next) else { continue };
+            calls.push(Call {
+                callee: name.to_string(),
+                receiver: if is_method { receiver } else { None },
+                line: self.tokens[k].line,
+                args: next + 1..close,
+                in_fn: self.enclosing_fn(k),
+            });
+        }
+        self.calls = calls;
+        self.for_loops = loops;
+    }
+
+    fn enclosing_fn(&self, tok_idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (fi, f) in self.fns.iter().enumerate() {
+            if let Some(b) = &f.body {
+                if b.contains(&tok_idx) {
+                    // Innermost body wins (nested fns).
+                    let better = match best {
+                        None => true,
+                        Some(prev) => {
+                            let pb = self.fns[prev].body.as_ref().unwrap();
+                            b.len() < pb.len()
+                        }
+                    };
+                    if better {
+                        best = Some(fi);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// `for <pat> in <expr> {` — captures the expression token range.
+    /// Returns None for `for<…>` higher-ranked bounds and truncated input.
+    fn parse_for_header(&self, kw: usize) -> Option<ForLoop> {
+        let first = self.next_code(kw)?;
+        if self.is_punct_at(first, '<') {
+            return None;
+        }
+        // Find `in` at depth 0.
+        let mut depth = 0isize;
+        let mut i = first;
+        let in_at = loop {
+            let t = self.tok(i)?;
+            if t.kind == TokKind::Punct {
+                match t.text.chars().next().unwrap() {
+                    '(' | '[' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '{' | '}' => return None, // not a loop header after all
+                    _ => {}
+                }
+            } else if depth == 0 && t.is_ident("in") {
+                break i;
+            }
+            i += 1;
+        };
+        let expr_start = self.next_code(in_at)?;
+        let mut depth = 0isize;
+        let mut j = expr_start;
+        let expr_end = loop {
+            let t = self.tok(j)?;
+            if t.kind == TokKind::Punct {
+                match t.text.chars().next().unwrap() {
+                    '(' | '[' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '{' if depth == 0 => break j,
+                    _ => {}
+                }
+            }
+            j += 1;
+        };
+        Some(ForLoop {
+            line: self.tokens[kw].line,
+            expr: expr_start..expr_end,
+        })
+    }
+
+    // ---- match arms ----------------------------------------------------
+
+    fn parse_matches(&mut self) {
+        let mut out = Vec::new();
+        for k in 0..self.tokens.len() {
+            if self.ident_at(k) != Some("match") {
+                continue;
+            }
+            // Not the keyword if preceded by `.`/`::` (method or path seg).
+            if let Some(p) = self.prev_code(k) {
+                if self.is_punct_at(p, '.') || self.is_punct_at(p, ':') {
+                    continue;
+                }
+            }
+            let Some(scrut_start) = self.next_code(k) else { continue };
+            // Body `{` at depth 0 past the scrutinee.
+            let mut depth = 0isize;
+            let mut i = scrut_start;
+            let open = loop {
+                let Some(t) = self.tok(i) else { break None };
+                if t.kind == TokKind::Punct {
+                    match t.text.chars().next().unwrap() {
+                        '(' | '[' => depth += 1,
+                        ')' | ']' => depth -= 1,
+                        '{' if depth == 0 => break Some(i),
+                        _ => {}
+                    }
+                }
+                i += 1;
+            };
+            let Some(open) = open else { continue };
+            let Some(close) = self.match_delim(open) else { continue };
+            let arms = self.parse_arms(open + 1, close);
+            out.push(MatchExpr {
+                line: self.tokens[k].line,
+                arms,
+            });
+        }
+        self.matches = out;
+    }
+
+    fn parse_arms(&self, start: usize, end: usize) -> Vec<Arm> {
+        let mut arms = Vec::new();
+        let mut i = start;
+        'arms: while let Some(idx) = self.code_at(i) {
+            if idx >= end {
+                break;
+            }
+            // ---- pattern: tokens until `=>` at depth 0, guard excluded
+            let mut pattern = Vec::new();
+            let mut depth = 0isize;
+            let mut in_guard = false;
+            let mut j = idx;
+            let arrow = loop {
+                if j >= end {
+                    break 'arms;
+                }
+                let t = &self.tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.chars().next().unwrap() {
+                        '(' | '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => depth -= 1,
+                        '=' if depth == 0 && self.is_punct_at(j + 1, '>') => break j,
+                        _ => {}
+                    }
+                }
+                if depth == 0 && t.is_ident("if") {
+                    in_guard = true;
+                }
+                if !in_guard && t.kind != TokKind::Comment {
+                    pattern.push(j);
+                }
+                j += 1;
+            };
+            arms.push(Arm {
+                line: self.tokens[idx].line,
+                pattern,
+            });
+            // ---- body: block or expression up to `,` at depth 0
+            let Some(body_start) = self.next_code(arrow + 1) else { break };
+            if body_start >= end {
+                break;
+            }
+            if self.is_punct_at(body_start, '{') {
+                let Some(c) = self.match_delim(body_start) else { break };
+                i = c + 1;
+                if let Some(comma) = self.code_at(i) {
+                    if comma < end && self.is_punct_at(comma, ',') {
+                        i = comma + 1;
+                    }
+                }
+            } else {
+                let mut depth = 0isize;
+                let mut j = body_start;
+                loop {
+                    if j >= end {
+                        i = j;
+                        break;
+                    }
+                    let t = &self.tokens[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.chars().next().unwrap() {
+                            '(' | '[' | '{' => depth += 1,
+                            ')' | ']' | '}' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i = j + 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        arms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_extraction_with_impl_qualification() {
+        let m = SourceModel::parse(
+            "impl Overlay { pub fn put(&mut self) { self.x.insert(1); } }\nfn free() {}",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.qualname.as_str()).collect();
+        assert_eq!(names, vec!["Overlay::put", "free"]);
+    }
+
+    #[test]
+    fn trait_impl_for_type() {
+        let m = SourceModel::parse("impl<T: Clone> Process for DiscProcess<T> { fn run(&mut self) {} }");
+        assert_eq!(m.fns[0].qualname, "DiscProcess::run");
+    }
+
+    #[test]
+    fn markers_attach_through_attributes() {
+        let m = SourceModel::parse(
+            "// lint: mutates-db\n#[allow(dead_code)]\npub fn apply() {}\nfn other() {}",
+        );
+        assert_eq!(m.fns[0].markers, vec!["mutates-db".to_string()]);
+        assert!(m.fns[1].markers.is_empty());
+    }
+
+    #[test]
+    fn hash_names_from_fields_and_lets() {
+        let m = SourceModel::parse(
+            "struct S { txns: HashMap<u64, T>, ok: BTreeMap<u64, T> }\n\
+             fn f() { let mut seen = HashSet::new(); let open: HashSet<u32> = x.collect(); }",
+        );
+        let names: Vec<&str> = m.hash_names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["open", "seen", "txns"]);
+    }
+
+    #[test]
+    fn calls_with_receivers() {
+        let m = SourceModel::parse("fn f() { self.overlay.put(1); helper(); x.iter(); }");
+        let c: Vec<(String, Option<String>)> = m
+            .calls
+            .iter()
+            .map(|c| (c.callee.clone(), c.receiver.clone()))
+            .collect();
+        assert!(c.contains(&("put".into(), Some("overlay".into()))));
+        assert!(c.contains(&("helper".into(), None)));
+        assert!(c.contains(&("iter".into(), Some("x".into()))));
+    }
+
+    #[test]
+    fn match_arms_with_struct_patterns_and_guards() {
+        let m = SourceModel::parse(
+            "fn f(r: R) { match r { R::A { x, .. } if x > 0 => {}, R::B(_) => y(), _ => {} } }",
+        );
+        assert_eq!(m.matches.len(), 1);
+        let arms = &m.matches[0].arms;
+        assert_eq!(arms.len(), 3);
+        // Wildcard arm is exactly one `_` token.
+        let last = &arms[2];
+        assert_eq!(last.pattern.len(), 1);
+        assert!(m.tokens[last.pattern[0]].is_punct('_') || m.tokens[last.pattern[0]].text == "_");
+    }
+
+    #[test]
+    fn cfg_test_region() {
+        let m = SourceModel::parse(
+            "fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { x.iter(); } }",
+        );
+        assert_eq!(m.test_regions.len(), 1);
+        let call = m.calls.iter().find(|c| c.callee == "iter").unwrap();
+        assert!(m.in_test_region(call.args.start));
+    }
+
+    #[test]
+    fn for_loop_expr_range() {
+        let m = SourceModel::parse("fn f() { for (k, v) in &self.txns { use_it(k, v); } }");
+        assert_eq!(m.for_loops.len(), 1);
+        let fl = &m.for_loops[0];
+        let txt: Vec<&str> = fl.expr.clone().map(|i| m.tokens[i].text.as_str()).collect();
+        assert_eq!(txt, vec!["&", "self", ".", "txns"]);
+    }
+}

@@ -1,0 +1,471 @@
+//! The four rule families (L1–L4) plus directive hygiene.
+//!
+//! Rule ids (used in `// lint: allow(<id>)` and `lint-baseline.toml`):
+//! * `L1-iter` — iteration over `HashMap`/`HashSet` in sim-executed crates
+//! * `L1-wallclock` — `Instant::now`/`SystemTime`/`thread_rng`/`thread::spawn`
+//!   outside the kernel/bench/CLI boundary
+//! * `L2-wal` — a `mutates-db` function reached from a caller without a
+//!   `checkpointed` marker (checkpoint-as-WAL discipline)
+//! * `L3-match` — wildcard `_` arm in a `match` over a protocol enum
+//! * `L4-flightrec` — side-effecting call inside flight-recorder arguments
+//! * `lint-directive` — malformed `// lint:` comment (so a typo cannot
+//!   silently disable a rule)
+
+use crate::model::{DirectiveKind, SourceModel};
+
+/// Crates whose code executes inside the deterministic simulator; L1 applies.
+pub const SIM_CRATES: &[&str] = &["sim", "core", "storage", "audit", "guardian", "chaos"];
+
+/// Protocol enums whose `match`es must stay exhaustive (L3).
+pub const PROTOCOL_ENUMS: &[&str] =
+    &["DiscRequest", "AuditMsg", "TmpMsg", "BackoutMsg", "DumpMsg", "TxState"];
+
+/// Order-sensitive methods on hash containers (L1-iter).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Receivers whose method calls are side effects when they appear inside a
+/// flight-recorder event expression (L4).
+const IMPURE_RECEIVERS: &[&str] = &["ctx", "rng", "metrics", "world"];
+
+pub const KNOWN_RULES: &[&str] = &[
+    "L1-iter",
+    "L1-wallclock",
+    "L2-wal",
+    "L3-match",
+    "L4-flightrec",
+    "lint-directive",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl Violation {
+    /// Line-independent identity used for baseline matching, so baseline
+    /// entries survive unrelated edits that shift line numbers.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.file, self.msg)
+    }
+}
+
+/// One parsed source file plus its location in the workspace.
+pub struct FileModel {
+    /// Repo-relative path with forward slashes, e.g. `crates/core/src/tmp.rs`.
+    pub path: String,
+    /// Crate directory name (`core`, `storage`, …); empty for the root crate.
+    pub crate_name: String,
+    pub model: SourceModel,
+}
+
+impl FileModel {
+    pub fn new(path: &str, crate_name: &str, source: &str) -> FileModel {
+        FileModel {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            model: SourceModel::parse(source),
+        }
+    }
+
+    fn is_sim_crate(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Binaries and CLIs are the boundary where wall-clock time and real
+    /// threads are legitimate.
+    fn is_boundary_file(&self) -> bool {
+        self.path.ends_with("/main.rs") || self.path.contains("/bin/")
+    }
+}
+
+/// Run every rule over the workspace. Violations are sorted by file/line.
+pub fn check_workspace(files: &[FileModel]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        directive_hygiene(f, &mut out);
+        if f.is_sim_crate() {
+            l1_iteration(f, &mut out);
+            if !f.is_boundary_file() {
+                l1_wallclock(f, &mut out);
+            }
+        }
+        l3_matches(f, &mut out);
+        l4_flightrec(f, &mut out);
+    }
+    l2_wal(files, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+// ---- directive hygiene -------------------------------------------------
+
+fn directive_hygiene(f: &FileModel, out: &mut Vec<Violation>) {
+    for d in &f.model.directives {
+        match &d.kind {
+            DirectiveKind::Malformed(msg) => out.push(Violation {
+                rule: "lint-directive",
+                file: f.path.clone(),
+                line: d.line,
+                msg: msg.clone(),
+            }),
+            DirectiveKind::Allow { rule, .. } if !KNOWN_RULES.contains(&rule.as_str()) => {
+                out.push(Violation {
+                    rule: "lint-directive",
+                    file: f.path.clone(),
+                    line: d.line,
+                    msg: format!(
+                        "allow({rule}) names an unknown rule (known: {})",
+                        KNOWN_RULES.join(", ")
+                    ),
+                })
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---- L1: determinism ---------------------------------------------------
+
+fn l1_iteration(f: &FileModel, out: &mut Vec<Violation>) {
+    let m = &f.model;
+    for c in &m.calls {
+        if !ITER_METHODS.contains(&c.callee.as_str()) {
+            continue;
+        }
+        let Some(recv) = &c.receiver else { continue };
+        if !m.hash_names.contains(recv) || m.in_test_region(c.args.start) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "L1-iter",
+            file: f.path.clone(),
+            line: c.line,
+            msg: format!(
+                "iteration over hash container `{recv}` via `.{}()` — \
+                 HashMap/HashSet order is nondeterministic; use BTreeMap/BTreeSet",
+                c.callee
+            ),
+        });
+    }
+    for fl in &m.for_loops {
+        if m.in_test_region(fl.expr.start) {
+            continue;
+        }
+        // Only simple path expressions (`&self.txns`, `map`): a call in the
+        // expression was already inspected via the method-call pass.
+        let toks: Vec<&str> = fl
+            .expr
+            .clone()
+            .map(|i| m.tokens[i].text.as_str())
+            .collect();
+        if toks.contains(&"(") {
+            continue;
+        }
+        let Some(last_ident) = fl
+            .expr
+            .clone()
+            .rev()
+            .find_map(|i| match m.tokens[i].kind {
+                crate::lexer::TokKind::Ident => Some(m.tokens[i].text.clone()),
+                _ => None,
+            })
+        else {
+            continue;
+        };
+        if last_ident != "_" && m.hash_names.contains(&last_ident) {
+            out.push(Violation {
+                rule: "L1-iter",
+                file: f.path.clone(),
+                line: fl.line,
+                msg: format!(
+                    "iteration over hash container `{last_ident}` via `for … in` — \
+                     HashMap/HashSet order is nondeterministic; use BTreeMap/BTreeSet"
+                ),
+            });
+        }
+    }
+}
+
+fn l1_wallclock(f: &FileModel, out: &mut Vec<Violation>) {
+    let m = &f.model;
+    let toks = &m.tokens;
+    let mut push = |line: u32, what: &str, i: usize| {
+        if !m.in_test_region(i) {
+            out.push(Violation {
+                rule: "L1-wallclock",
+                file: f.path.clone(),
+                line,
+                msg: format!(
+                    "`{what}` in a sim-executed crate — simulated code must take \
+                     time/randomness/concurrency from the kernel (ctx), not the host"
+                ),
+            });
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let leads_to = |k: usize, name: &str| -> bool {
+            toks.get(k + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|a| a.is_ident(name))
+        };
+        match t.text.as_str() {
+            "Instant" if leads_to(i, "now") => push(t.line, "Instant::now", i),
+            "SystemTime" => push(t.line, "SystemTime", i),
+            "thread_rng" => push(t.line, "thread_rng", i),
+            "thread" if leads_to(i, "spawn") => push(t.line, "thread::spawn", i),
+            _ => {}
+        }
+    }
+}
+
+// ---- L2: checkpoint-as-WAL ordering ------------------------------------
+
+fn l2_wal(files: &[FileModel], out: &mut Vec<Violation>) {
+    // Collect marked functions across the workspace.
+    let mut mutates: Vec<(&str, &str)> = Vec::new(); // (bare name, qualname)
+    for f in files {
+        for d in &f.model.fns {
+            if d.markers.iter().any(|m| m == "mutates-db") {
+                mutates.push((&d.name, &d.qualname));
+            }
+        }
+    }
+    if mutates.is_empty() {
+        return;
+    }
+    for f in files {
+        for c in &f.model.calls {
+            let Some((_, qual)) = mutates.iter().find(|(n, _)| *n == c.callee) else {
+                continue;
+            };
+            if f.model.in_test_region(c.args.start) {
+                continue;
+            }
+            let Some(fi) = c.in_fn else { continue };
+            let caller = &f.model.fns[fi];
+            // Recursive/internal calls inside the marked function itself and
+            // calls from other checkpointed/mutating paths are fine.
+            if caller
+                .markers
+                .iter()
+                .any(|m| m == "checkpointed" || m == "mutates-db")
+            {
+                continue;
+            }
+            out.push(Violation {
+                rule: "L2-wal",
+                file: f.path.clone(),
+                line: c.line,
+                msg: format!(
+                    "`{}` calls `{qual}` (mutates-db) but carries no \
+                     `// lint: checkpointed` marker — the checkpoint-before-update \
+                     (WAL) discipline is unverified on this path",
+                    caller.qualname
+                ),
+            });
+        }
+    }
+}
+
+// ---- L3: exhaustive protocol matches -----------------------------------
+
+fn l3_matches(f: &FileModel, out: &mut Vec<Violation>) {
+    let m = &f.model;
+    for mx in &m.matches {
+        // A "protocol match" has at least one arm whose pattern starts with
+        // `Enum::…` for a protocol enum (after stripping `&`/`|`). Matching
+        // `Option<TxState>` etc. via `Some(TxState::…)` is out of scope:
+        // the wildcard there covers the `None` shape, not enum variants.
+        let mut enum_name: Option<&str> = None;
+        for arm in &mx.arms {
+            let mut it = arm
+                .pattern
+                .iter()
+                .map(|&i| &m.tokens[i])
+                .skip_while(|t| t.is_punct('&') || t.is_punct('|'));
+            let Some(first) = it.next() else { continue };
+            if first.kind == crate::lexer::TokKind::Ident
+                && PROTOCOL_ENUMS.contains(&first.text.as_str())
+            {
+                let sep: Vec<&crate::lexer::Token> = it.take(2).collect();
+                if sep.len() == 2 && sep[0].is_punct(':') && sep[1].is_punct(':') {
+                    enum_name = Some(PROTOCOL_ENUMS
+                        .iter()
+                        .find(|e| **e == first.text)
+                        .unwrap());
+                    break;
+                }
+            }
+        }
+        let Some(enum_name) = enum_name else { continue };
+        if m.line_in_test_region(mx.line) {
+            continue;
+        }
+        for arm in &mx.arms {
+            if arm.pattern.len() == 1 && m.tokens[arm.pattern[0]].text == "_" {
+                out.push(Violation {
+                    rule: "L3-match",
+                    file: f.path.clone(),
+                    line: arm.line,
+                    msg: format!(
+                        "wildcard `_` arm in match over protocol enum `{enum_name}` — \
+                         adding a variant must force every handler to decide; \
+                         list the variants explicitly"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---- L4: flight-recorder neutrality ------------------------------------
+
+fn l4_flightrec(f: &FileModel, out: &mut Vec<Violation>) {
+    let m = &f.model;
+    for c in &m.calls {
+        if c.callee != "flight" {
+            continue;
+        }
+        if m.in_test_region(c.args.start) {
+            continue;
+        }
+        // Inside the argument span, look for `<impure>.<method>(`.
+        let mut i = c.args.start;
+        while i + 2 < c.args.end {
+            let (a, b, d) = (&m.tokens[i], &m.tokens[i + 1], &m.tokens[i + 2]);
+            if a.kind == crate::lexer::TokKind::Ident
+                && IMPURE_RECEIVERS.contains(&a.text.as_str())
+                && b.is_punct('.')
+                && d.kind == crate::lexer::TokKind::Ident
+                && m.tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(Violation {
+                    rule: "L4-flightrec",
+                    file: f.path.clone(),
+                    line: a.line,
+                    msg: format!(
+                        "side-effecting call `{}.{}(…)` inside flight-recorder \
+                         arguments — event expressions must be pure so the \
+                         recorder stays trace-hash-neutral",
+                        a.text, d.text
+                    ),
+                });
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_file(src: &str) -> FileModel {
+        FileModel::new("crates/core/src/x.rs", "core", src)
+    }
+
+    #[test]
+    fn l1_iter_flags_hash_not_btree() {
+        let f = sim_file(
+            "struct S { a: HashMap<u32, u32>, b: BTreeMap<u32, u32> }\n\
+             impl S { fn f(&self) { self.a.iter(); self.b.iter(); self.a.get(&1); } }",
+        );
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "L1-iter");
+        assert!(v[0].msg.contains("`a`"));
+    }
+
+    #[test]
+    fn l1_for_loop_over_hash() {
+        let f = sim_file(
+            "struct S { a: HashSet<u32> }\n\
+             impl S { fn f(&self) { for x in &self.a { use_it(x); } } }",
+        );
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("for … in"));
+    }
+
+    #[test]
+    fn l1_not_applied_outside_sim_crates() {
+        let f = FileModel::new(
+            "crates/bench/src/x.rs",
+            "bench",
+            "struct S { a: HashMap<u32, u32> }\nfn f(s: &S) { s.a.iter(); }",
+        );
+        assert!(check_workspace(&[f]).is_empty());
+    }
+
+    #[test]
+    fn l1_wallclock() {
+        let f = sim_file("fn f() { let t = Instant::now(); }");
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L1-wallclock");
+    }
+
+    #[test]
+    fn l2_unmarked_caller_flagged() {
+        let f = FileModel::new(
+            "crates/storage/src/x.rs",
+            "storage",
+            "// lint: mutates-db\nfn apply_write() {}\n\
+             // lint: checkpointed\nfn good() { apply_write(); }\n\
+             fn bad() { apply_write(); }",
+        );
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "L2-wal");
+        assert!(v[0].msg.contains("`bad`"));
+    }
+
+    #[test]
+    fn l3_wildcard_in_protocol_match() {
+        let f = sim_file(
+            "fn f(r: DiscRequest) { match r { DiscRequest::Read { .. } => {}, _ => {} } }\n\
+             fn g(o: Option<u32>) { match o { Some(1) => {}, _ => {} } }",
+        );
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "L3-match");
+    }
+
+    #[test]
+    fn l4_impure_flight_args() {
+        let f = sim_file(
+            "fn f(ctx: &mut Ctx) { ctx.flight(t.flight_id(), FlightCause::Takeover); \
+             ctx.flight(ctx.count(\"x\", 1), FlightCause::Takeover); }",
+        );
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "L4-flightrec");
+        assert!(v[0].msg.contains("ctx.count"));
+    }
+
+    #[test]
+    fn malformed_directive_reported() {
+        let f = sim_file("// lint: allow(L1-iter)\nfn f() {}");
+        let v = check_workspace(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lint-directive");
+        assert!(v[0].msg.contains("missing a reason"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture corpus: one passing and one failing example per rule family,
+//! checked against the *exact* diagnostic text, plus the allow escape
+//! hatch. These are the linter's contract tests — if a diagnostic is
+//! reworded, this file and any matching `lint-baseline.toml` keys must
+//! change with it (baseline entries match on message text).
+
+use encompass_lint::baseline::Baseline;
+use encompass_lint::rules::{check_workspace, FileModel};
+
+/// Parse a fixture as if it lived in a sim-executed crate.
+fn fixture(name: &str, source: &str) -> FileModel {
+    FileModel::new(&format!("crates/core/src/{name}.rs"), "core", source)
+}
+
+fn diagnostics(name: &str, source: &str) -> Vec<(String, u32, String)> {
+    check_workspace(&[fixture(name, source)])
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.line, v.msg))
+        .collect()
+}
+
+fn assert_clean(name: &str, source: &str) {
+    let v = diagnostics(name, source);
+    assert!(v.is_empty(), "{name} should be clean, got {v:?}");
+}
+
+#[test]
+fn l1_iter_bad_and_good() {
+    let v = diagnostics("l1_iter_bad", include_str!("fixtures/l1_iter_bad.rs"));
+    assert_eq!(
+        v,
+        vec![
+            (
+                "L1-iter".into(),
+                10,
+                "iteration over hash container `rows` via `.keys()` — \
+                 HashMap/HashSet order is nondeterministic; use BTreeMap/BTreeSet"
+                    .into()
+            ),
+            (
+                "L1-iter".into(),
+                14,
+                "iteration over hash container `rows` via `for … in` — \
+                 HashMap/HashSet order is nondeterministic; use BTreeMap/BTreeSet"
+                    .into()
+            ),
+        ]
+    );
+    assert_clean("l1_iter_good", include_str!("fixtures/l1_iter_good.rs"));
+}
+
+#[test]
+fn l1_iter_not_applied_outside_sim_crates() {
+    // The same bad source is fine in a non-sim crate (e.g. bench).
+    let f = FileModel::new(
+        "crates/bench/src/l1_iter_bad.rs",
+        "bench",
+        include_str!("fixtures/l1_iter_bad.rs"),
+    );
+    assert!(check_workspace(&[f]).is_empty());
+}
+
+#[test]
+fn l1_wallclock_bad_and_good() {
+    let v = diagnostics(
+        "l1_wallclock_bad",
+        include_str!("fixtures/l1_wallclock_bad.rs"),
+    );
+    assert_eq!(
+        v,
+        vec![(
+            "L1-wallclock".into(),
+            3,
+            "`Instant::now` in a sim-executed crate — simulated code must take \
+             time/randomness/concurrency from the kernel (ctx), not the host"
+                .into()
+        )]
+    );
+    assert_clean(
+        "l1_wallclock_good",
+        include_str!("fixtures/l1_wallclock_good.rs"),
+    );
+}
+
+#[test]
+fn l2_wal_bad_and_good() {
+    let v = diagnostics("l2_wal_bad", include_str!("fixtures/l2_wal_bad.rs"));
+    assert_eq!(
+        v,
+        vec![(
+            "L2-wal".into(),
+            8,
+            "`hot_path` calls `apply_update` (mutates-db) but carries no \
+             `// lint: checkpointed` marker — the checkpoint-before-update \
+             (WAL) discipline is unverified on this path"
+                .into()
+        )]
+    );
+    assert_clean("l2_wal_good", include_str!("fixtures/l2_wal_good.rs"));
+}
+
+#[test]
+fn l3_match_bad_and_good() {
+    let v = diagnostics("l3_match_bad", include_str!("fixtures/l3_match_bad.rs"));
+    assert_eq!(
+        v,
+        vec![(
+            "L3-match".into(),
+            5,
+            "wildcard `_` arm in match over protocol enum `DiscRequest` — \
+             adding a variant must force every handler to decide; \
+             list the variants explicitly"
+                .into()
+        )]
+    );
+    assert_clean("l3_match_good", include_str!("fixtures/l3_match_good.rs"));
+}
+
+#[test]
+fn l4_flightrec_bad_and_good() {
+    let v = diagnostics(
+        "l4_flightrec_bad",
+        include_str!("fixtures/l4_flightrec_bad.rs"),
+    );
+    assert_eq!(
+        v,
+        vec![(
+            "L4-flightrec".into(),
+            3,
+            "side-effecting call `ctx.count(…)` inside flight-recorder \
+             arguments — event expressions must be pure so the recorder \
+             stays trace-hash-neutral"
+                .into()
+        )]
+    );
+    assert_clean(
+        "l4_flightrec_good",
+        include_str!("fixtures/l4_flightrec_good.rs"),
+    );
+}
+
+#[test]
+fn allow_suppresses_and_is_reported() {
+    let f = fixture(
+        "allow_suppression",
+        include_str!("fixtures/allow_suppression.rs"),
+    );
+    let report = encompass_lint::evaluate(&[f], &Baseline::default());
+    assert!(report.ok(), "allow should suppress: {:?}", report.new);
+    assert_eq!(report.allows_used.len(), 1);
+    let a = &report.allows_used[0];
+    assert_eq!(a.rule, "L1-iter");
+    assert_eq!(a.reason, "summation is order-independent");
+    assert_eq!(a.suppressed, 1);
+    // The rendered report surfaces the escape hatch and its reason.
+    let rendered = report.render();
+    assert!(rendered.contains("allow(L1-iter) x1 — summation is order-independent"));
+}

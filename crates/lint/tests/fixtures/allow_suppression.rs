@@ -1,0 +1,14 @@
+// The escape hatch: an inline allow with a reason suppresses the
+// violation on the next line — and is reported, with the reason.
+use std::collections::HashMap;
+
+struct Histogram {
+    buckets: HashMap<u64, u64>,
+}
+
+impl Histogram {
+    fn total(&self) -> u64 {
+        // lint: allow(L1-iter) — summation is order-independent
+        self.buckets.values().sum()
+    }
+}

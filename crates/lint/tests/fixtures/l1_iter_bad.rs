@@ -1,0 +1,18 @@
+// L1-iter: iterating a hash container in a sim-executed crate.
+use std::collections::HashMap;
+
+struct Table {
+    rows: HashMap<u64, String>,
+}
+
+impl Table {
+    fn dump(&self) -> Vec<u64> {
+        self.rows.keys().copied().collect()
+    }
+
+    fn sweep(&self) {
+        for (k, v) in &self.rows {
+            drop((k, v));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// Clean counterpart of l1_iter_bad.rs: ordered container, and point
+// lookups on a hash map (which are order-independent and fine).
+use std::collections::{BTreeMap, HashMap};
+
+struct Table {
+    rows: BTreeMap<u64, String>,
+    index: HashMap<u64, usize>,
+}
+
+impl Table {
+    fn dump(&self) -> Vec<u64> {
+        self.rows.keys().copied().collect()
+    }
+
+    fn find(&self, k: u64) -> Option<usize> {
+        self.index.get(&k).copied()
+    }
+}

@@ -1,0 +1,5 @@
+// L1-wallclock: host time inside a sim-executed crate.
+fn measure() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros()
+}

@@ -1,0 +1,9 @@
+// L2-wal: a mutates-db function called from an unmarked path.
+// lint: mutates-db
+fn apply_update(file: &str, key: u64) {
+    drop((file, key));
+}
+
+fn hot_path() {
+    apply_update("accounts", 7);
+}

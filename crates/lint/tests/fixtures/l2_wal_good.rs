@@ -1,0 +1,11 @@
+// Clean counterpart of l2_wal_bad.rs: the caller checkpoints first.
+// lint: mutates-db
+fn apply_update(file: &str, key: u64) {
+    drop((file, key));
+}
+
+// checkpoint-to-backup happens before the overlay write
+// lint: checkpointed
+fn commit_path() {
+    apply_update("accounts", 7);
+}

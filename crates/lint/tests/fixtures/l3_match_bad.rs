@@ -1,0 +1,7 @@
+// L3-match: wildcard arm in a match over a protocol enum.
+fn route(req: DiscRequest) -> bool {
+    match req {
+        DiscRequest::Read { .. } => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,15 @@
+// Clean counterparts of l3_match_bad.rs: protocol variants listed
+// explicitly, and a wildcard over a *non*-protocol shape stays legal.
+fn route(req: DiscRequest) -> bool {
+    match req {
+        DiscRequest::Read { .. } => true,
+        DiscRequest::Insert { .. } | DiscRequest::Update { .. } => false,
+    }
+}
+
+fn outcome(o: Option<u32>) -> bool {
+    match o {
+        Some(1) => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,4 @@
+// L4-flightrec: a side-effecting call inside flight-recorder arguments.
+fn record(ctx: &mut Ctx, transid: Transid) {
+    ctx.flight(ctx.count("tmf.events", 1), FlightCause::Takeover);
+}

@@ -1,0 +1,5 @@
+// Clean counterpart of l4_flightrec_bad.rs: event arguments are pure
+// projections of already-computed values.
+fn record(ctx: &mut Ctx, transid: Transid) {
+    ctx.flight(transid.flight_id(), FlightCause::Takeover);
+}

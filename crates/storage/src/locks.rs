@@ -14,7 +14,7 @@
 
 use crate::types::Transid;
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a lock covers.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -66,13 +66,13 @@ struct LockQueue {
 /// Exclusive record + file locks for one volume.
 #[derive(Default)]
 pub struct LockManager {
-    records: HashMap<(String, Bytes), LockQueue>,
-    files: HashMap<String, LockQueue>,
+    records: BTreeMap<(String, Bytes), LockQueue>,
+    files: BTreeMap<String, LockQueue>,
     /// Per-file count of record locks held, per transaction — used to
     /// decide file-lock compatibility.
-    file_record_holders: HashMap<String, HashMap<Transid, usize>>,
+    file_record_holders: BTreeMap<String, BTreeMap<Transid, usize>>,
     /// Everything a transaction holds, for release_all.
-    held: HashMap<Transid, Vec<LockScope>>,
+    held: BTreeMap<Transid, Vec<LockScope>>,
 }
 
 impl LockManager {
@@ -105,13 +105,10 @@ impl LockManager {
     /// DISCPROCESS for backup initialization. Waiters are deliberately
     /// excluded: their requesters retransmit and re-queue.
     pub fn holdings(&self) -> Vec<(Transid, LockScope)> {
-        let mut out: Vec<(Transid, LockScope)> = self
-            .held
+        self.held
             .iter()
             .flat_map(|(t, scopes)| scopes.iter().map(move |s| (*t, s.clone())))
-            .collect();
-        out.sort_by_key(|a| a.0);
-        out
+            .collect()
     }
 
     /// Total queued waiters (diagnostics).

@@ -40,6 +40,11 @@ impl Overlay {
             .cloned()
     }
 
+    /// Apply one logical database update to the write-behind cache. Every
+    /// caller must have checkpointed intent to the backup first — this is
+    /// the paper's checkpoint-before-update (WAL) discipline, enforced
+    /// statically by encompass-lint rule L2-wal.
+    // lint: mutates-db
     pub fn put(&mut self, file: &str, key: Bytes, value: Option<Bytes>) {
         self.dirty.insert((file.to_string(), key), value);
     }
