@@ -10,14 +10,23 @@
 //!   requests are **group-committed** under a single physical write;
 //! * eagerly, when a DISCPROCESS in the Write-Ahead-Log baseline appends
 //!   with `force: true`.
+//!
+//! The trail may be **partitioned** by volume group (see DESIGN.md §D12):
+//! each partition owns its own media sequence, boxcar buffer, waiter queue
+//! and — critically — its own in-flight force slot, so independent volume
+//! groups force in parallel instead of serializing behind one disc arm. A
+//! `ForceTxn` fans out to exactly the partitions holding the transaction's
+//! images and completes when all of them acknowledge. Partition 0 keeps
+//! the legacy trail key and timer tags, so `partitions == 1` reproduces
+//! the historical stable-storage layout.
 
-use crate::trail::{trail_key, TrailMedia};
+use crate::trail::{partition_trail_key, TrailMedia};
 use encompass_sim::NodeId;
-use encompass_sim::{FlightCause, HistogramHandle, Payload, Pid, World};
+use encompass_sim::{FlightCause, HistogramHandle, Payload, Pid, SimTime, World};
 use encompass_storage::audit_api::{AuditMsg, AuditReply, ImageRecord};
 use encompass_storage::types::Transid;
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Identity of one image record: duplicates arise when a DISCPROCESS
 /// takeover re-sends retained images whose original append already
@@ -29,8 +38,17 @@ fn image_key(r: &ImageRecord) -> ImageKey {
     (r.transid, r.seq, r.volume.node, r.volume.volume.clone())
 }
 
-const TAG_FORCE: u64 = 1;
-const TAG_WINDOW: u64 = 2;
+/// Timer tag of partition `p`'s physical force completion. Partition 0
+/// keeps the historical tag 1.
+fn tag_force(p: usize) -> u64 {
+    1 + 2 * p as u64
+}
+
+/// Timer tag of partition `p`'s group-commit window. Partition 0 keeps
+/// the historical tag 2.
+fn tag_window(p: usize) -> u64 {
+    2 + 2 * p as u64
+}
 
 /// Cumulative bucket bounds for the boxcar-size histogram.
 const BOXCAR_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
@@ -49,6 +67,11 @@ pub struct AuditConfig {
     /// Start the force early once this many waiters have boarded, even if
     /// the window has not elapsed.
     pub group_commit_max: usize,
+    /// Number of trail partitions (volume groups forcing in parallel).
+    pub partitions: usize,
+    /// Volume name → partition index. Volumes not listed land on
+    /// partition 0.
+    pub partition_of: BTreeMap<String, usize>,
 }
 
 impl Default for AuditConfig {
@@ -58,63 +81,98 @@ impl Default for AuditConfig {
             rotate_every: 4096,
             group_commit_window: encompass_sim::SimDuration::ZERO,
             group_commit_max: 64,
+            partitions: 1,
+            partition_of: BTreeMap::new(),
         }
     }
 }
 
 struct Waiter {
     req_id: u64,
-    from: Pid,
-    /// Total forced-record count that satisfies this waiter.
+    /// Partition forced-record count that satisfies this waiter.
     needed: u64,
-    /// The reply to send when satisfied.
-    reply: AuditReply,
     /// The transaction this force is on behalf of (`ForceTxn` only; WAL
     /// appends force anonymously).
     transid: Option<Transid>,
 }
 
+/// A force request fanned out across partitions; the reply goes out when
+/// every touched partition has acknowledged.
+struct PendingForce {
+    from: Pid,
+    reply: AuditReply,
+    remaining: usize,
+    transid: Option<Transid>,
+}
+
 enum AuditDelta {
-    Append { req_id: u64, records: Vec<ImageRecord> },
-    Forced { count: usize },
+    Append {
+        req_id: u64,
+        partition: usize,
+        records: Vec<ImageRecord>,
+    },
+    Forced {
+        partition: usize,
+        count: usize,
+    },
 }
 
 struct AuditSnapshot {
-    buffer: Vec<ImageRecord>,
-    forced_count: u64,
+    /// Per partition: (buffer, forced_count).
+    partitions: Vec<(Vec<ImageRecord>, u64)>,
     replies: Vec<(u64, AuditReply)>,
+}
+
+/// One trail partition's force machinery.
+struct Partition {
+    /// Appended but not yet forced.
+    buffer: Vec<ImageRecord>,
+    /// Total records forced to this partition's trail over all time.
+    forced_count: u64,
+    force_in_progress: Option<usize>,
+    /// Deadline of the window timer armed for the boxcar now
+    /// accumulating. A firing before this deadline is a *stale* timer
+    /// from an earlier, max-filled boxcar and must be ignored — closing
+    /// the new boxcar early would defeat the group-commit window.
+    /// Primary-memory only: the timer dies with the primary, and
+    /// retransmitted requests re-arm it after a takeover.
+    window_deadline: Option<SimTime>,
+    waiters: Vec<Waiter>,
+}
+
+impl Partition {
+    fn new() -> Partition {
+        Partition {
+            buffer: Vec::new(),
+            forced_count: 0,
+            force_in_progress: None,
+            window_deadline: None,
+            waiters: Vec::new(),
+        }
+    }
 }
 
 /// The AUDITPROCESS application.
 pub struct AuditProcess {
     cfg: AuditConfig,
-    /// Appended but not yet forced.
-    buffer: Vec<ImageRecord>,
-    /// Total records forced to the trail over all time.
-    forced_count: u64,
-    force_in_progress: Option<usize>,
-    /// True while a `TAG_WINDOW` timer is outstanding for the boxcar now
-    /// accumulating. Primary-memory only: the timer dies with the primary,
-    /// and retransmitted requests re-arm it after a takeover.
-    window_armed: bool,
-    waiters: Vec<Waiter>,
+    parts: Vec<Partition>,
+    /// Fanned-out force requests awaiting partition acknowledgements.
+    pending: HashMap<u64, PendingForce>,
     replies: ReplyCache<AuditReply>,
     in_progress: HashSet<u64>,
-    /// Keys of every record on the trail or in the buffer; `None` until
-    /// first needed (rebuilt by scanning the trail after a takeover).
+    /// Keys of every record on the trails or in the buffers; `None` until
+    /// first needed (rebuilt by scanning the trails after a takeover).
     seen: Option<HashSet<ImageKey>>,
     boxcar_hist: HistogramHandle,
 }
 
 impl AuditProcess {
     pub fn new(cfg: AuditConfig) -> AuditProcess {
+        let n = cfg.partitions.max(1);
         AuditProcess {
             cfg,
-            buffer: Vec::new(),
-            forced_count: 0,
-            force_in_progress: None,
-            window_armed: false,
-            waiters: Vec::new(),
+            parts: (0..n).map(|_| Partition::new()).collect(),
+            pending: HashMap::new(),
             replies: ReplyCache::new(8192),
             in_progress: HashSet::new(),
             seen: None,
@@ -122,19 +180,42 @@ impl AuditProcess {
         }
     }
 
-    /// Drop records already on the trail or in the buffer.
+    /// Which partition a record's volume belongs to.
+    fn partition_of(&self, r: &ImageRecord) -> usize {
+        self.cfg
+            .partition_of
+            .get(&r.volume.volume)
+            .copied()
+            .unwrap_or(0)
+            .min(self.parts.len() - 1)
+    }
+
+    fn partition_of_volume(&self, volume: &str) -> usize {
+        self.cfg
+            .partition_of
+            .get(volume)
+            .copied()
+            .unwrap_or(0)
+            .min(self.parts.len() - 1)
+    }
+
+    /// Drop records already on a trail or in a buffer.
     fn dedup(&mut self, ctx: &mut PairCtx<'_, '_>, records: Vec<ImageRecord>) -> Vec<ImageRecord> {
         if self.seen.is_none() {
             let mut s: HashSet<ImageKey> = HashSet::new();
-            self.with_trail(ctx, |t| {
-                for f in &t.files {
-                    for r in &f.records {
-                        s.insert(image_key(r));
+            for p in 0..self.parts.len() {
+                self.with_trail(ctx, p, |t| {
+                    for f in &t.files {
+                        for r in &f.records {
+                            s.insert(image_key(r));
+                        }
                     }
+                });
+            }
+            for part in &self.parts {
+                for r in &part.buffer {
+                    s.insert(image_key(r));
                 }
-            });
-            for r in &self.buffer {
-                s.insert(image_key(r));
             }
             self.seen = Some(s);
         }
@@ -148,8 +229,13 @@ impl AuditProcess {
         fresh
     }
 
-    fn with_trail<R>(&self, ctx: &mut PairCtx<'_, '_>, f: impl FnOnce(&mut TrailMedia) -> R) -> R {
-        let key = trail_key(ctx.node(), &self.cfg.service);
+    fn with_trail<R>(
+        &self,
+        ctx: &mut PairCtx<'_, '_>,
+        partition: usize,
+        f: impl FnOnce(&mut TrailMedia) -> R,
+    ) -> R {
+        let key = partition_trail_key(ctx.node(), &self.cfg.service, partition);
         let rotate = self.cfg.rotate_every;
         let trail = ctx
             .stable()
@@ -157,12 +243,22 @@ impl AuditProcess {
         f(trail)
     }
 
-    fn buffered_for(&self, transid: Transid) -> bool {
-        self.buffer.iter().any(|r| r.transid == transid)
+    /// Partitions currently buffering records of `transid`.
+    fn parts_buffering(&self, transid: Transid) -> Vec<usize> {
+        (0..self.parts.len())
+            .filter(|&p| self.parts[p].buffer.iter().any(|r| r.transid == transid))
+            .collect()
     }
 
-    /// Enqueue a waiter that needs everything currently buffered to be on
-    /// the trail, and kick the force machinery.
+    /// Partitions with anything buffered at all.
+    fn parts_nonempty(&self) -> Vec<usize> {
+        (0..self.parts.len())
+            .filter(|&p| !self.parts[p].buffer.is_empty())
+            .collect()
+    }
+
+    /// Fan a force request out to `targets`, each partition completing
+    /// when everything it currently buffers is on its trail.
     fn enqueue_force(
         &mut self,
         ctx: &mut PairCtx<'_, '_>,
@@ -170,85 +266,142 @@ impl AuditProcess {
         from: Pid,
         r: AuditReply,
         transid: Option<Transid>,
+        targets: Vec<usize>,
     ) {
-        if self.buffer.is_empty() {
+        if targets.is_empty() {
             // nothing to force (e.g. an append fully deduplicated away)
             self.replies.store(req_id, r.clone());
             reply(ctx, req_id, from, r);
             return;
         }
-        let needed = self.forced_count + self.buffer.len() as u64;
         self.in_progress.insert(req_id);
         if let Some(t) = transid {
             ctx.flight(t.flight_id(), FlightCause::AuditForceStart);
         }
-        self.waiters.push(Waiter {
+        self.pending.insert(
             req_id,
-            from,
-            needed,
-            reply: r,
-            transid,
-        });
-        self.maybe_start_force(ctx);
+            PendingForce {
+                from,
+                reply: r,
+                remaining: targets.len(),
+                transid,
+            },
+        );
+        for p in targets {
+            let needed = self.parts[p].forced_count + self.parts[p].buffer.len() as u64;
+            self.parts[p].waiters.push(Waiter {
+                req_id,
+                needed,
+                transid,
+            });
+            self.maybe_start_force(ctx, p);
+        }
     }
 
-    fn maybe_start_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
-        if self.force_in_progress.is_some() || self.buffer.is_empty() || self.waiters.is_empty() {
+    fn maybe_start_force(&mut self, ctx: &mut PairCtx<'_, '_>, p: usize) {
+        let part = &self.parts[p];
+        if part.force_in_progress.is_some() || part.buffer.is_empty() || part.waiters.is_empty() {
             return;
         }
         if self.cfg.group_commit_window > encompass_sim::SimDuration::ZERO
-            && self.waiters.len() < self.cfg.group_commit_max
+            && part.waiters.len() < self.cfg.group_commit_max
         {
-            // Hold the boxcar open for late boarders. A stale window timer
-            // from an earlier, max-filled boxcar may close this one early;
-            // that only shortens the wait, never loses a waiter.
-            if !self.window_armed {
-                self.window_armed = true;
-                ctx.set_timer(self.cfg.group_commit_window, TAG_WINDOW);
+            // hold the boxcar open for late boarders; the recorded
+            // deadline lets on_timer ignore stale firings from earlier,
+            // max-filled boxcars
+            if part.window_deadline.is_none() {
+                let deadline = ctx.now() + self.cfg.group_commit_window;
+                self.parts[p].window_deadline = Some(deadline);
+                ctx.set_timer(self.cfg.group_commit_window, tag_window(p));
             }
             return;
         }
-        self.start_force(ctx);
+        self.start_force(ctx, p);
     }
 
-    fn start_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
-        self.window_armed = false;
-        let upto = self.buffer.len();
-        self.force_in_progress = Some(upto);
+    fn start_force(&mut self, ctx: &mut PairCtx<'_, '_>, p: usize) {
+        self.parts[p].window_deadline = None;
+        let upto = self.parts[p].buffer.len();
+        self.parts[p].force_in_progress = Some(upto);
         ctx.count("audit.force_started", 1);
+        let will_force = self.parts[p].forced_count + upto as u64;
+        let boarding: Vec<Transid> = self.parts[p]
+            .waiters
+            .iter()
+            .filter(|w| w.needed <= will_force)
+            .filter_map(|w| w.transid)
+            .collect();
+        for t in boarding {
+            ctx.flight(
+                t.flight_id(),
+                FlightCause::PartitionForceStart {
+                    partition: p as u32,
+                },
+            );
+        }
         // one rotating-media write per force, regardless of batch size:
         // this is the group commit
         let latency = ctx.config().disc_access;
-        ctx.set_timer(latency, TAG_FORCE);
+        ctx.set_timer(latency, tag_force(p));
     }
 
-    fn complete_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
-        let Some(upto) = self.force_in_progress.take() else {
+    fn complete_force(&mut self, ctx: &mut PairCtx<'_, '_>, p: usize) {
+        let Some(upto) = self.parts[p].force_in_progress.take() else {
             return;
         };
-        let batch: Vec<ImageRecord> = self.buffer.drain(..upto).collect();
+        let batch: Vec<ImageRecord> = self.parts[p].buffer.drain(..upto).collect();
         ctx.count("audit.forces", 1);
         ctx.count("audit.forced_records", batch.len() as u64);
         ctx.count("audit.group_size_total", batch.len() as u64);
-        self.with_trail(ctx, |t| t.force(batch));
-        self.forced_count += upto as u64;
-        ctx.checkpoint(Payload::new(AuditDelta::Forced { count: upto }));
+        self.with_trail(ctx, p, |t| t.force(batch));
+        self.parts[p].forced_count += upto as u64;
+        ctx.checkpoint(Payload::new(AuditDelta::Forced {
+            partition: p,
+            count: upto,
+        }));
         // satisfy waiters
-        let forced = self.forced_count;
-        let (done, rest): (Vec<Waiter>, Vec<Waiter>) =
-            self.waiters.drain(..).partition(|w| w.needed <= forced);
-        self.waiters = rest;
-        ctx.observe_handle(&self.boxcar_hist, done.len() as u64);
+        let forced = self.parts[p].forced_count;
+        let (done, rest): (Vec<Waiter>, Vec<Waiter>) = self.parts[p]
+            .waiters
+            .drain(..)
+            .partition(|w| w.needed <= forced);
+        self.parts[p].waiters = rest;
+        // an append-only force (no waiter satisfied) is not a boxcar:
+        // observing 0 here would skew the group-size mean
+        if !done.is_empty() {
+            ctx.observe_handle(&self.boxcar_hist, done.len() as u64);
+        }
         let boxcar = done.len() as u32;
         for w in done {
-            self.in_progress.remove(&w.req_id);
             if let Some(t) = w.transid {
-                ctx.flight(t.flight_id(), FlightCause::AuditForced { boxcar });
+                ctx.flight(
+                    t.flight_id(),
+                    FlightCause::PartitionForced {
+                        partition: p as u32,
+                    },
+                );
             }
-            self.replies.store(w.req_id, w.reply.clone());
-            reply(ctx, w.req_id, w.from, w.reply);
+            self.partition_acked(ctx, w.req_id, boxcar);
         }
-        self.maybe_start_force(ctx);
+        self.maybe_start_force(ctx, p);
+    }
+
+    /// One partition acknowledged a fanned-out force; reply once all have.
+    fn partition_acked(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, boxcar: u32) {
+        let Some(pending) = self.pending.get_mut(&req_id) else {
+            return;
+        };
+        pending.remaining = pending.remaining.saturating_sub(1);
+        if pending.remaining > 0 {
+            return;
+        }
+        let pending = self.pending.remove(&req_id).expect("present above");
+        self.in_progress.remove(&req_id);
+        if let Some(t) = pending.transid {
+            ctx.flight(t.flight_id(), FlightCause::AuditForced { boxcar });
+        }
+        self.replies.store(req_id, pending.reply.clone());
+        reply(ctx, req_id, pending.from, pending.reply);
     }
 }
 
@@ -278,20 +431,36 @@ impl PairApp for AuditProcess {
                 ctx.count("audit.appends", 1);
                 let records = self.dedup(ctx, records);
                 ctx.count("audit.records", records.len() as u64);
-                ctx.checkpoint(Payload::new(AuditDelta::Append {
-                    req_id: req.id,
-                    records: records.clone(),
-                }));
+                let mut split: BTreeMap<usize, Vec<ImageRecord>> = BTreeMap::new();
+                for r in records {
+                    let p = self.partition_of(&r);
+                    split.entry(p).or_default().push(r);
+                }
+                // an append that deduplicated away entirely still
+                // checkpoints once, so the backup replicates the reply
+                if split.is_empty() {
+                    split.insert(0, Vec::new());
+                }
                 let mut per_txn: BTreeMap<Transid, u32> = BTreeMap::new();
-                for r in &records {
-                    *per_txn.entry(r.transid).or_insert(0) += 1;
+                for (p, recs) in split {
+                    ctx.checkpoint(Payload::new(AuditDelta::Append {
+                        req_id: req.id,
+                        partition: p,
+                        records: recs.clone(),
+                    }));
+                    for r in &recs {
+                        *per_txn.entry(r.transid).or_insert(0) += 1;
+                    }
+                    self.parts[p].buffer.extend(recs);
                 }
                 for (t, n) in per_txn {
                     ctx.flight(t.flight_id(), FlightCause::AuditAppend { records: n });
                 }
-                self.buffer.extend(records);
                 if force {
-                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Appended, None);
+                    // a forced append is a flush barrier: everything
+                    // queued before it, on every partition, must land
+                    let targets = self.parts_nonempty();
+                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Appended, None, targets);
                 } else {
                     self.replies.store(req.id, AuditReply::Appended);
                     reply(ctx, req.id, req.from, AuditReply::Appended);
@@ -299,63 +468,95 @@ impl PairApp for AuditProcess {
             }
             AuditMsg::ForceTxn { transid } => {
                 ctx.count("audit.force_txn", 1);
-                if self.buffered_for(transid) {
-                    self.enqueue_force(ctx, req.id, req.from, AuditReply::Forced, Some(transid));
-                } else {
-                    self.replies.store(req.id, AuditReply::Forced);
-                    reply(ctx, req.id, req.from, AuditReply::Forced);
-                }
+                let targets = self.parts_buffering(transid);
+                self.enqueue_force(
+                    ctx,
+                    req.id,
+                    req.from,
+                    AuditReply::Forced,
+                    Some(transid),
+                    targets,
+                );
             }
-            AuditMsg::Purge { below, open } => {
+            AuditMsg::Purge { floors, open } => {
                 ctx.count("audit.purges", 1);
-                // belt and braces under the dump-floor proof: never cut
-                // past the first image of a transaction that is still open
-                // (its before-images may yet drive a backout)
+                // group the per-volume dump floors by partition: a
+                // partition is purgeable only when *every* volume it
+                // audits has a completed dump (Some floor)
+                let mut cut: BTreeMap<usize, Option<u64>> = BTreeMap::new();
+                for (volume, floor) in &floors {
+                    let p = self.partition_of_volume(volume);
+                    cut.entry(p)
+                        .and_modify(|c| {
+                            *c = match (*c, *floor) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                _ => None,
+                            }
+                        })
+                        .or_insert(*floor);
+                }
                 let open: BTreeSet<Transid> = open.into_iter().collect();
-                let oldest_open = self.with_trail(ctx, |t| {
-                    t.files
+                let mut total_files = 0u64;
+                for (p, below) in cut {
+                    let Some(below) = below else { continue };
+                    if below <= 1 {
+                        continue; // nothing purgeable yet
+                    }
+                    // belt and braces under the dump-floor proof: never
+                    // cut past the first image of a transaction that is
+                    // still open (its before-images may yet drive a
+                    // backout)
+                    let oldest_open = self.with_trail(ctx, p, |t| {
+                        t.files
+                            .iter()
+                            .flat_map(|f| f.records.iter())
+                            .filter(|r| open.contains(&r.transid))
+                            .map(|r| r.seq)
+                            .min()
+                    });
+                    let oldest_open = self.parts[p]
+                        .buffer
                         .iter()
-                        .flat_map(|f| f.records.iter())
                         .filter(|r| open.contains(&r.transid))
                         .map(|r| r.seq)
                         .min()
-                });
-                let oldest_open = self
-                    .buffer
-                    .iter()
-                    .filter(|r| open.contains(&r.transid))
-                    .map(|r| r.seq)
-                    .min()
-                    .into_iter()
-                    .chain(oldest_open)
-                    .min();
-                let below = match oldest_open {
-                    Some(first) => below.min(first),
-                    None => below,
-                };
-                let files = self.with_trail(ctx, |t| t.purge_below(below)) as u64;
-                ctx.count("audit.purged_files", files);
-                let marker = Transid::dump_marker(ctx.node(), below);
-                ctx.flight(
-                    marker.flight_id(),
-                    FlightCause::TrailPurge {
-                        files: files as u32,
-                    },
-                );
+                        .into_iter()
+                        .chain(oldest_open)
+                        .min();
+                    let below = match oldest_open {
+                        Some(first) => below.min(first),
+                        None => below,
+                    };
+                    let files = self.with_trail(ctx, p, |t| t.purge_below(below)) as u64;
+                    total_files += files;
+                    let marker = Transid::dump_marker(ctx.node(), below);
+                    ctx.flight(
+                        marker.flight_id(),
+                        FlightCause::TrailPurge {
+                            files: files as u32,
+                        },
+                    );
+                }
+                ctx.count("audit.purged_files", total_files);
                 // The seen-set (if built) still names purged records; that
                 // is harmless — it only makes dedup drop re-sent copies of
                 // records the capacity manager proved dispensable.
-                self.replies.store(req.id, AuditReply::Purged { files });
-                reply(ctx, req.id, req.from, AuditReply::Purged { files });
+                let r = AuditReply::Purged { files: total_files };
+                self.replies.store(req.id, r.clone());
+                reply(ctx, req.id, req.from, r);
             }
             AuditMsg::ReadTxnImages { transid } => {
-                let mut images = self.with_trail(ctx, |t| t.txn_images(transid));
-                images.extend(
-                    self.buffer
-                        .iter()
-                        .filter(|r| r.transid == transid)
-                        .cloned(),
-                );
+                let mut images: Vec<ImageRecord> = Vec::new();
+                for p in 0..self.parts.len() {
+                    images.extend(self.with_trail(ctx, p, |t| t.txn_images(transid)));
+                    images.extend(
+                        self.parts[p]
+                            .buffer
+                            .iter()
+                            .filter(|r| r.transid == transid)
+                            .cloned(),
+                    );
+                }
                 images.sort_by_key(|r| r.seq);
                 reply(ctx, req.id, req.from, AuditReply::Images(images));
             }
@@ -363,63 +564,92 @@ impl PairApp for AuditProcess {
     }
 
     fn on_timer(&mut self, ctx: &mut PairCtx<'_, '_>, tag: u64) {
-        match tag {
-            TAG_FORCE => self.complete_force(ctx),
-            TAG_WINDOW => {
-                self.window_armed = false;
-                if self.force_in_progress.is_none()
-                    && !self.buffer.is_empty()
-                    && !self.waiters.is_empty()
+        if tag == 0 || tag > 2 * self.parts.len() as u64 {
+            return;
+        }
+        let p = ((tag - 1) / 2) as usize;
+        if tag % 2 == 1 {
+            self.complete_force(ctx, p);
+            return;
+        }
+        // window firing: ignore stale timers armed for an earlier boxcar
+        // (one that filled to group_commit_max and forced before its
+        // window elapsed) — the accumulating boxcar deserves its own full
+        // window
+        match self.parts[p].window_deadline {
+            Some(deadline) if ctx.now() >= deadline => {
+                self.parts[p].window_deadline = None;
+                if self.parts[p].force_in_progress.is_none()
+                    && !self.parts[p].buffer.is_empty()
+                    && !self.parts[p].waiters.is_empty()
                 {
-                    self.start_force(ctx);
+                    self.start_force(ctx, p);
                 }
             }
-            _ => {}
+            _ => ctx.count("audit.stale_window_ignored", 1),
         }
     }
 
     fn on_takeover(&mut self, ctx: &mut PairCtx<'_, '_>) {
-        // an in-flight force died with the primary; requesters retransmit
-        self.force_in_progress = None;
-        self.window_armed = false;
-        self.waiters.clear();
+        // in-flight forces died with the primary; requesters retransmit
+        for part in &mut self.parts {
+            part.force_in_progress = None;
+            part.window_deadline = None;
+            part.waiters.clear();
+        }
+        self.pending.clear();
         self.in_progress.clear();
-        // the seen-set was primary-memory state: rebuild from the trail
-        // and buffer on the next append
+        // the seen-set was primary-memory state: rebuild from the trails
+        // and buffers on the next append
         self.seen = None;
         ctx.count("audit.takeovers", 1);
     }
 
     fn apply_checkpoint(&mut self, delta: Payload) {
         match delta.expect::<AuditDelta>() {
-            AuditDelta::Append { req_id, records } => {
-                self.buffer.extend(records);
+            AuditDelta::Append {
+                req_id,
+                partition,
+                records,
+            } => {
+                let p = partition.min(self.parts.len() - 1);
+                self.parts[p].buffer.extend(records);
                 self.replies.store(req_id, AuditReply::Appended);
             }
-            AuditDelta::Forced { count } => {
-                self.buffer.drain(..count.min(self.buffer.len()));
-                self.forced_count += count as u64;
+            AuditDelta::Forced { partition, count } => {
+                let p = partition.min(self.parts.len() - 1);
+                let n = count.min(self.parts[p].buffer.len());
+                self.parts[p].buffer.drain(..n);
+                self.parts[p].forced_count += count as u64;
             }
         }
     }
 
     fn snapshot(&self) -> Payload {
         Payload::new(AuditSnapshot {
-            buffer: self.buffer.clone(),
-            forced_count: self.forced_count,
+            partitions: self
+                .parts
+                .iter()
+                .map(|p| (p.buffer.clone(), p.forced_count))
+                .collect(),
             replies: self.replies.entries(),
         })
     }
 
     fn restore(&mut self, snapshot: Payload) {
         let s = snapshot.expect::<AuditSnapshot>();
-        self.buffer = s.buffer;
-        self.forced_count = s.forced_count;
+        for (i, (buffer, forced)) in s.partitions.into_iter().enumerate() {
+            if let Some(p) = self.parts.get_mut(i) {
+                p.buffer = buffer;
+                p.forced_count = forced;
+            }
+        }
         self.replies = ReplyCache::restore(8192, s.replies);
     }
 }
 
-/// Spawn an AUDITPROCESS pair and create its trail media if absent.
+/// Spawn an AUDITPROCESS pair and create its trail media (one per
+/// partition) if absent.
 pub fn spawn_audit_process(
     world: &mut World,
     node: encompass_sim::NodeId,
@@ -427,11 +657,13 @@ pub fn spawn_audit_process(
     cpu_backup: u8,
     cfg: AuditConfig,
 ) -> PairHandle {
-    let key = trail_key(node, &cfg.service);
-    let rotate = cfg.rotate_every;
-    world
-        .stable_mut()
-        .get_or_create::<TrailMedia, _>(&key, move || TrailMedia::new(rotate));
+    for p in 0..cfg.partitions.max(1) {
+        let key = partition_trail_key(node, &cfg.service, p);
+        let rotate = cfg.rotate_every;
+        world
+            .stable_mut()
+            .get_or_create::<TrailMedia, _>(&key, move || TrailMedia::new(rotate));
+    }
     guardian::spawn_pair(world, node, cpu_primary, cpu_backup, move || {
         AuditProcess::new(cfg.clone())
     })

@@ -16,6 +16,18 @@ pub fn trail_key(node: NodeId, service: &str) -> String {
     format!("{node}.{service}:trail")
 }
 
+/// Stable-storage key of partition `partition` of a partitioned audit
+/// trail. Partition 0 is the legacy single trail — same key as
+/// [`trail_key`] — so unpartitioned configurations keep their historical
+/// stable-storage layout (and trace hashes) byte for byte.
+pub fn partition_trail_key(node: NodeId, service: &str, partition: usize) -> String {
+    if partition == 0 {
+        trail_key(node, service)
+    } else {
+        format!("{node}.{service}:trail.p{partition}")
+    }
+}
+
 /// One file in the numbered sequence.
 #[derive(Clone, Debug, Default)]
 pub struct TrailFile {
@@ -218,6 +230,45 @@ mod tests {
         // idempotent: the fresh tail file is not repeatedly churned
         assert_eq!(t.purge_below(100), 0);
         assert_eq!(t.files.len(), 1);
+    }
+
+    #[test]
+    fn partition_zero_key_is_the_legacy_key() {
+        let n = NodeId(2);
+        assert_eq!(partition_trail_key(n, "$AUDIT", 0), trail_key(n, "$AUDIT"));
+        assert_eq!(partition_trail_key(n, "$AUDIT", 1), "\\N2.$AUDIT:trail.p1");
+        assert_ne!(
+            partition_trail_key(n, "$AUDIT", 1),
+            partition_trail_key(n, "$AUDIT", 2)
+        );
+    }
+
+    #[test]
+    fn force_rotating_mid_batch_keeps_order_and_purges_safely() {
+        // one force whose batch spans a rotation boundary: records 1..=5
+        // with rotate_every=2 land as files [1,2][3,4][5]
+        let mut t = TrailMedia::new(2);
+        t.force(vec![img(1, 1, "$D")]);
+        // the second force starts mid-file and rotates twice while writing
+        t.force(vec![img(2, 1, "$D"), img(3, 2, "$D"), img(4, 2, "$D"), img(5, 3, "$D")]);
+        assert_eq!(t.forces, 2, "one physical write per batch, rotation or not");
+        assert_eq!(t.files.len(), 3);
+        assert_eq!(
+            t.files.iter().map(|f| f.records.len()).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        // queries see ascending sequence order across the file boundary
+        let txn2 = Transid { home_node: NodeId(0), cpu: 0, seq: 2 };
+        let got = t.txn_images(txn2);
+        assert_eq!(got.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4]);
+        let vol = t.volume_images(&VolumeRef::new(NodeId(0), "$D"));
+        assert_eq!(vol.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        // purging below 4 may only drop the first file: the second holds
+        // seq 4 even though it also holds seq 3
+        assert_eq!(t.purge_below(4), 1);
+        assert_eq!(t.purged_through, 2);
+        let vol = t.volume_images(&VolumeRef::new(NodeId(0), "$D"));
+        assert_eq!(vol.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use encompass_audit::auditprocess::{spawn_audit_process, AuditConfig};
 use encompass_audit::backout::{spawn_backout_process, BackoutMsg, BackoutReply};
 use encompass_audit::monitor::MonitorTrail;
 use encompass_audit::rollforward::rollforward_volume;
-use encompass_audit::trail::{trail_key, TrailMedia};
+use encompass_audit::trail::{partition_trail_key, trail_key, TrailMedia};
 use encompass_sim::{CpuId, Fault, NodeId, Payload, Pid, Process, SimConfig, SimDuration, World};
 use encompass_storage::discprocess::{
     spawn_disc_process, DiscConfig, DiscReply, DiscRequest,
@@ -217,6 +217,157 @@ fn audit_takeover_with_half_filled_boxcar_loses_nothing() {
         .unwrap();
     assert_eq!(trail.txn_images(txn(1)).len(), 1);
     assert_eq!(trail.txn_images(txn(2)).len(), 1);
+}
+
+#[test]
+fn stale_window_timer_does_not_close_the_next_boxcar_early() {
+    // Two force requests fill the boxcar to `group_commit_max`, so the
+    // force starts *before* the armed window expires — leaving the window
+    // timer live. A third transaction then opens a fresh window. The
+    // stale timer from the first window fires mid-way through the new
+    // window; it must be ignored, not close the new boxcar ~100ms early.
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol = VolumeRef::new(n, "$DATA");
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", vol.clone()));
+    spawn_audit_process(
+        &mut w,
+        n,
+        2,
+        3,
+        AuditConfig {
+            group_commit_window: SimDuration::from_millis(300),
+            group_commit_max: 2,
+            ..AuditConfig::default()
+        },
+    );
+    let cfg = DiscConfig {
+        recovery_mode: RecoveryMode::NonStopCheckpoint,
+        audit_service: Some("$AUDIT".into()),
+        ..DiscConfig::default()
+    };
+    let h = spawn_disc_process(&mut w, 0, 1, vol, catalog, cfg);
+    let target = h.target();
+
+    let phase1 = |i: u64| {
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: Bytes::from(format!("k{i}")),
+                value: b("v"),
+                transid: Some(txn(i)),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: txn(i) },
+            DiscRequest::ReleaseLocks { transid: txn(i) },
+        ]
+    };
+    // t≈0: two transactions arm the window, then fill the boxcar to max —
+    // the force starts early, stranding the window timer (fires ≈ t+300ms)
+    let r1 = run_script(&mut w, n, 0, target.clone(), phase1(1));
+    let r2 = run_script(&mut w, n, 1, target.clone(), phase1(2));
+    w.run_for(SimDuration::from_millis(100));
+    assert_eq!(w.metrics().get("audit.forces"), 1, "boxcar filled: forced early");
+    // t≈100ms: a third transaction arms a fresh window (deadline ≈ 400ms)
+    let r3 = run_script(&mut w, n, 2, target, phase1(3));
+    // t≈360ms: the stale timer has fired (≈300ms) inside the new window;
+    // the new boxcar must still be open
+    w.run_for(SimDuration::from_millis(260));
+    assert_eq!(
+        w.metrics().get("audit.forces"),
+        1,
+        "stale window timer closed the new boxcar early"
+    );
+    assert_eq!(w.metrics().get("audit.stale_window_ignored"), 1);
+    // and the new window still closes on its own deadline
+    w.run_for(SimDuration::from_millis(200));
+    assert_eq!(w.metrics().get("audit.forces"), 2);
+    for (i, r) in [&r1, &r2, &r3].iter().enumerate() {
+        assert_eq!(r.borrow().len(), 3, "txn {}: {:?}", i + 1, r.borrow());
+        assert_eq!(r.borrow()[1], DiscReply::Phase1Done, "txn {}", i + 1);
+    }
+}
+
+#[test]
+fn partition_takeover_with_half_filled_boxcar_per_partition_loses_nothing() {
+    // Two volumes mapped to two trail partitions, one transaction parked
+    // in each partition's open boxcar, then the primary dies: the backup
+    // must answer every waiter from its checkpointed per-partition state,
+    // and each partition's trail must hold its images exactly once.
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol_a = VolumeRef::new(n, "$DATA");
+    let vol_b = VolumeRef::new(n, "$DATB");
+    let mut catalog = Catalog::new();
+    catalog.add(FileDef::key_sequenced("accounts", vol_a.clone()));
+    catalog.add(FileDef::key_sequenced("ledger", vol_b.clone()));
+    let mut partition_of = std::collections::BTreeMap::new();
+    partition_of.insert("$DATA".to_string(), 0usize);
+    partition_of.insert("$DATB".to_string(), 1usize);
+    spawn_audit_process(
+        &mut w,
+        n,
+        2,
+        3,
+        AuditConfig {
+            group_commit_window: SimDuration::from_millis(300),
+            partitions: 2,
+            partition_of,
+            ..AuditConfig::default()
+        },
+    );
+    let cfg = DiscConfig {
+        recovery_mode: RecoveryMode::NonStopCheckpoint,
+        audit_service: Some("$AUDIT".into()),
+        ..DiscConfig::default()
+    };
+    let ha = spawn_disc_process(&mut w, 0, 1, vol_a, catalog.clone(), cfg.clone());
+    let hb = spawn_disc_process(&mut w, 1, 2, vol_b, catalog, cfg);
+
+    // one transaction per volume, both boxcars half-filled and waiting
+    let script = |file: &str, i: u64| {
+        vec![
+            DiscRequest::Insert {
+                file: file.into(),
+                key: Bytes::from(format!("k{i}")),
+                value: b("v"),
+                transid: Some(txn(i)),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: txn(i) },
+            DiscRequest::ReleaseLocks { transid: txn(i) },
+        ]
+    };
+    let ra = run_script(&mut w, n, 0, ha.target(), script("accounts", 1));
+    let rb = run_script(&mut w, n, 1, hb.target(), script("ledger", 2));
+    w.run_for(SimDuration::from_millis(150));
+    assert_eq!(
+        w.metrics().get("audit.forces"),
+        0,
+        "both windows must still be open when the primary dies"
+    );
+    w.inject(Fault::KillCpu(n, CpuId(2)));
+    w.run_for(SimDuration::from_secs(10));
+
+    for (name, r) in [("a", &ra), ("b", &rb)] {
+        assert_eq!(r.borrow().len(), 3, "txn {name}: {:?}", r.borrow());
+        assert_eq!(r.borrow()[1], DiscReply::Phase1Done, "txn {name}");
+    }
+    assert!(w.metrics().get("audit.takeovers") >= 1);
+    // each partition trail holds exactly its own volume's image, once
+    let p0 = w
+        .stable()
+        .get::<TrailMedia>(&partition_trail_key(n, "$AUDIT", 0))
+        .unwrap();
+    let p1 = w
+        .stable()
+        .get::<TrailMedia>(&partition_trail_key(n, "$AUDIT", 1))
+        .unwrap();
+    assert_eq!(p0.txn_images(txn(1)).len(), 1);
+    assert_eq!(p0.txn_images(txn(2)).len(), 0);
+    assert_eq!(p1.txn_images(txn(2)).len(), 1);
+    assert_eq!(p1.txn_images(txn(1)).len(), 0);
 }
 
 /// Drives a Backout request and records the reply.

@@ -20,6 +20,7 @@ fn main() {
     let mut start: u64 = 0;
     let mut window: Option<u64> = None;
     let mut dumps = false;
+    let mut partitions: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +44,15 @@ fn main() {
                 dumps = true;
                 i += 1;
             }
+            "--partitions" => {
+                let n = parse_num(args.get(i + 1), "--partitions");
+                if n == 0 {
+                    eprintln!("--partitions needs a value >= 1");
+                    std::process::exit(2);
+                }
+                partitions = Some(n);
+                i += 2;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -56,9 +66,9 @@ fn main() {
     }
 
     let failed = match (seed, sweep) {
-        (Some(s), _) => run_single(s, window, dumps),
-        (None, Some(count)) => run_sweep(start, count, window, dumps),
-        (None, None) => run_sweep(0, 25, window, dumps), // CI smoke default
+        (Some(s), _) => run_single(s, window, dumps, partitions),
+        (None, Some(count)) => run_sweep(start, count, window, dumps, partitions),
+        (None, None) => run_sweep(0, 25, window, dumps, partitions), // CI smoke default
     };
     if failed {
         std::process::exit(1);
@@ -66,12 +76,17 @@ fn main() {
 }
 
 /// Generate the schedule for `seed`, overriding the drawn group-commit
-/// window when `--window US` was given and enabling the online-dump plan
-/// when `--dumps` was.
-fn schedule_for(seed: u64, window: Option<u64>, dumps: bool) -> Schedule {
+/// window when `--window US` was given, enabling the online-dump plan
+/// when `--dumps` was, and forcing both the audit-partition count and
+/// the volumes-per-node to N when `--partitions N` was.
+fn schedule_for(seed: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> Schedule {
     let mut schedule = Schedule::generate(seed);
     if let Some(us) = window {
         schedule.group_commit_window_us = us;
+    }
+    if let Some(p) = partitions {
+        schedule.audit_partitions = p as usize;
+        schedule.volumes_per_node = (p as usize).min(2);
     }
     schedule.dumps_enabled = dumps;
     schedule
@@ -86,18 +101,20 @@ fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
 
 fn print_usage() {
     println!(
-        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US] [--dumps]\n\
+        "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US] [--dumps] \
+         [--partitions N]\n\
          default: --sweep 25 (the CI smoke subset)\n\
          --window US overrides each schedule's group-commit window (microseconds)\n\
-         --dumps enables each schedule's online-dump plan + trail purging"
+         --dumps enables each schedule's online-dump plan + trail purging\n\
+         --partitions N forces N audit-trail partitions (and up to 2 volumes per node)"
     );
 }
 
 /// One seed, verbose: print the schedule, run it twice — the second time
 /// with the flight recorder on — and require both runs to produce the
 /// same determinism hash (which also pins recorder-off/on equivalence).
-fn run_single(seed: u64, window: Option<u64>, dumps: bool) -> bool {
-    let schedule = schedule_for(seed, window, dumps);
+fn run_single(seed: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> bool {
+    let schedule = schedule_for(seed, window, dumps, partitions);
     print!("{}", schedule.describe());
     let a = run_schedule(&schedule);
     let b = run_schedule_with(&schedule, true);
@@ -142,7 +159,7 @@ fn dump_flight(report: &RunReport) {
     }
 }
 
-fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool) -> bool {
+fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> bool {
     let mut failures = 0u64;
     let mut commits = 0u64;
     let mut aborts = 0u64;
@@ -150,7 +167,7 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool) -> bool {
     let mut dumps_done = 0u64;
     let mut purged_files = 0u64;
     for seed in start..start + count {
-        let report = run_schedule(&schedule_for(seed, window, dumps));
+        let report = run_schedule(&schedule_for(seed, window, dumps, partitions));
         println!("{}", report.summary_line());
         commits += report.commits;
         aborts += report.aborts;
@@ -165,7 +182,7 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool) -> bool {
                 println!("  violation: {v}");
             }
             // recording is hash-neutral, so this replays the same run
-            let recorded = run_schedule_with(&schedule_for(seed, window, dumps), true);
+            let recorded = run_schedule_with(&schedule_for(seed, window, dumps, partitions), true);
             dump_flight(&recorded);
         }
     }

@@ -126,7 +126,8 @@ pub fn run_schedule(schedule: &Schedule) -> RunReport {
 /// failing seed can be re-run recorded and the same execution replays.
 pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunReport {
     let mut builder = tmf::facility::TmfNodeConfig::builder()
-        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us));
+        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us))
+        .audit_partitions(schedule.audit_partitions.max(1));
     if schedule.dumps_enabled {
         builder = builder
             .trail_purge_interval(SimDuration::from_micros(schedule.trail_purge_interval_us))
@@ -142,6 +143,7 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
     };
     let mut app = launch_bank_app(BankAppParams {
         node_cpus: vec![schedule.cpus_per_node; schedule.nodes],
+        volumes_per_node: schedule.volumes_per_node.max(1),
         accounts: ACCOUNTS,
         terminals_per_node: schedule.terminals_per_node,
         transactions_per_terminal: schedule.transactions_per_terminal,
@@ -274,12 +276,21 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
             )),
         }
     }
-    let trail_keys: Vec<String> = app
+    // Per-volume trail keys: with partitioned trails a volume's images
+    // live on exactly one partition, and a *sibling* partition may have
+    // purged past this volume's floor — scanning every trail of the
+    // service would trip ROLLFORWARD's purge-floor check spuriously.
+    let trail_key_of: BTreeMap<(NodeId, String), String> = app
         .tmf
         .iter()
-        .flat_map(|h| h.trail_keys.iter().cloned())
+        .flat_map(|h| {
+            let node = h.node;
+            h.trail_key_of
+                .iter()
+                .map(move |(vol, key)| ((node, vol.clone()), key.clone()))
+        })
         .collect();
-    check_convergence(&mut app.world, &volumes, &trail_keys, &mut violations);
+    check_convergence(&mut app.world, &volumes, &trail_key_of, &mut violations);
 
     let flight = if flight_recorder {
         let by_txn = app.world.flightrec().timelines();
@@ -619,7 +630,7 @@ fn parse_history_amount(v: &Bytes) -> Option<i64> {
 fn check_convergence(
     world: &mut World,
     volumes: &[VolumeRef],
-    trail_keys: &[String],
+    trail_key_of: &BTreeMap<(NodeId, String), String>,
     violations: &mut Vec<String>,
 ) {
     for v in volumes {
@@ -628,8 +639,12 @@ fn check_convergence(
             .get::<DumpRegistry>(&dump_registry_key(v))
             .map(|r| r.generation)
             .unwrap_or(0);
+        let keys: Vec<String> = trail_key_of
+            .get(&(v.node, v.volume.clone()))
+            .map(|k| vec![k.clone()])
+            .unwrap_or_default();
         let live = snapshot_volume(world, v);
-        let _ = rollforward_volume(world, v, trail_keys, generation);
+        let _ = rollforward_volume(world, v, &keys, generation);
         let rebuilt = snapshot_volume(world, v);
         if live != rebuilt {
             let detail = diff_summary(&live, &rebuilt);

@@ -91,6 +91,11 @@ pub struct Schedule {
     /// Audit-trail rotation size when dumps run (small, so capacity
     /// purging has whole files to drop within a short run).
     pub audit_rotate_every: usize,
+    /// Audited volumes per node the bank app spreads its accounts over
+    /// (`$BANK`, `$BANK1`, …).
+    pub volumes_per_node: usize,
+    /// Audit-trail partitions per AUDITPROCESS.
+    pub audit_partitions: usize,
 }
 
 impl Schedule {
@@ -253,6 +258,10 @@ impl Schedule {
         let trail_purge_interval_us = rng.random_range(40_000..=150_000u64);
         // small trail files so a short run rotates (and can purge) several
         let audit_rotate_every = rng.random_range(16..=64usize);
+        // trail-partitioning plan — drawn after everything else so every
+        // draw above keeps its historical value for a given seed
+        let volumes_per_node = rng.random_range(1..=2usize);
+        let audit_partitions = rng.random_range(1..=3usize);
 
         Schedule {
             seed,
@@ -268,13 +277,16 @@ impl Schedule {
             dumps,
             trail_purge_interval_us,
             audit_rotate_every,
+            volumes_per_node,
+            audit_partitions,
         }
     }
 
     /// Human-readable timeline, for failure reports.
     pub fn describe(&self) -> String {
         let mut out = format!(
-            "seed {}: {} nodes x {} cpus, {} terminals/node x {} txns, hot {:.2}, gc-window {}us\n",
+            "seed {}: {} nodes x {} cpus, {} terminals/node x {} txns, hot {:.2}, gc-window {}us, \
+             {} vols/node, {} trail partitions\n",
             self.seed,
             self.nodes,
             self.cpus_per_node,
@@ -282,6 +294,8 @@ impl Schedule {
             self.transactions_per_terminal,
             self.hot_fraction,
             self.group_commit_window_us,
+            self.volumes_per_node,
+            self.audit_partitions,
         );
         for ev in &self.events {
             let what = match &ev.action {

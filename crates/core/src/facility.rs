@@ -36,6 +36,13 @@ pub struct TmfNodeConfig {
     pub audit_service: String,
     /// Number of AUDITPROCESS pairs (and trails) per node.
     pub audit_processes: usize,
+    /// Trail partitions per AUDITPROCESS: each audit service splits its
+    /// volumes round-robin into this many volume groups, each with its own
+    /// trail media and in-flight force slot so independent groups force in
+    /// parallel (DESIGN.md §D12). One partition (the default) reproduces
+    /// the single-trail layout byte for byte. Private: set through the
+    /// builder so validation always runs.
+    audit_partitions: usize,
     /// Critical-response timeout/retries and safe-delivery retry interval.
     pub critical_timeout: SimDuration,
     pub critical_retries: u32,
@@ -67,6 +74,7 @@ impl Default for TmfNodeConfig {
             recovery_mode: RecoveryMode::NonStopCheckpoint,
             audit_service: "$AUDIT".into(),
             audit_processes: 1,
+            audit_partitions: 1,
             critical_timeout: SimDuration::from_millis(100),
             critical_retries: 3,
             safe_retry: SimDuration::from_millis(100),
@@ -104,6 +112,10 @@ impl TmfNodeConfig {
         self.audit_rotate_every
     }
 
+    pub fn audit_partitions(&self) -> usize {
+        self.audit_partitions
+    }
+
     pub fn trail_purge_interval(&self) -> SimDuration {
         self.trail_purge_interval
     }
@@ -127,6 +139,8 @@ pub enum ConfigError {
     ZeroDumpPageSize,
     /// A trail file must hold at least one record before rotating.
     ZeroAuditRotate,
+    /// An audit trail needs at least one partition.
+    ZeroAuditPartitions,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -141,6 +155,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroDumpPageSize => write!(f, "dump_page_size must be >= 1"),
             ConfigError::ZeroAuditRotate => write!(f, "audit_rotate_every must be >= 1"),
+            ConfigError::ZeroAuditPartitions => write!(f, "audit_partitions must be >= 1"),
         }
     }
 }
@@ -210,6 +225,11 @@ impl TmfNodeConfigBuilder {
         self
     }
 
+    pub fn audit_partitions(mut self, partitions: usize) -> Self {
+        self.cfg.audit_partitions = partitions;
+        self
+    }
+
     pub fn trail_purge_interval(mut self, interval: SimDuration) -> Self {
         self.cfg.trail_purge_interval = interval;
         self
@@ -244,6 +264,9 @@ impl TmfNodeConfigBuilder {
         if c.audit_rotate_every < 1 {
             return Err(ConfigError::ZeroAuditRotate);
         }
+        if c.audit_partitions < 1 {
+            return Err(ConfigError::ZeroAuditPartitions);
+        }
         Ok(self.cfg)
     }
 }
@@ -257,8 +280,14 @@ pub struct NodeHandles {
     pub discs: Vec<PairHandle>,
     /// The node's `$DUMP` ONLINEDUMP pair.
     pub dump: PairHandle,
-    /// Stable-storage keys of this node's audit trails (for ROLLFORWARD).
+    /// Stable-storage keys of this node's audit trails, every partition
+    /// included (for ROLLFORWARD).
     pub trail_keys: Vec<String>,
+    /// Local volume name → the one trail (partition) holding its images.
+    /// Per-partition purging makes whole-service trail scans unsound for
+    /// per-volume recovery: a sibling partition may legitimately have
+    /// purged past this volume's floor.
+    pub trail_key_of: BTreeMap<String, String>,
 }
 
 /// Spawn the full TMF process set for `node`. The node must have at least
@@ -292,12 +321,36 @@ pub fn spawn_tmf_node(
             format!("{}{}", cfg.audit_service, i)
         }
     };
+    // Volumes share audit services round-robin; within each service they
+    // are dealt round-robin again into trail partitions (the volume
+    // groups of DESIGN.md §D12). Computed up front: the AUDITPROCESS
+    // needs its volume→partition map at spawn time.
+    let volumes: Vec<_> = catalog
+        .all_volumes()
+        .into_iter()
+        .filter(|v| v.node == node)
+        .collect();
+    let partitions = cfg.audit_partitions.max(1);
+    let mut partition_maps: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new(); audit_count];
+    let mut trail_key_of = BTreeMap::new();
+    for (i, volume) in volumes.iter().enumerate() {
+        let s = i % audit_count;
+        let p = partition_maps[s].len() % partitions;
+        partition_maps[s].insert(volume.volume.clone(), p);
+        trail_key_of.insert(
+            volume.volume.clone(),
+            encompass_audit::trail::partition_trail_key(node, &service_name(s), p),
+        );
+    }
+
     let mut audits = Vec::new();
     let mut trail_keys = Vec::new();
-    for i in 0..audit_count {
+    for (i, partition_of) in partition_maps.iter().enumerate() {
         let (ap, ab) = pair_cpus(i as u8);
         let svc = service_name(i);
-        trail_keys.push(encompass_audit::trail::trail_key(node, &svc));
+        for p in 0..partitions {
+            trail_keys.push(encompass_audit::trail::partition_trail_key(node, &svc, p));
+        }
         audits.push(spawn_audit_process(
             world,
             node,
@@ -308,21 +361,17 @@ pub fn spawn_tmf_node(
                 rotate_every: cfg.audit_rotate_every,
                 group_commit_window: cfg.group_commit_window,
                 group_commit_max: cfg.group_commit_max,
+                partitions,
+                partition_of: partition_of.clone(),
             },
         ));
     }
     let (bp, bb) = pair_cpus(audit_count as u8);
     let backout = spawn_backout_process(world, node, bp, bb);
 
-    // one DISCPROCESS pair per local volume; volumes share audit services
-    // round-robin
+    // one DISCPROCESS pair per local volume
     let mut discs = Vec::new();
     let mut audit_service_of = BTreeMap::new();
-    let volumes: Vec<_> = catalog
-        .all_volumes()
-        .into_iter()
-        .filter(|v| v.node == node)
-        .collect();
     for (i, volume) in volumes.iter().enumerate() {
         let (dp, db) = pair_cpus(1 + audit_count as u8 + i as u8);
         let svc = service_name(i % audit_count);
@@ -375,6 +424,7 @@ pub fn spawn_tmf_node(
         discs,
         dump,
         trail_keys,
+        trail_key_of,
     }
 }
 

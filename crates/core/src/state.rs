@@ -1,30 +1,41 @@
-//! The transaction state machine (Figure 3 of the paper).
+//! The transaction state machine (Figure 3 of the paper, refined).
 //!
 //! ```text
 //!            BEGIN
 //!              │
-//!              ▼        END (phase one)          (phase two)
-//!           ACTIVE ───────────────────► ENDING ───────────► ENDED
-//!              │                           │
-//!              │ FAILURE / ABORT           │ FAILURE before commit record
-//!              ▼                           ▼
-//!           ABORTING ──────────────────► ABORTED
+//!              ▼        END (phase one)           (decision durable)
+//!           ACTIVE ───────────────────► ENDING ──────► COMMITTING
+//!              │                           │                │ commit record
+//!              │ FAILURE / ABORT           │ FAILURE        │ forced
+//!              ▼                           ▼                ▼
+//!           ABORTING ──────────────────► ABORTED          ENDED
 //!                         (backout)
 //! ```
 //!
 //! "Aborting" and "ending" are parallel states, as are "aborted" and
 //! "ended". Once "ended" or "aborted" completes, the transid leaves the
 //! system.
+//!
+//! COMMITTING refines the paper's "ending" state (see DESIGN.md §D12): the
+//! home TMP enters it when every phase-one participant has forced its
+//! audit images and the commit decision has been checkpointed to the
+//! backup. From COMMITTING the only exit is ENDED — an abort can no longer
+//! overtake the commit — which is what licenses releasing record locks
+//! while the commit record's monitor-trail force is still spinning.
 
 use std::fmt;
 
-/// The five states of Figure 3.
+/// The states of Figure 3, plus the committing refinement of "ending".
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TxState {
     /// After BEGIN-TRANSACTION, before commit or abort is requested.
     Active,
     /// Phase one of commit: audit records being forced to the trails.
     Ending,
+    /// Home only: phase one complete, commit decision checkpointed, commit
+    /// record queued for the monitor trail. Locks may release; an abort
+    /// can no longer win.
+    Committing,
     /// The commit record is on the Monitor Audit Trail; locks being
     /// released (phase two). Terminal.
     Ended,
@@ -35,11 +46,14 @@ pub enum TxState {
 }
 
 impl TxState {
-    /// The legal next states (exactly Figure 3's edges).
+    /// The legal next states (Figure 3's edges, with ENDING → ENDED split
+    /// through COMMITTING on the home-commit path; the direct edge remains
+    /// for non-home nodes applying a received disposition).
     pub fn successors(self) -> &'static [TxState] {
         match self {
             TxState::Active => &[TxState::Ending, TxState::Aborting],
-            TxState::Ending => &[TxState::Ended, TxState::Aborting],
+            TxState::Ending => &[TxState::Committing, TxState::Ended, TxState::Aborting],
+            TxState::Committing => &[TxState::Ended],
             TxState::Ended => &[],
             TxState::Aborting => &[TxState::Aborted],
             TxState::Aborted => &[],
@@ -57,10 +71,11 @@ impl TxState {
     }
 
     /// All states, for exhaustive enumeration (experiment F3).
-    pub fn all() -> [TxState; 5] {
+    pub fn all() -> [TxState; 6] {
         [
             TxState::Active,
             TxState::Ending,
+            TxState::Committing,
             TxState::Ended,
             TxState::Aborting,
             TxState::Aborted,
@@ -73,6 +88,7 @@ impl fmt::Display for TxState {
         let s = match self {
             TxState::Active => "active",
             TxState::Ending => "ending",
+            TxState::Committing => "committing",
             TxState::Ended => "ended",
             TxState::Aborting => "aborting",
             TxState::Aborted => "aborted",
@@ -111,7 +127,8 @@ mod tests {
         use TxState::*;
         let expect = [
             (Active, vec![Ending, Aborting]),
-            (Ending, vec![Ended, Aborting]),
+            (Ending, vec![Committing, Ended, Aborting]),
+            (Committing, vec![Ended]),
             (Ended, vec![]),
             (Aborting, vec![Aborted]),
             (Aborted, vec![]),
@@ -122,11 +139,22 @@ mod tests {
     }
 
     #[test]
+    fn committing_cannot_abort() {
+        // the committing refinement exists precisely so locks can release
+        // before the commit record's force completes: once entered, no
+        // abort path may win
+        assert!(!TxState::Committing.can_become(TxState::Aborting));
+        assert!(!TxState::Committing.can_become(TxState::Aborted));
+        assert!(TxState::Committing.can_become(TxState::Ended));
+    }
+
+    #[test]
     fn terminality() {
         assert!(TxState::Ended.is_terminal());
         assert!(TxState::Aborted.is_terminal());
         assert!(!TxState::Active.is_terminal());
         assert!(!TxState::Ending.is_terminal());
+        assert!(!TxState::Committing.is_terminal());
         assert!(!TxState::Aborting.is_terminal());
     }
 

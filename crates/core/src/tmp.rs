@@ -34,7 +34,7 @@ use crate::table::StateBroadcast;
 use encompass_audit::backout::{BackoutMsg, BackoutReply};
 use encompass_audit::monitor::MonitorTrail;
 use encompass_sim::{
-    FlightCause, HistogramHandle, NodeId, Payload, Pid, SimDuration, SystemEvent, World,
+    FlightCause, HistogramHandle, NodeId, Payload, Pid, SimDuration, SimTime, SystemEvent, World,
 };
 use encompass_storage::audit_api::{AuditMsg, AuditReply};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
@@ -245,11 +245,17 @@ pub struct TmpProcess {
     monitor_boxcar: Vec<(Transid, bool)>,
     /// The boxcar whose physical force is in flight.
     monitor_inflight: Option<Vec<(Transid, bool)>>,
-    /// A `TAG_MONITOR_WINDOW` timer is outstanding for the accumulating
-    /// boxcar.
-    monitor_window_armed: bool,
+    /// Deadline of the `TAG_MONITOR_WINDOW` timer armed for the
+    /// accumulating boxcar. A firing before this deadline is a *stale*
+    /// timer left over from an earlier, max-filled boxcar and must be
+    /// ignored, or it closes the new boxcar before its own window elapses.
+    monitor_window_deadline: Option<SimTime>,
     /// safe-delivery Phase2/AbortTxn/ReleaseLocks rpc → transid
     deliveries: HashMap<u64, Transid>,
+    /// Early (COMMITTING-state) lock-release rpc → transid. Purely
+    /// informational: the terminal delivery set re-sends ReleaseLocks
+    /// anyway, and receivers are idempotent.
+    early_releases: HashMap<u64, Transid>,
     /// in-doubt QueryDisposition rpc → transid
     janitor_rpcs: BTreeMap<u64, Transid>,
     /// outstanding capacity-sweep Purge rpcs
@@ -279,8 +285,9 @@ impl TmpProcess {
             monitor_timers: HashMap::new(),
             monitor_boxcar: Vec::new(),
             monitor_inflight: None,
-            monitor_window_armed: false,
+            monitor_window_deadline: None,
             deliveries: HashMap::new(),
+            early_releases: HashMap::new(),
             janitor_rpcs: BTreeMap::new(),
             purge_rpcs: HashSet::new(),
             next_tag: 0,
@@ -451,6 +458,14 @@ impl TmpProcess {
             return;
         };
         if t.home {
+            // The decision is commit and can no longer be overtaken:
+            // enter COMMITTING — set_state checkpoints the state to the
+            // backup *before* any lock is released, so a takeover can
+            // never presume abort for a transaction whose locks are gone
+            // (DESIGN.md §D12) — then release local record locks without
+            // waiting for the commit record's force to finish spinning.
+            self.set_state(ctx, transid, TxState::Committing);
+            self.early_release_locks(ctx, transid);
             // write the commit record: one forced monitor-trail write
             self.schedule_monitor_write(ctx, transid, true);
         } else {
@@ -460,6 +475,30 @@ impl TmpProcess {
             {
                 self.answer(ctx, req_id, from, TmpReply::Phase1Ok);
             }
+        }
+    }
+
+    /// Release the local record locks of a COMMITTING transaction ahead
+    /// of phase two. Sound because COMMITTING has no abort successor and
+    /// was checkpointed before this call: whatever fails from here on,
+    /// the surviving TMP half finishes the commit. The terminal delivery
+    /// set still re-sends ReleaseLocks (receivers are idempotent), so
+    /// nothing is lost if these rpcs die with the primary.
+    fn early_release_locks(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid) {
+        let Some(t) = self.txns.get(&transid) else {
+            return;
+        };
+        let volumes = t.volumes.clone();
+        for v in volumes {
+            ctx.count("tmf.msgs.release_early", 1);
+            let id = self.disc_rpc.call_persistent(
+                ctx,
+                Target::Named(v.node, v.volume.clone()),
+                DiscRequest::ReleaseLocks { transid },
+                self.cfg.safe_retry,
+                0,
+            );
+            self.early_releases.insert(id, transid);
         }
     }
 
@@ -486,10 +525,11 @@ impl TmpProcess {
         }
         if self.monitor_boxcar.len() < self.cfg.group_commit_max {
             // hold the boxcar open for other transactions reaching their
-            // completion point; a stale window timer may close it early,
-            // which only shortens the wait
-            if !self.monitor_window_armed {
-                self.monitor_window_armed = true;
+            // completion point; the recorded deadline lets on_timer tell
+            // this boxcar's own window expiry apart from stale timers of
+            // earlier, max-filled boxcars
+            if self.monitor_window_deadline.is_none() {
+                self.monitor_window_deadline = Some(ctx.now() + self.cfg.group_commit_window);
                 ctx.set_timer(self.cfg.group_commit_window, TAG_MONITOR_WINDOW);
             }
             return;
@@ -499,7 +539,7 @@ impl TmpProcess {
 
     /// Start the single physical force for everything in the boxcar.
     fn start_monitor_force(&mut self, ctx: &mut PairCtx<'_, '_>) {
-        self.monitor_window_armed = false;
+        self.monitor_window_deadline = None;
         let batch = std::mem::take(&mut self.monitor_boxcar);
         ctx.count("tmf.monitor_forces", 1);
         ctx.observe_handle(&self.boxcar_hist, batch.len() as u64);
@@ -522,7 +562,9 @@ impl TmpProcess {
         let mut writable: Vec<(Transid, bool)> = Vec::new();
         for &(transid, commit) in &batch {
             let state = self.txns.get(&transid).map(|t| t.state);
-            if commit && state != Some(TxState::Ending) {
+            if commit
+                && !matches!(state, Some(TxState::Ending) | Some(TxState::Committing))
+            {
                 ctx.count("tmf.commit_overtaken_by_abort", 1);
                 continue;
             }
@@ -558,9 +600,10 @@ impl TmpProcess {
         // abort may have overtaken a pending commit (e.g. the requester's
         // processor failed while the record was in flight): the state at
         // write completion is authoritative, and a commit record may only
-        // be written for a transaction still in "ending" state
+        // be written for a transaction still in "ending" (or its
+        // committing refinement) state
         let state = self.txns.get(&transid).map(|t| t.state);
-        if commit && state != Some(TxState::Ending) {
+        if commit && !matches!(state, Some(TxState::Ending) | Some(TxState::Committing)) {
             ctx.count("tmf.commit_overtaken_by_abort", 1);
             return;
         }
@@ -592,9 +635,15 @@ impl TmpProcess {
             return;
         };
         let waiter = t.end_waiter.take();
+        // abort requests that arrived while COMMITTING could no longer
+        // win; they learn the transaction's fate instead
+        let aborters: Vec<(u64, Pid)> = t.abort_waiters.drain(..).collect();
         // END-TRANSACTION completes now; phase two is safe-delivery and
         // its completion is not awaited
         if let Some((req_id, from)) = waiter {
+            self.answer(ctx, req_id, from, TmpReply::Committed);
+        }
+        for (req_id, from) in aborters {
             self.answer(ctx, req_id, from, TmpReply::Committed);
         }
         self.send_terminal_deliveries(ctx, transid);
@@ -890,7 +939,7 @@ impl TmpProcess {
                         ctx.count("tmf.ends", 1);
                         self.start_phase1(ctx, transid);
                     }
-                    Some(TxState::Ending) => {
+                    Some(TxState::Ending) | Some(TxState::Committing) => {
                         if let Some(t) = self.txns.get_mut(&transid) {
                             t.end_waiter = Some((req_id, from)); // retried End
                         }
@@ -951,14 +1000,17 @@ impl TmpProcess {
                 ctx.count("tmf.force_disposition", 1);
                 let state = self.txns.get(&transid).map(|t| t.state);
                 if commit {
-                    if state == Some(TxState::Ending) {
+                    if matches!(state, Some(TxState::Ending) | Some(TxState::Committing)) {
                         if let Some(t) = self.txns.get_mut(&transid) {
                             t.end_waiter = None;
                         }
                         self.monitor_written(ctx, transid, true);
                     }
-                } else if state.is_some() {
-                    // break the in-doubt hold
+                } else if state.is_some() && state != Some(TxState::Committing) {
+                    // break the in-doubt hold — but a COMMITTING
+                    // transaction already released locks against a
+                    // durable commit decision, so even the operator may
+                    // not turn it into an abort
                     if let Some(t) = self.txns.get_mut(&transid) {
                         t.state = TxState::Active; // permit Aborting transition
                     }
@@ -1004,7 +1056,9 @@ impl TmpProcess {
                             t.end_waiter = Some((req_id, from));
                         }
                     }
-                    Some(TxState::Ended) => self.answer(ctx, req_id, from, TmpReply::Phase1Ok),
+                    Some(TxState::Ended) | Some(TxState::Committing) => {
+                        self.answer(ctx, req_id, from, TmpReply::Phase1Ok)
+                    }
                     Some(TxState::Aborting) | Some(TxState::Aborted) => {
                         self.answer(ctx, req_id, from, TmpReply::Phase1Refused)
                     }
@@ -1045,6 +1099,9 @@ impl TmpProcess {
                 _ => self.phase1_failed(ctx, transid),
             }
             return;
+        }
+        if self.early_releases.remove(&id).is_some() {
+            return; // informational only; terminal deliveries re-send
         }
         if let Some(transid) = self.deliveries.remove(&id) {
             self.delivery_acked(ctx, transid);
@@ -1160,17 +1217,18 @@ impl TmpProcess {
         }
     }
 
-    /// Audit-trail capacity sweep. Per local audit service, the cut is the
-    /// smallest purge floor over its volumes' *latest completed* dumps —
-    /// every trail record below a dump's floor was taken by a transaction
-    /// that released its locks before the dump began, so its effects are
-    /// fully inside the archive image and neither ROLLFORWARD nor backout
-    /// can ever need it. A service with any undumped volume is skipped;
-    /// the AUDITPROCESS further clamps the cut below the oldest open
-    /// transaction's first image.
+    /// Audit-trail capacity sweep. Per local audit service, report every
+    /// volume's purge floor from its *latest completed* dump — every
+    /// trail record below a dump's floor was taken by a transaction that
+    /// released its locks before the dump began, so its effects are fully
+    /// inside the archive image and neither ROLLFORWARD nor backout can
+    /// ever need it. The AUDITPROCESS groups the floors by trail
+    /// partition and cuts each partition independently (skipping any with
+    /// an undumped volume), clamped below the oldest open transaction's
+    /// first image on that partition.
     fn purge_tick(&mut self, ctx: &mut PairCtx<'_, '_>) {
         let node = ctx.node();
-        let mut cuts: BTreeMap<String, Option<u64>> = BTreeMap::new();
+        let mut floors_by_service: BTreeMap<String, Vec<(String, Option<u64>)>> = BTreeMap::new();
         let services: Vec<(String, String)> = self
             .cfg
             .audit_service_of
@@ -1180,27 +1238,23 @@ impl TmpProcess {
         for (volume, service) in services {
             let key = dump_registry_key(&VolumeRef::new(node, &volume));
             let floor = ctx.stable().get::<DumpRegistry>(&key).map(|r| r.purge_floor);
-            cuts.entry(service)
-                .and_modify(|c| {
-                    *c = match (*c, floor) {
-                        (Some(a), Some(b)) => Some(a.min(b)),
-                        _ => None,
-                    }
-                })
-                .or_insert(floor);
+            floors_by_service
+                .entry(service)
+                .or_default()
+                .push((volume, floor));
         }
         let open: Vec<Transid> = self.txns.keys().copied().collect();
-        for (service, cut) in cuts {
-            let Some(below) = cut else { continue };
-            if below <= 1 {
-                continue; // nothing purgeable yet
+        for (service, floors) in floors_by_service {
+            // no volume has a purgeable floor yet: spare the message
+            if !floors.iter().any(|(_, f)| matches!(f, Some(f) if *f > 1)) {
+                continue;
             }
             ctx.count("tmf.purge_requests", 1);
             let id = self.audit_rpc.call_persistent(
                 ctx,
                 Target::Named(node, service),
                 AuditMsg::Purge {
-                    below,
+                    floors,
                     open: open.clone(),
                 },
                 self.cfg.safe_retry,
@@ -1310,9 +1364,18 @@ impl PairApp for TmpProcess {
             return;
         }
         if tag == TAG_MONITOR_WINDOW {
-            self.monitor_window_armed = false;
-            if self.monitor_inflight.is_none() && !self.monitor_boxcar.is_empty() {
-                self.start_monitor_force(ctx);
+            // ignore stale firings armed for an earlier boxcar that
+            // already forced (filled to group_commit_max before its
+            // window elapsed): the accumulating boxcar gets its own full
+            // window
+            match self.monitor_window_deadline {
+                Some(deadline) if ctx.now() >= deadline => {
+                    self.monitor_window_deadline = None;
+                    if self.monitor_inflight.is_none() && !self.monitor_boxcar.is_empty() {
+                        self.start_monitor_force(ctx);
+                    }
+                }
+                _ => ctx.count("tmf.stale_monitor_window_ignored", 1),
             }
             return;
         }
@@ -1375,8 +1438,10 @@ impl PairApp for TmpProcess {
         // (trail consult for Ending-home, backout re-drive for Aborting)
         self.monitor_boxcar.clear();
         self.monitor_inflight = None;
-        self.monitor_window_armed = false;
+        self.monitor_window_deadline = None;
         self.deliveries.clear();
+        // lost early releases are covered by the terminal delivery resend
+        self.early_releases.clear();
         self.janitor_rpcs.clear();
         // a lost purge sweep is simply re-run at the next interval
         self.purge_rpcs.clear();
@@ -1407,6 +1472,22 @@ impl PairApp for TmpProcess {
                     }
                 }
                 TxState::Ending => { /* wait for the home node's disposition */ }
+                TxState::Committing => {
+                    // The checkpointed COMMITTING state *is* the commit
+                    // decision (locks may already be released), so abort
+                    // is out of the question. If the commit record reached
+                    // the monitor trail before the primary died, finish;
+                    // otherwise re-drive the forced write.
+                    let node = ctx.node();
+                    let outcome = MonitorTrail::of(ctx.stable(), node).outcome(transid);
+                    if outcome == Some(true) {
+                        ctx.count("tmf.takeover_commit_completions", 1);
+                        self.finish_commit(ctx, transid);
+                    } else {
+                        ctx.count("tmf.takeover_commit_redrives", 1);
+                        self.schedule_monitor_write(ctx, transid, true);
+                    }
+                }
                 TxState::Aborting => {
                     // re-drive the backout
                     if let Some(t) = self.txns.get_mut(&transid) {

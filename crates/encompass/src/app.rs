@@ -110,6 +110,16 @@ pub struct BankAppParams {
     /// CPUs per node (one entry per node; accounts are partitioned evenly
     /// across nodes when there is more than one).
     pub node_cpus: Vec<u8>,
+    /// Audited volumes per node holding account partitions. Volume 0 is
+    /// the classic `$BANK`; extra volumes are `$BANK1`, `$BANK2`, … and
+    /// each node's key range is sub-split evenly across its volumes. The
+    /// history file always lives on node 0's `$BANK`.
+    pub volumes_per_node: usize,
+    /// Append a history record on every debit (the conservation oracle's
+    /// food). Off, every transaction touches exactly one volume — the
+    /// shape the trail-partitioning benchmarks need, since a shared
+    /// entry-sequenced file pins every transaction to one partition.
+    pub history: bool,
     pub accounts: u64,
     pub terminals_per_node: usize,
     pub transactions_per_terminal: u64,
@@ -135,6 +145,8 @@ impl Default for BankAppParams {
     fn default() -> Self {
         BankAppParams {
             node_cpus: vec![4],
+            volumes_per_node: 1,
+            history: true,
             accounts: 1000,
             terminals_per_node: 4,
             transactions_per_terminal: 25,
@@ -171,18 +183,30 @@ pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
     let n_nodes = params.node_cpus.len();
     let node_ids: Vec<NodeId> = (0..n_nodes as u8).map(NodeId).collect();
 
-    // accounts partitioned evenly across nodes by key range
+    // accounts partitioned evenly across nodes by key range, each node's
+    // range sub-split across its volumes ($BANK, $BANK1, …)
+    let volumes_per_node = params.volumes_per_node.max(1);
+    let slots = n_nodes as u64 * volumes_per_node as u64;
     let mut catalog = Catalog::new();
     let mut parts = Vec::new();
-    for (i, &node) in node_ids.iter().enumerate() {
-        let low = if i == 0 {
+    for (j, &node) in node_ids
+        .iter()
+        .flat_map(|n| std::iter::repeat_n(n, volumes_per_node))
+        .enumerate()
+    {
+        let low = if j == 0 {
             Bytes::new()
         } else {
-            crate::workload::account_key(params.accounts * i as u64 / n_nodes as u64)
+            crate::workload::account_key(params.accounts * j as u64 / slots)
+        };
+        let name = if j % volumes_per_node == 0 {
+            "$BANK".to_string()
+        } else {
+            format!("$BANK{}", j % volumes_per_node)
         };
         parts.push(PartitionSpec {
             low_key: low,
-            volume: VolumeRef::new(node, "$BANK"),
+            volume: VolumeRef::new(node, &name),
         });
     }
     catalog.add(FileDef::key_sequenced("accounts", parts[0].volume.clone()).partitioned(parts));
@@ -211,7 +235,10 @@ pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
                 lock_wait: params.lock_wait,
             },
             app.catalog.clone(),
-            || Box::new(BankServer::new(Some("history".into()))),
+            {
+                let history = params.history.then(|| "history".to_string());
+                move || Box::new(BankServer::new(history.clone()))
+            },
         );
         // the TCP with its terminals
         let catalog = app.catalog.clone();

@@ -17,8 +17,15 @@ use crate::model::{DirectiveKind, SourceModel};
 pub const SIM_CRATES: &[&str] = &["sim", "core", "storage", "audit", "guardian", "chaos"];
 
 /// Protocol enums whose `match`es must stay exhaustive (L3).
-pub const PROTOCOL_ENUMS: &[&str] =
-    &["DiscRequest", "AuditMsg", "TmpMsg", "BackoutMsg", "DumpMsg", "TxState"];
+pub const PROTOCOL_ENUMS: &[&str] = &[
+    "DiscRequest",
+    "AuditMsg",
+    "AuditDelta",
+    "TmpMsg",
+    "BackoutMsg",
+    "DumpMsg",
+    "TxState",
+];
 
 /// Order-sensitive methods on hash containers (L1-iter).
 const ITER_METHODS: &[&str] = &[

@@ -74,6 +74,12 @@ pub enum FlightCause {
     AuditForceStart,
     /// The audit force completed; `boxcar` waiters shared it.
     AuditForced { boxcar: u32 },
+    /// A partitioned trail force started carrying this transaction's
+    /// images on `partition` (AUDITPROCESS).
+    PartitionForceStart { partition: u32 },
+    /// One partition of the trail acknowledged this transaction's
+    /// phase-one force (AUDITPROCESS).
+    PartitionForced { partition: u32 },
     /// The commit (Monitor Audit Trail) record was queued for the group
     /// commit boxcar (TMP).
     MonitorEnqueued,
@@ -126,6 +132,8 @@ impl FlightCause {
             FlightCause::AppendsDrained => "appends_drained",
             FlightCause::AuditForceStart => "audit_force_start",
             FlightCause::AuditForced { .. } => "audit_forced",
+            FlightCause::PartitionForceStart { .. } => "partition_force_start",
+            FlightCause::PartitionForced { .. } => "partition_forced",
             FlightCause::MonitorEnqueued => "monitor_enqueued",
             FlightCause::MonitorForceStart => "monitor_force_start",
             FlightCause::MonitorForced { .. } => "monitor_forced",
@@ -154,6 +162,10 @@ impl FlightCause {
             FlightCause::AuditForced { boxcar } | FlightCause::MonitorForced { boxcar } => {
                 Some(("boxcar", u64::from(*boxcar)))
             }
+            FlightCause::PartitionForceStart { partition }
+            | FlightCause::PartitionForced { partition } => {
+                Some(("partition", u64::from(*partition)))
+            }
             FlightCause::DumpBegin { generation } | FlightCause::DumpEnd { generation } => {
                 Some(("generation", *generation))
             }
@@ -175,6 +187,7 @@ impl FlightCause {
                 LatencyComponent::Checkpoint
             }
             FlightCause::AuditForced { .. }
+            | FlightCause::PartitionForced { .. }
             | FlightCause::MonitorForceStart
             | FlightCause::MonitorForced { .. } => LatencyComponent::Force,
             _ => LatencyComponent::Bus,
@@ -215,12 +228,18 @@ pub struct FlightEvent {
     pub cause: FlightCause,
 }
 
-/// Commit latency of one transaction decomposed by component. The four
-/// components partition the `EndRequested → Committed` window, so they
-/// sum exactly to `total_us`.
+/// One committed transaction's lifetime decomposed by component. The four
+/// components partition the `Begin → Committed` window, so they sum
+/// exactly to `total_us`; `commit_us` is the classical `EndRequested →
+/// Committed` sub-window, kept separately so it can be cross-checked
+/// against the TMP's own `tmf.commit_latency_us` histogram.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommitAttribution {
+    /// Full window: the transaction's first recorded event (normally
+    /// `Begin`) to its first `Committed`.
     pub total_us: u64,
+    /// END-TRANSACTION to commit point: the commit latency proper.
+    pub commit_us: u64,
     pub lock_wait_us: u64,
     pub force_us: u64,
     pub checkpoint_us: u64,
@@ -360,21 +379,31 @@ pub fn format_timeline(transid: FlightTransid, events: &[FlightEvent]) -> String
     s
 }
 
-/// Decompose one committed transaction's commit latency. The window runs
-/// from its first `EndRequested` to the first `Committed` after it; each
-/// adjacent-event gap is attributed to the component of the gap's ending
-/// event. Returns `None` if the window is absent (uncommitted, or the
-/// ring evicted its front).
+/// Decompose one committed transaction's lifetime. The full window runs
+/// from its first `Begin` (falling back to `EndRequested` if the ring
+/// evicted the front) to the first `Committed` after its first
+/// `EndRequested`; each adjacent-event gap is attributed to the component
+/// of the gap's *ending* event. Gaps before `EndRequested` capture the
+/// verbs — lock waits taken while the transaction was still issuing
+/// updates land in `lock_wait_us`, which is where contention lives (locks
+/// are acquired during the verbs, never between END and the commit
+/// point). Returns `None` if the commit window is absent (uncommitted, or
+/// the ring evicted it).
 pub fn attribute_commit(events: &[FlightEvent]) -> Option<CommitAttribution> {
-    let start = events
+    let endreq = events
         .iter()
         .position(|e| e.cause == FlightCause::EndRequested)?;
-    let end = events[start..]
+    let end = events[endreq..]
         .iter()
         .position(|e| e.cause == FlightCause::Committed)?
-        + start;
+        + endreq;
+    let start = events[..endreq]
+        .iter()
+        .position(|e| e.cause == FlightCause::Begin)
+        .unwrap_or(endreq);
     let mut a = CommitAttribution {
         total_us: events[end].at.since(events[start].at).as_micros(),
+        commit_us: events[end].at.since(events[endreq].at).as_micros(),
         ..CommitAttribution::default()
     };
     for pair in events[start..=end].windows(2) {
@@ -495,11 +524,59 @@ mod tests {
             },
         ];
         let a = attribute_commit(&events).expect("committed window present");
-        assert_eq!(a.total_us, 900);
+        assert_eq!(a.total_us, 1000, "full window starts at Begin");
+        assert_eq!(a.commit_us, 900, "commit window starts at EndRequested");
         assert_eq!(a.component_sum(), a.total_us, "components partition the window");
         assert_eq!(a.force_us, 250 + 450);
-        assert_eq!(a.bus_us, 50 + 50 + 100);
+        assert_eq!(a.bus_us, 100 + 50 + 50 + 100);
         assert_eq!(a.lock_wait_us, 0);
+    }
+
+    #[test]
+    fn attribution_counts_pre_end_lock_waits() {
+        // contention shows up during the verbs, before END-TRANSACTION:
+        // the full window must attribute it to lock_wait while the commit
+        // sub-window stays the classical END → commit latency
+        let mk = |us, cause| FlightEvent {
+            at: at(us),
+            pid: pid(0, 1),
+            transid: tid(2),
+            cause,
+        };
+        let events = vec![
+            mk(0, FlightCause::Begin),
+            mk(50, FlightCause::LockQueued),
+            mk(400, FlightCause::LockGranted),
+            mk(500, FlightCause::EndRequested),
+            mk(900, FlightCause::MonitorForced { boxcar: 1 }),
+            mk(1000, FlightCause::Committed),
+        ];
+        let a = attribute_commit(&events).expect("committed window present");
+        assert_eq!(a.total_us, 1000);
+        assert_eq!(a.commit_us, 500);
+        assert_eq!(a.lock_wait_us, 350);
+        assert_eq!(a.force_us, 400);
+        assert_eq!(a.bus_us, 50 + 100 + 100);
+        assert_eq!(a.component_sum(), a.total_us);
+    }
+
+    #[test]
+    fn attribution_without_begin_falls_back_to_commit_window() {
+        // a ring that evicted the transaction's front truncates the full
+        // window to the commit window instead of mis-measuring
+        let mk = |us, cause| FlightEvent {
+            at: at(us),
+            pid: pid(0, 1),
+            transid: tid(3),
+            cause,
+        };
+        let events = vec![
+            mk(500, FlightCause::EndRequested),
+            mk(1000, FlightCause::Committed),
+        ];
+        let a = attribute_commit(&events).expect("committed window present");
+        assert_eq!(a.total_us, 500);
+        assert_eq!(a.commit_us, 500);
     }
 
     #[test]

@@ -81,14 +81,21 @@ pub enum AuditMsg {
     /// All images of a transaction, buffered or on the trail — used by the
     /// BACKOUTPROCESS to drive undo.
     ReadTxnImages { transid: Transid },
-    /// Capacity management: drop trail files whose records all have audit
-    /// sequence numbers below `below`. Sent by the TMP's purge pass once
-    /// each volume's latest completed dump proves those records can never
-    /// be needed by ROLLFORWARD. `open` lists the transids still open at
-    /// the sending TMP; the AUDITPROCESS additionally clamps the cut below
-    /// the first record of the oldest of them, so a backout can never find
-    /// its before-images purged.
-    Purge { below: u64, open: Vec<Transid> },
+    /// Capacity management: drop trail files whose records can never be
+    /// needed by ROLLFORWARD. Sent by the TMP's purge pass with one entry
+    /// per audited volume of the service: `Some(floor)` is the purge floor
+    /// proven by the volume's latest completed dump, `None` means the
+    /// volume has no completed dump yet. The AUDITPROCESS groups floors by
+    /// trail partition and cuts each partition at the minimum floor of its
+    /// volumes — a partition with any floorless volume is skipped. `open`
+    /// lists the transids still open at the sending TMP; the AUDITPROCESS
+    /// additionally clamps each cut below the first record of the oldest
+    /// of them on that partition, so a backout can never find its
+    /// before-images purged.
+    Purge {
+        floors: Vec<(String, Option<u64>)>,
+        open: Vec<Transid>,
+    },
 }
 
 /// Replies from an AUDITPROCESS.
