@@ -12,6 +12,7 @@ use encompass_sim::{CpuId, Fault, NodeId, Payload, Pid, Process, SimConfig, SimD
 use encompass_storage::discprocess::{
     spawn_disc_process, DiscConfig, DiscReply, DiscRequest,
 };
+use encompass_storage::locks::LockMode;
 use encompass_storage::media::{media_key, VolumeMedia};
 use encompass_storage::testkit::run_script;
 use encompass_storage::types::{FileDef, RecoveryMode, Transid, VolumeRef};
@@ -73,7 +74,7 @@ fn write_workload(t: Transid) -> Vec<DiscRequest> {
             lock_wait: WAIT,
         },
         DiscRequest::EndPhase1 { transid: t },
-        DiscRequest::ReleaseLocks { transid: t },
+        DiscRequest::ReleaseLocks { transid: t, commit: true },
     ]
 }
 
@@ -127,7 +128,7 @@ fn group_commit_batches_concurrent_phase_ones() {
                     lock_wait: WAIT,
                 },
                 DiscRequest::EndPhase1 { transid: t },
-                DiscRequest::ReleaseLocks { transid: t },
+                DiscRequest::ReleaseLocks { transid: t, commit: true },
             ],
         ));
     }
@@ -189,7 +190,7 @@ fn audit_takeover_with_half_filled_boxcar_loses_nothing() {
                     lock_wait: WAIT,
                 },
                 DiscRequest::EndPhase1 { transid: t },
-                DiscRequest::ReleaseLocks { transid: t },
+                DiscRequest::ReleaseLocks { transid: t, commit: true },
             ],
         ));
     }
@@ -260,7 +261,7 @@ fn stale_window_timer_does_not_close_the_next_boxcar_early() {
                 lock_wait: WAIT,
             },
             DiscRequest::EndPhase1 { transid: txn(i) },
-            DiscRequest::ReleaseLocks { transid: txn(i) },
+            DiscRequest::ReleaseLocks { transid: txn(i), commit: true },
         ]
     };
     // t≈0: two transactions arm the window, then fill the boxcar to max —
@@ -336,7 +337,7 @@ fn partition_takeover_with_half_filled_boxcar_per_partition_loses_nothing() {
                 lock_wait: WAIT,
             },
             DiscRequest::EndPhase1 { transid: txn(i) },
-            DiscRequest::ReleaseLocks { transid: txn(i) },
+            DiscRequest::ReleaseLocks { transid: txn(i), commit: true },
         ]
     };
     let ra = run_script(&mut w, n, 0, ha.target(), script("accounts", 1));
@@ -422,7 +423,7 @@ fn backout_restores_before_images_via_audit_trail() {
                 lock_wait: WAIT,
             },
             DiscRequest::EndPhase1 { transid: t1 },
-            DiscRequest::ReleaseLocks { transid: t1 },
+            DiscRequest::ReleaseLocks { transid: t1, commit: true },
         ],
     );
     w.run_for(SimDuration::from_secs(2));
@@ -439,6 +440,7 @@ fn backout_restores_before_images_via_audit_trail() {
                 key: b("acct"),
                 transid: t2,
                 lock_wait: WAIT,
+                mode: LockMode::Exclusive,
             },
             DiscRequest::Update {
                 file: "accounts".into(),
@@ -469,7 +471,7 @@ fn backout_restores_before_images_via_audit_trail() {
         3,
         target,
         vec![
-            DiscRequest::ReleaseLocks { transid: t2 },
+            DiscRequest::ReleaseLocks { transid: t2, commit: false },
             DiscRequest::Read {
                 file: "accounts".into(),
                 key: b("acct"),
@@ -506,6 +508,7 @@ fn archive_crash_rollforward_cycle() {
                 key: b("a"),
                 transid: t2,
                 lock_wait: WAIT,
+                mode: LockMode::Exclusive,
             },
             DiscRequest::Update {
                 file: "accounts".into(),
@@ -514,7 +517,7 @@ fn archive_crash_rollforward_cycle() {
                 transid: Some(t2),
             },
             DiscRequest::EndPhase1 { transid: t2 },
-            DiscRequest::ReleaseLocks { transid: t2 },
+            DiscRequest::ReleaseLocks { transid: t2, commit: true },
         ],
     );
     w.run_for(SimDuration::from_secs(2));
@@ -532,6 +535,7 @@ fn archive_crash_rollforward_cycle() {
                 key: b("b"),
                 transid: t3,
                 lock_wait: WAIT,
+                mode: LockMode::Exclusive,
             },
             DiscRequest::Update {
                 file: "accounts".into(),

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use encompass_sim::NodeId;
-use encompass_storage::locks::{LockManager, LockScope};
+use encompass_storage::locks::{LockManager, LockMode, LockScope};
 use encompass_storage::types::Transid;
 
 fn t(seq: u64) -> Transid {
@@ -31,7 +31,7 @@ fn bench_locks(c: &mut Criterion) {
             LockManager::new,
             |mut lm| {
                 for i in 0..100 {
-                    let _ = lm.acquire(t(1), rec(i), i);
+                    let _ = lm.acquire(t(1), rec(i), LockMode::Exclusive, i);
                 }
                 let _ = lm.release_all(t(1));
             },
@@ -43,10 +43,10 @@ fn bench_locks(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut lm = LockManager::new();
-                let _ = lm.acquire(t(0), rec(0), 0);
+                let _ = lm.acquire(t(0), rec(0), LockMode::Exclusive, 0);
                 // 50 waiters on the hot record
                 for w in 1..=50 {
-                    let _ = lm.acquire(t(w), rec(0), w);
+                    let _ = lm.acquire(t(w), rec(0), LockMode::Exclusive, w);
                 }
                 lm
             },

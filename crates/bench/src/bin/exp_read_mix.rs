@@ -1,0 +1,25 @@
+//! Read/write mix sweep — see `encompass_bench::experiments::read_mix`.
+//!
+//! ```text
+//! cargo run -p encompass-bench --release --bin exp_read_mix           # full sweep
+//! cargo run -p encompass-bench --release --bin exp_read_mix -- --smoke
+//! cargo run -p encompass-bench --release --bin exp_read_mix -- --out path.json
+//! ```
+//!
+//! Writes the machine-readable sweep to `BENCH_read_mix.json` (or
+//! `--out PATH`) in addition to printing the table.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_read_mix.json".to_string());
+
+    let result = encompass_bench::experiments::read_mix(smoke);
+    println!("{}", result.table());
+    std::fs::write(&out, result.to_json()).expect("write sweep json");
+    println!("wrote {out}");
+}

@@ -10,7 +10,7 @@ use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
 use std::cell::RefCell;
 use std::rc::Rc;
-use tmf::session::{DbOp, SessionEvent, TmfSession};
+use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
 use tmf::state::AbortReason;
 
 /// One step of a scripted transaction program.
@@ -31,6 +31,7 @@ pub type Log = Rc<RefCell<Vec<String>>>;
 /// A process that runs a transaction script and records outcomes.
 pub struct TxnScript {
     session: TmfSession,
+    options: SessionOptions,
     script: Vec<Step>,
     next: usize,
     log: Log,
@@ -38,8 +39,20 @@ pub struct TxnScript {
 
 impl TxnScript {
     pub fn new(catalog: Catalog, script: Vec<Step>, log: Log) -> TxnScript {
+        TxnScript::with_options(catalog, SessionOptions::default(), script, log)
+    }
+
+    /// A script whose `Begin` steps start transactions with `options`
+    /// (e.g. read-only / snapshot scripts).
+    pub fn with_options(
+        catalog: Catalog,
+        options: SessionOptions,
+        script: Vec<Step>,
+        log: Log,
+    ) -> TxnScript {
         TxnScript {
             session: TmfSession::new(catalog, 0),
+            options,
             script,
             next: 0,
             log,
@@ -52,8 +65,11 @@ impl TxnScript {
         }
         let step = self.script[self.next].clone();
         self.next += 1;
-        match step {
-            Step::Begin => self.session.begin(ctx, 0),
+        let refused = match step {
+            Step::Begin => {
+                self.session.begin(ctx, self.options, 0);
+                None
+            }
             Step::Read(f, k) => self.session.op(ctx, DbOp::Read { file: f, key: k }, 0),
             Step::ReadLock(f, k) => self.session.op(ctx, DbOp::ReadLock { file: f, key: k }, 0),
             Step::Insert(f, k, v) => self
@@ -62,11 +78,22 @@ impl TxnScript {
             Step::Update(f, k, v) => self
                 .session
                 .op(ctx, DbOp::Update { file: f, key: k, value: v }, 0),
-            Step::End => self.session.end(ctx, 0),
-            Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
+            Step::End => {
+                self.session.end(ctx, 0);
+                None
+            }
+            Step::Abort => {
+                self.session.abort(ctx, AbortReason::Voluntary, 0);
+                None
+            }
             Step::Pause(d) => {
                 ctx.set_timer(d, 1);
+                None
             }
+        };
+        if let Some(ev) = refused {
+            // synchronous refusal (write under a read-only script)
+            self.on_event(ctx, ev);
         }
     }
 
@@ -181,7 +208,7 @@ impl MfgDriver {
         self.seq += 1;
         self.tally.borrow_mut().attempted += 1;
         self.state = 1;
-        self.session.begin(ctx, 0);
+        self.session.begin(ctx, SessionOptions::default(), 0);
     }
 
     fn fail(&mut self, ctx: &mut Ctx<'_>) {
@@ -209,6 +236,7 @@ impl Process for MfgDriver {
                         self.state = 2;
                         let env = ServerRequest {
                             transid: self.session.transid(),
+                            options: self.session.options(),
                             request: AppRequest::new(
                                 &self.op.clone(),
                                 vec![

@@ -7,6 +7,7 @@ mod figures;
 mod group_commit;
 mod latency_attribution;
 mod online_dump;
+mod read_mix;
 
 pub use claims::{t1, t2, t3, t4, t5, t6, t7, t8};
 pub use figures::{f1, f2, f3, f4};
@@ -15,6 +16,7 @@ pub use latency_attribution::{
     latency_attribution, LatencyAttributionResult, LatencyAttributionRow,
 };
 pub use online_dump::{online_dump, OnlineDumpResult, OnlineDumpRow};
+pub use read_mix::{read_mix, ReadMixResult, ReadMixRow};
 
 /// Run every experiment (the `exp_all` binary), in parallel — each
 /// experiment builds its own simulated worlds, so they are independent;

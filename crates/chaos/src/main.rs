@@ -21,6 +21,7 @@ fn main() {
     let mut window: Option<u64> = None;
     let mut dumps = false;
     let mut partitions: Option<u64> = None;
+    let mut readers: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +54,10 @@ fn main() {
                 partitions = Some(n);
                 i += 2;
             }
+            "--readers" => {
+                readers = Some(parse_num(args.get(i + 1), "--readers"));
+                i += 2;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -66,9 +71,9 @@ fn main() {
     }
 
     let failed = match (seed, sweep) {
-        (Some(s), _) => run_single(s, window, dumps, partitions),
-        (None, Some(count)) => run_sweep(start, count, window, dumps, partitions),
-        (None, None) => run_sweep(0, 25, window, dumps, partitions), // CI smoke default
+        (Some(s), _) => run_single(s, window, dumps, partitions, readers),
+        (None, Some(count)) => run_sweep(start, count, window, dumps, partitions, readers),
+        (None, None) => run_sweep(0, 25, window, dumps, partitions, readers), // CI smoke default
     };
     if failed {
         std::process::exit(1);
@@ -77,9 +82,17 @@ fn main() {
 
 /// Generate the schedule for `seed`, overriding the drawn group-commit
 /// window when `--window US` was given, enabling the online-dump plan
-/// when `--dumps` was, and forcing both the audit-partition count and
-/// the volumes-per-node to N when `--partitions N` was.
-fn schedule_for(seed: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> Schedule {
+/// when `--dumps` was, forcing both the audit-partition count and
+/// the volumes-per-node to N when `--partitions N` was, and pinning the
+/// read-only terminal count when `--readers N` was (`--readers 0`
+/// replays every seed's historical trace byte-for-byte).
+fn schedule_for(
+    seed: u64,
+    window: Option<u64>,
+    dumps: bool,
+    partitions: Option<u64>,
+    readers: Option<u64>,
+) -> Schedule {
     let mut schedule = Schedule::generate(seed);
     if let Some(us) = window {
         schedule.group_commit_window_us = us;
@@ -87,6 +100,9 @@ fn schedule_for(seed: u64, window: Option<u64>, dumps: bool, partitions: Option<
     if let Some(p) = partitions {
         schedule.audit_partitions = p as usize;
         schedule.volumes_per_node = (p as usize).min(2);
+    }
+    if let Some(r) = readers {
+        schedule.readonly_terminals_per_node = r as usize;
     }
     schedule.dumps_enabled = dumps;
     schedule
@@ -102,19 +118,27 @@ fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
 fn print_usage() {
     println!(
         "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US] [--dumps] \
-         [--partitions N]\n\
+         [--partitions N] [--readers N]\n\
          default: --sweep 25 (the CI smoke subset)\n\
          --window US overrides each schedule's group-commit window (microseconds)\n\
          --dumps enables each schedule's online-dump plan + trail purging\n\
-         --partitions N forces N audit-trail partitions (and up to 2 volumes per node)"
+         --partitions N forces N audit-trail partitions (and up to 2 volumes per node)\n\
+         --readers N forces N read-only (snapshot) terminals per node; 0 replays\n\
+         historical schedules byte-for-byte"
     );
 }
 
 /// One seed, verbose: print the schedule, run it twice — the second time
 /// with the flight recorder on — and require both runs to produce the
 /// same determinism hash (which also pins recorder-off/on equivalence).
-fn run_single(seed: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> bool {
-    let schedule = schedule_for(seed, window, dumps, partitions);
+fn run_single(
+    seed: u64,
+    window: Option<u64>,
+    dumps: bool,
+    partitions: Option<u64>,
+    readers: Option<u64>,
+) -> bool {
+    let schedule = schedule_for(seed, window, dumps, partitions, readers);
     print!("{}", schedule.describe());
     let a = run_schedule(&schedule);
     let b = run_schedule_with(&schedule, true);
@@ -159,7 +183,14 @@ fn dump_flight(report: &RunReport) {
     }
 }
 
-fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool, partitions: Option<u64>) -> bool {
+fn run_sweep(
+    start: u64,
+    count: u64,
+    window: Option<u64>,
+    dumps: bool,
+    partitions: Option<u64>,
+    readers: Option<u64>,
+) -> bool {
     let mut failures = 0u64;
     let mut commits = 0u64;
     let mut aborts = 0u64;
@@ -167,7 +198,7 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool, partition
     let mut dumps_done = 0u64;
     let mut purged_files = 0u64;
     for seed in start..start + count {
-        let report = run_schedule(&schedule_for(seed, window, dumps, partitions));
+        let report = run_schedule(&schedule_for(seed, window, dumps, partitions, readers));
         println!("{}", report.summary_line());
         commits += report.commits;
         aborts += report.aborts;
@@ -182,7 +213,8 @@ fn run_sweep(start: u64, count: u64, window: Option<u64>, dumps: bool, partition
                 println!("  violation: {v}");
             }
             // recording is hash-neutral, so this replays the same run
-            let recorded = run_schedule_with(&schedule_for(seed, window, dumps, partitions), true);
+            let recorded =
+                run_schedule_with(&schedule_for(seed, window, dumps, partitions, readers), true);
             dump_flight(&recorded);
         }
     }

@@ -146,6 +146,7 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
         volumes_per_node: schedule.volumes_per_node.max(1),
         accounts: ACCOUNTS,
         terminals_per_node: schedule.terminals_per_node,
+        readonly_terminals_per_node: schedule.readonly_terminals_per_node,
         transactions_per_terminal: schedule.transactions_per_terminal,
         think: SimDuration::from_millis(5),
         hot_fraction: schedule.hot_fraction,
@@ -183,7 +184,9 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
 
     // ---- phase 3: run the workload out, then drain ------------------
     let mut violations = Vec::new();
-    let total_terminals = (schedule.nodes * schedule.terminals_per_node) as u64;
+    let total_terminals = (schedule.nodes
+        * (schedule.terminals_per_node + schedule.readonly_terminals_per_node))
+        as u64;
     let stall_deadline = schedule.heal_at + SimDuration::from_secs(120);
     while app.world.metrics().get("tcp.terminals_finished") < total_terminals
         && app.world.now() < stall_deadline

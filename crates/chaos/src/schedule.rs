@@ -96,6 +96,10 @@ pub struct Schedule {
     pub volumes_per_node: usize,
     /// Audit-trail partitions per AUDITPROCESS.
     pub audit_partitions: usize,
+    /// Read-only (snapshot) terminals per node, appended after the
+    /// read-write terminals so a zero here reproduces historical runs
+    /// byte-for-byte.
+    pub readonly_terminals_per_node: usize,
 }
 
 impl Schedule {
@@ -262,6 +266,10 @@ impl Schedule {
         // draw above keeps its historical value for a given seed
         let volumes_per_node = rng.random_range(1..=2usize);
         let audit_partitions = rng.random_range(1..=3usize);
+        // read-only client plan — drawn after ALL other draws so every
+        // draw above keeps its historical value for a given seed, and a
+        // sweep run with `--readers 0` replays historical traces unchanged
+        let readonly_terminals_per_node = rng.random_range(0..=2usize);
 
         Schedule {
             seed,
@@ -279,6 +287,7 @@ impl Schedule {
             audit_rotate_every,
             volumes_per_node,
             audit_partitions,
+            readonly_terminals_per_node,
         }
     }
 
@@ -286,7 +295,7 @@ impl Schedule {
     pub fn describe(&self) -> String {
         let mut out = format!(
             "seed {}: {} nodes x {} cpus, {} terminals/node x {} txns, hot {:.2}, gc-window {}us, \
-             {} vols/node, {} trail partitions\n",
+             {} vols/node, {} trail partitions, {} readers/node\n",
             self.seed,
             self.nodes,
             self.cpus_per_node,
@@ -296,6 +305,7 @@ impl Schedule {
             self.group_commit_window_us,
             self.volumes_per_node,
             self.audit_partitions,
+            self.readonly_terminals_per_node,
         );
         for ev in &self.events {
             let what = match &ev.action {

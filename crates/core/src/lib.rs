@@ -44,7 +44,7 @@ pub use facility::{
     flight_reports, spawn_tmf_network, spawn_tmf_node, ConfigError, FlightReport, NodeHandles,
     TmfNodeConfig, TmfNodeConfigBuilder,
 };
-pub use session::{DbOp, SessionError, SessionEvent, TmfSession};
-pub use state::{AbortReason, TxState};
+pub use session::{DbOp, SessionError, SessionEvent, SessionOptions, TmfSession};
+pub use state::{AbortReason, TxState, TxnClass};
 pub use table::TxTableProcess;
 pub use tmp::{spawn_tmp, TmpConfig, TmpMsg, TmpProcess, TmpReply};

@@ -20,14 +20,64 @@
 //! request message; (2) perform the data base function requested;
 //! (3) reply".
 
+use crate::state::TxnClass;
 use crate::tmp::{TmpMsg, TmpReply};
 use bytes::Bytes;
 use encompass_sim::{Ctx, FlightCause, NodeId, Payload, SimDuration};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
+use encompass_storage::locks::LockMode;
 use encompass_storage::types::{Transid, VolumeRef};
 use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+
+/// How a transaction wants to run, declared at BEGIN-TRANSACTION and
+/// carried to every server that adopts the transid.
+///
+/// The default is the paper's read-write transaction. `read_only()`
+/// declares the no-write promise; by default a read-only transaction reads
+/// *snapshots* (no record locks at all — each volume serves the value as
+/// of a pinned before-image fence), while `locked_reads()` downgrades it
+/// to shared record locks for applications that want to block writers
+/// instead of reading slightly-stale data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SessionOptions {
+    class: TxnClass,
+    locked_reads: bool,
+}
+
+impl SessionOptions {
+    pub fn new() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// Declare the transaction read-only: writes are refused with
+    /// [`SessionError::ReadOnlyViolation`] and END-TRANSACTION resolves
+    /// locally at the home TMP (no phase one, no forced commit record).
+    pub fn read_only(mut self) -> SessionOptions {
+        self.class = TxnClass::ReadOnly;
+        self
+    }
+
+    /// Read under shared record locks instead of against a snapshot fence
+    /// (only meaningful combined with [`SessionOptions::read_only`]).
+    pub fn locked_reads(mut self) -> SessionOptions {
+        self.locked_reads = true;
+        self
+    }
+
+    pub fn class(&self) -> TxnClass {
+        self.class
+    }
+
+    /// Does this transaction read snapshots (no record locks)?
+    pub fn snapshot_reads(&self) -> bool {
+        match self.class {
+            TxnClass::ReadOnly => !self.locked_reads,
+            TxnClass::ReadWrite => false,
+        }
+    }
+}
 
 /// A typed data-base request — the File System surface a server step may
 /// issue against the session. One enum value replaces the historical
@@ -57,6 +107,10 @@ pub enum SessionError {
     /// A reply arrived that does not answer the pending operation — a
     /// protocol-level surprise; abort and restart the transaction.
     Protocol,
+    /// A write operation was issued under a transaction that declared
+    /// itself read-only at BEGIN-TRANSACTION. Reported synchronously —
+    /// nothing was sent to any DISCPROCESS.
+    ReadOnlyViolation,
 }
 
 /// What a session operation produced.
@@ -103,6 +157,10 @@ struct Pending {
     op: Option<DiscRequest>,
     volume: Option<VolumeRef>,
     stage: Stage,
+    /// Does this op transmit the transid (and therefore need the
+    /// remote-begin and volume-registration stages)? Snapshot reads carry
+    /// no transid — the TMP never hears about the volumes they touch.
+    register: bool,
 }
 
 /// Per-process TMF session state.
@@ -111,8 +169,15 @@ pub struct TmfSession {
     tmp_rpc: Rpc<TmpMsg, TmpReply>,
     disc_rpc: Rpc<DiscRequest, DiscReply>,
     current: Option<Transid>,
+    options: SessionOptions,
     registered_volumes: HashSet<VolumeRef>,
     ensured_nodes: HashSet<NodeId>,
+    /// Per-volume snapshot fences of the current read-only transaction:
+    /// the first snapshot read against a volume pins that volume's
+    /// before-image sequence and every later read reuses it, so the
+    /// transaction sees one consistent cut per volume. (BTreeMap for
+    /// deterministic debug output; never iterated on the hot path.)
+    snapshot_fences: BTreeMap<VolumeRef, u64>,
     pending: Option<Pending>,
     /// Default lock-wait (deadlock timeout) attached to lock requests.
     pub lock_wait: SimDuration,
@@ -130,8 +195,10 @@ impl TmfSession {
             tmp_rpc: Rpc::new(32 + id_space * 2),
             disc_rpc: Rpc::new(33 + id_space * 2),
             current: None,
+            options: SessionOptions::default(),
             registered_volumes: HashSet::new(),
             ensured_nodes: HashSet::new(),
+            snapshot_fences: BTreeMap::new(),
             pending: None,
             lock_wait: SimDuration::from_millis(500),
             attempt_timeout: SimDuration::from_millis(300),
@@ -149,12 +216,21 @@ impl TmfSession {
         self.pending.is_some()
     }
 
+    /// The options the current transaction was begun (or adopted) with.
+    pub fn options(&self) -> SessionOptions {
+        self.options
+    }
+
     /// Adopt a transid delivered with an incoming request (server side);
-    /// the File System made it the "current process transid".
-    pub fn adopt(&mut self, transid: Transid) {
+    /// the File System made it the "current process transid". The
+    /// requester's [`SessionOptions`] ride along with the transid so the
+    /// server's reads run in the transaction's declared mode.
+    pub fn adopt(&mut self, transid: Transid, options: SessionOptions) {
         self.current = Some(transid);
+        self.options = options;
         self.registered_volumes.clear();
         self.ensured_nodes.clear();
+        self.snapshot_fences.clear();
     }
 
     /// Drop transaction mode without talking to the TMP (a context-free
@@ -162,29 +238,43 @@ impl TmfSession {
     pub fn clear(&mut self) {
         debug_assert!(self.pending.is_none(), "clear() while an op is pending");
         self.current = None;
+        self.options = SessionOptions::default();
         self.registered_volumes.clear();
         self.ensured_nodes.clear();
+        self.snapshot_fences.clear();
     }
 
     // ------------------------------------------------------------------
     // Verbs
     // ------------------------------------------------------------------
 
-    /// BEGIN-TRANSACTION.
-    pub fn begin(&mut self, ctx: &mut Ctx<'_>, cookie: u64) {
+    /// BEGIN-TRANSACTION. The [`SessionOptions`] declare the transaction's
+    /// class for its whole life; `SessionOptions::default()` is the plain
+    /// read-write transaction.
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>, options: SessionOptions, cookie: u64) {
         assert!(self.pending.is_none(), "session is single-threaded");
         assert!(self.current.is_none(), "already in transaction mode");
+        self.options = options;
         self.registered_volumes.clear();
         self.ensured_nodes.clear();
+        self.snapshot_fences.clear();
         self.pending = Some(Pending {
             cookie,
             op: None,
             volume: None,
             stage: Stage::TmpVerb,
+            register: false,
         });
         let node = ctx.node();
         let cpu = ctx.pid().cpu.0;
-        self.call_tmp(ctx, node, TmpMsg::Begin { cpu });
+        self.call_tmp(
+            ctx,
+            node,
+            TmpMsg::Begin {
+                cpu,
+                class: options.class,
+            },
+        );
     }
 
     /// END-TRANSACTION (routed to the transaction's home TMP).
@@ -196,6 +286,7 @@ impl TmfSession {
             op: None,
             volume: None,
             stage: Stage::TmpVerb,
+            register: false,
         });
         self.call_tmp(ctx, transid.home_node, TmpMsg::End { transid });
     }
@@ -210,6 +301,7 @@ impl TmfSession {
             op: None,
             volume: None,
             stage: Stage::TmpVerb,
+            register: false,
         });
         self.call_tmp(ctx, transid.home_node, TmpMsg::Abort { transid, reason });
     }
@@ -232,6 +324,7 @@ impl TmfSession {
             op: None,
             volume: None,
             stage: Stage::EnsureOnly,
+            register: true,
         });
         let my_node = ctx.node();
         self.call_tmp(ctx, my_node, TmpMsg::EnsureRemoteSend { transid, dest });
@@ -243,21 +336,74 @@ impl TmfSession {
     // Data-base operations
     // ------------------------------------------------------------------
 
-    /// Issue a typed data-base operation. The session attaches the current
-    /// process transid and lock-wait where the operation calls for them
-    /// (`ReadLock` requires transaction mode), resolves the partition, and
-    /// routes to the owning DISCPROCESS; completion arrives as
-    /// [`SessionEvent::OpDone`] (or [`SessionEvent::Failed`]).
-    pub fn op(&mut self, ctx: &mut Ctx<'_>, op: DbOp, cookie: u64) {
+    /// Issue a typed data-base operation. The session maps the operation
+    /// to the wire request according to the transaction's declared mode:
+    ///
+    /// * read-write: `Read` is the plain unlocked read, `ReadLock` takes
+    ///   an exclusive record lock (the historical behavior);
+    /// * read-only + `locked_reads`: both reads take *shared* record
+    ///   locks, released at END-TRANSACTION;
+    /// * read-only (snapshot, the default): both reads become
+    ///   [`DiscRequest::SnapshotRead`] against the volume's pinned fence —
+    ///   no record locks, no transid on the wire, no registration;
+    /// * writes under a read-only transaction are refused synchronously:
+    ///   the returned event is `Failed { error: ReadOnlyViolation }` and
+    ///   nothing was sent.
+    ///
+    /// Returns `None` when the operation was submitted; completion then
+    /// arrives as [`SessionEvent::OpDone`] (or [`SessionEvent::Failed`]).
+    #[must_use = "a read-only violation completes synchronously and must be handled"]
+    pub fn op(&mut self, ctx: &mut Ctx<'_>, op: DbOp, cookie: u64) -> Option<SessionEvent> {
+        let in_txn = self.current.is_some();
+        let read_only = in_txn && self.options.class == TxnClass::ReadOnly;
+        if read_only
+            && matches!(
+                op,
+                DbOp::Insert { .. }
+                    | DbOp::Update { .. }
+                    | DbOp::Delete { .. }
+                    | DbOp::InsertEntry { .. }
+            )
+        {
+            ctx.count("tmf.readonly_violations", 1);
+            return Some(SessionEvent::Failed {
+                error: SessionError::ReadOnlyViolation,
+                cookie,
+            });
+        }
+        let snapshot = in_txn && self.options.snapshot_reads();
         let req = match op {
-            DbOp::Read { file, key } => DiscRequest::Read { file, key },
-            DbOp::ReadLock { file, key } => {
-                let transid = self.current.expect("ReadLock requires transaction mode");
+            DbOp::Read { file, key } | DbOp::ReadLock { file, key } if snapshot => {
+                let fence = self
+                    .catalog
+                    .volume_for(&file, &key)
+                    .and_then(|v| self.snapshot_fences.get(&v).copied());
+                DiscRequest::SnapshotRead { file, key, fence }
+            }
+            DbOp::Read { file, key } if read_only => {
+                // locked read-only mode: every read blocks writers
+                let transid = self.current.expect("in transaction mode");
                 DiscRequest::ReadLock {
                     file,
                     key,
                     transid,
                     lock_wait: self.lock_wait,
+                    mode: LockMode::Shared,
+                }
+            }
+            DbOp::Read { file, key } => DiscRequest::Read { file, key },
+            DbOp::ReadLock { file, key } => {
+                let transid = self.current.expect("ReadLock requires transaction mode");
+                let mode = match self.options.class {
+                    TxnClass::ReadWrite => LockMode::Exclusive,
+                    TxnClass::ReadOnly => LockMode::Shared,
+                };
+                DiscRequest::ReadLock {
+                    file,
+                    key,
+                    transid,
+                    lock_wait: self.lock_wait,
+                    mode,
                 }
             }
             DbOp::Insert { file, key, value } => DiscRequest::Insert {
@@ -296,58 +442,7 @@ impl TmfSession {
             },
         };
         self.submit(ctx, req, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::Read and call TmfSession::op")]
-    pub fn read(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::Read { file: file.into(), key }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::ReadLock and call TmfSession::op")]
-    pub fn read_lock(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::ReadLock { file: file.into(), key }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::Insert and call TmfSession::op")]
-    pub fn insert(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::Insert { file: file.into(), key, value }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::Update and call TmfSession::op")]
-    pub fn update(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, value: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::Update { file: file.into(), key, value }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::Delete and call TmfSession::op")]
-    pub fn delete(&mut self, ctx: &mut Ctx<'_>, file: &str, key: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::Delete { file: file.into(), key }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::InsertEntry and call TmfSession::op")]
-    pub fn insert_entry(&mut self, ctx: &mut Ctx<'_>, file: &str, value: Bytes, cookie: u64) {
-        self.op(ctx, DbOp::InsertEntry { file: file.into(), value }, cookie);
-    }
-
-    #[deprecated(note = "build a DbOp::ReadRange and call TmfSession::op")]
-    pub fn read_range(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        file: &str,
-        low: Bytes,
-        high: Option<Bytes>,
-        limit: usize,
-        cookie: u64,
-    ) {
-        self.op(
-            ctx,
-            DbOp::ReadRange {
-                file: file.into(),
-                low,
-                high,
-                limit,
-            },
-            cookie,
-        );
+        None
     }
 
     /// Route an already-built request (advanced callers). Panics on files
@@ -358,11 +453,16 @@ impl TmfSession {
         let volume = self
             .volume_of(&op)
             .unwrap_or_else(|| panic!("file of {op:?} not in the catalog"));
+        // snapshot reads carry no transid, so the TMP is never told about
+        // the node or the volume; everything else keeps the historical
+        // remote-begin + registration stages
+        let register = !matches!(op, DiscRequest::SnapshotRead { .. });
         self.pending = Some(Pending {
             cookie,
             op: Some(op),
             volume: Some(volume),
             stage: Stage::EnsureRemote,
+            register,
         });
         self.advance(ctx);
     }
@@ -370,6 +470,7 @@ impl TmfSession {
     fn volume_of(&self, op: &DiscRequest) -> Option<VolumeRef> {
         let (file, key) = match op {
             DiscRequest::Read { file, key }
+            | DiscRequest::SnapshotRead { file, key, .. }
             | DiscRequest::ReadLock { file, key, .. }
             | DiscRequest::Insert { file, key, .. }
             | DiscRequest::Update { file, key, .. }
@@ -403,7 +504,7 @@ impl TmfSession {
             let Some(volume) = p.volume.clone() else {
                 return;
             };
-            let transactional = self.current.is_some();
+            let transactional = self.current.is_some() && p.register;
             match p.stage {
                 Stage::EnsureRemote => {
                     let my_node = ctx.node();
@@ -497,10 +598,24 @@ impl TmfSession {
         };
         match self.disc_rpc.accept(ctx, payload) {
             Ok(c) => match self.pending.take() {
-                Some(p) => Ok(Some(SessionEvent::OpDone {
-                    reply: c.body,
-                    cookie: p.cookie,
-                })),
+                Some(p) => {
+                    // A snapshot reply pins the volume's fence for the rest
+                    // of the transaction and is normalized to the plain
+                    // Value shape, so server logic stays mode-agnostic.
+                    let reply = match c.body {
+                        DiscReply::Snapshot { value, fence } => {
+                            if let Some(v) = p.volume.clone() {
+                                self.snapshot_fences.entry(v).or_insert(fence);
+                            }
+                            DiscReply::Value(value)
+                        }
+                        other => other,
+                    };
+                    Ok(Some(SessionEvent::OpDone {
+                        reply,
+                        cookie: p.cookie,
+                    }))
+                }
                 None => Ok(None), // stale completion
             },
             Err(p) => Err(p),
@@ -521,9 +636,11 @@ impl TmfSession {
                     ctx.flight(t.flight_id(), FlightCause::SessionCommitted);
                 }
                 self.current = None;
+                self.options = SessionOptions::default();
                 self.pending = None;
                 self.registered_volumes.clear();
                 self.ensured_nodes.clear();
+                self.snapshot_fences.clear();
                 Some(SessionEvent::Committed { cookie })
             }
             TmpReply::Aborted => {
@@ -531,9 +648,11 @@ impl TmfSession {
                     ctx.flight(t.flight_id(), FlightCause::SessionAborted);
                 }
                 self.current = None;
+                self.options = SessionOptions::default();
                 self.pending = None;
                 self.registered_volumes.clear();
                 self.ensured_nodes.clear();
+                self.snapshot_fences.clear();
                 Some(SessionEvent::Aborted { cookie })
             }
             TmpReply::Ok => {

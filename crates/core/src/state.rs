@@ -97,6 +97,35 @@ impl fmt::Display for TxState {
     }
 }
 
+/// What a transaction declared about itself at BEGIN-TRANSACTION.
+///
+/// Read-write is the paper's transaction: it registers volumes, writes
+/// audit images, and commits through two-phase END. A read-only
+/// transaction promises to issue no writes; TMF exploits the promise by
+/// resolving END-TRANSACTION locally at the home TMP — no phase one, no
+/// forced commit record — because a transaction with no after-images has
+/// nothing to make durable (DESIGN.md §D13).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TxnClass {
+    /// May read and write; commits through the full two-phase protocol.
+    #[default]
+    ReadWrite,
+    /// Promises not to write. Reads run under shared locks or against a
+    /// snapshot fence; END-TRANSACTION resolves locally without a forced
+    /// monitor record.
+    ReadOnly,
+}
+
+impl fmt::Display for TxnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnClass::ReadWrite => "read-write",
+            TxnClass::ReadOnly => "read-only",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Why a transaction was aborted — the paper's causes of automatic abort
 /// plus the voluntary verbs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

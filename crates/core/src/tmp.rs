@@ -29,7 +29,7 @@
 //! * abort the active transactions of a failed processor (the paper's
 //!   automatic abort on "failure of the primary TCP's processor").
 
-use crate::state::{AbortReason, TxState};
+use crate::state::{AbortReason, TxState, TxnClass};
 use crate::table::StateBroadcast;
 use encompass_audit::backout::{BackoutMsg, BackoutReply};
 use encompass_audit::monitor::MonitorTrail;
@@ -63,8 +63,10 @@ const LATENCY_BOUNDS: &[u64] = &[1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 
 #[derive(Clone, Debug)]
 pub enum TmpMsg {
     // ---- session-facing ----
-    /// BEGIN-TRANSACTION from a process on CPU `cpu` of this node.
-    Begin { cpu: u8 },
+    /// BEGIN-TRANSACTION from a process on CPU `cpu` of this node. The
+    /// declared class decides the END protocol: a read-only transaction
+    /// resolves locally, without phase one or a forced commit record.
+    Begin { cpu: u8, class: TxnClass },
     /// The File System reports that `transid` touches `volume` (local).
     RegisterVolume { transid: Transid, volume: VolumeRef },
     /// The File System is about to transmit `transid` to `dest` for the
@@ -159,6 +161,11 @@ impl Default for TmpConfig {
 struct Txn {
     state: TxState,
     home: bool,
+    /// The class declared at BEGIN-TRANSACTION. Replicated to the backup:
+    /// a takeover must know that an Active home entry is read-only (plain
+    /// abort — there is nothing durable to salvage) and that a committed
+    /// read-only parent's children get AbortTxn, not Phase2.
+    class: TxnClass,
     volumes: Vec<VolumeRef>,
     children: BTreeSet<NodeId>,
     /// Outstanding phase-one acknowledgements (local volumes + children).
@@ -182,10 +189,11 @@ struct Txn {
 }
 
 impl Txn {
-    fn new(home: bool) -> Txn {
+    fn new(home: bool, class: TxnClass) -> Txn {
         Txn {
             state: TxState::Active,
             home,
+            class,
             volumes: Vec::new(),
             children: BTreeSet::new(),
             outstanding_phase1: 0,
@@ -204,15 +212,16 @@ struct TmpDelta {
     transid: Transid,
     state: TxState,
     home: bool,
+    class: TxnClass,
     volumes: Vec<VolumeRef>,
     children: Vec<NodeId>,
     seq: u64,
     drop: bool,
 }
 
-/// One transaction's replicated fields: (transid, state, home, volumes,
-/// children).
-type TxnSnapshot = (Transid, TxState, bool, Vec<VolumeRef>, Vec<NodeId>);
+/// One transaction's replicated fields: (transid, state, home, class,
+/// volumes, children).
+type TxnSnapshot = (Transid, TxState, bool, TxnClass, Vec<VolumeRef>, Vec<NodeId>);
 
 struct TmpSnapshot {
     seq: u64,
@@ -322,19 +331,27 @@ impl TmpProcess {
     }
 
     fn checkpoint_txn(&mut self, ctx: &mut PairCtx<'_, '_>, transid: Transid, drop: bool) {
-        let (state, home, volumes, children) = match self.txns.get(&transid) {
+        let (state, home, class, volumes, children) = match self.txns.get(&transid) {
             Some(t) => (
                 t.state,
                 t.home,
+                t.class,
                 t.volumes.clone(),
                 t.children.iter().copied().collect(),
             ),
-            None => (TxState::Aborted, false, Vec::new(), Vec::new()),
+            None => (
+                TxState::Aborted,
+                false,
+                TxnClass::ReadWrite,
+                Vec::new(),
+                Vec::new(),
+            ),
         };
         ctx.checkpoint(Payload::new(TmpDelta {
             transid,
             state,
             home,
+            class,
             volumes,
             children,
             seq: self.seq,
@@ -494,7 +511,10 @@ impl TmpProcess {
             let id = self.disc_rpc.call_persistent(
                 ctx,
                 Target::Named(v.node, v.volume.clone()),
-                DiscRequest::ReleaseLocks { transid },
+                DiscRequest::ReleaseLocks {
+                    transid,
+                    commit: true,
+                },
                 self.cfg.safe_retry,
                 0,
             );
@@ -659,6 +679,7 @@ impl TmpProcess {
             return;
         };
         let committed = t.state == TxState::Ended;
+        let class = t.class;
         let volumes = t.volumes.clone();
         let children: Vec<NodeId> = if t.home {
             t.children.iter().copied().collect()
@@ -671,7 +692,10 @@ impl TmpProcess {
             let id = self.disc_rpc.call_persistent(
                 ctx,
                 Target::Named(v.node, v.volume.clone()),
-                DiscRequest::ReleaseLocks { transid },
+                DiscRequest::ReleaseLocks {
+                    transid,
+                    commit: committed,
+                },
                 self.cfg.safe_retry,
                 0,
             );
@@ -679,7 +703,14 @@ impl TmpProcess {
             pending += 1;
         }
         for child in children {
-            let msg = if committed {
+            // A committed read-only parent never ran phase one, so its
+            // children are still Active — Phase2 would be silently ignored
+            // there and the child's shared locks would leak until the
+            // janitor's presumed-abort sweep. AbortTxn drives the Active
+            // child straight through backout (it has no images) and frees
+            // its locks promptly; the outcome is identical because the
+            // transaction wrote nothing anywhere.
+            let msg = if committed && class == TxnClass::ReadWrite {
                 ctx.count("tmf.msgs.phase2_net", 1);
                 TmpMsg::Phase2 { transid }
             } else {
@@ -840,14 +871,14 @@ impl TmpProcess {
 
     fn handle(&mut self, ctx: &mut PairCtx<'_, '_>, req_id: u64, from: Pid, msg: TmpMsg) {
         match msg {
-            TmpMsg::Begin { cpu } => {
+            TmpMsg::Begin { cpu, class } => {
                 self.seq += 1;
                 let transid = Transid {
                     home_node: ctx.node(),
                     cpu,
                     seq: self.seq,
                 };
-                self.txns.insert(transid, Txn::new(true));
+                self.txns.insert(transid, Txn::new(true, class));
                 ctx.count("tmf.begins", 1);
                 ctx.flight(transid.flight_id(), FlightCause::Begin);
                 self.set_state(ctx, transid, TxState::Active);
@@ -871,7 +902,10 @@ impl TmpProcess {
                 }
                 let home = transid.home_node == volume.node;
                 let (ok, changed) = {
-                    let t = self.txns.entry(transid).or_insert_with(|| Txn::new(home));
+                    let t = self
+                        .txns
+                        .entry(transid)
+                        .or_insert_with(|| Txn::new(home, TxnClass::ReadWrite));
                     if t.state != TxState::Active {
                         (false, false)
                     } else if t.volumes.contains(&volume) {
@@ -930,6 +964,11 @@ impl TmpProcess {
                     }
                     Some(TxState::Active) => {
                         let now = ctx.now();
+                        let class = self
+                            .txns
+                            .get(&transid)
+                            .map(|t| t.class)
+                            .unwrap_or_default();
                         if let Some(t) = self.txns.get_mut(&transid) {
                             t.end_waiter = Some((req_id, from));
                             t.ending_at = Some(now);
@@ -937,7 +976,20 @@ impl TmpProcess {
                         ctx.flight(transid.flight_id(), FlightCause::EndRequested);
                         self.set_state(ctx, transid, TxState::Ending);
                         ctx.count("tmf.ends", 1);
-                        self.start_phase1(ctx, transid);
+                        match class {
+                            TxnClass::ReadWrite => self.start_phase1(ctx, transid),
+                            TxnClass::ReadOnly => {
+                                // A transaction that wrote nothing has
+                                // nothing to make durable: no phase one, no
+                                // forced commit record. END-TRANSACTION
+                                // resolves locally; the terminal delivery
+                                // set still frees any shared locks it took
+                                // (DESIGN.md §D13).
+                                ctx.count("tmf.commits", 1);
+                                ctx.count("tmf.readonly_commits", 1);
+                                self.finish_commit(ctx, transid);
+                            }
+                        }
                     }
                     Some(TxState::Ending) | Some(TxState::Committing) => {
                         if let Some(t) = self.txns.get_mut(&transid) {
@@ -1027,7 +1079,11 @@ impl TmpProcess {
                 ctx.count("tmf.remote_begins_received", 1);
                 let known = self.txns.contains_key(&transid);
                 if !known {
-                    self.txns.insert(transid, Txn::new(false));
+                    // Non-home entries default to read-write: the class only
+                    // matters on the home node (END protocol choice) and in
+                    // terminal deliveries, which a read-only parent answers
+                    // with AbortTxn regardless of what this entry believes.
+                    self.txns.insert(transid, Txn::new(false, TxnClass::ReadWrite));
                     self.set_state(ctx, transid, TxState::Active);
                 }
                 self.answer(ctx, req_id, from, TmpReply::Ok);
@@ -1445,12 +1501,12 @@ impl PairApp for TmpProcess {
         self.janitor_rpcs.clear();
         // a lost purge sweep is simply re-run at the next interval
         self.purge_rpcs.clear();
-        let in_flight: Vec<(Transid, TxState, bool)> = self
+        let in_flight: Vec<(Transid, TxState, bool, TxnClass)> = self
             .txns
             .iter()
-            .map(|(t, e)| (*t, e.state, e.home))
+            .map(|(t, e)| (*t, e.state, e.home, e.class))
             .collect();
-        for (transid, state, home) in in_flight {
+        for (transid, state, home, class) in in_flight {
             ctx.flight(transid.flight_id(), FlightCause::Takeover);
             match state {
                 TxState::Ending if home => {
@@ -1503,6 +1559,14 @@ impl PairApp for TmpProcess {
                     ctx.count("tmf.takeover_delivery_resends", 1);
                     self.send_terminal_deliveries(ctx, transid);
                 }
+                TxState::Active if home && class == TxnClass::ReadOnly => {
+                    // A read-only session has no durable work in flight and
+                    // its snapshot fences died with the primary's session
+                    // state: a takeover resolves it as a plain abort and the
+                    // requester restarts (DESIGN.md §D13).
+                    ctx.count("tmf.takeover_readonly_aborts", 1);
+                    self.abort_txn(ctx, transid, AbortReason::CpuFailure);
+                }
                 TxState::Active => {
                     // still collecting work; the requester's timeout (or the
                     // janitor) decides its fate, not the takeover
@@ -1521,9 +1585,10 @@ impl PairApp for TmpProcess {
         let t = self
             .txns
             .entry(d.transid)
-            .or_insert_with(|| Txn::new(d.home));
+            .or_insert_with(|| Txn::new(d.home, d.class));
         t.state = d.state;
         t.home = d.home;
+        t.class = d.class;
         t.volumes = d.volumes;
         t.children = d.children.into_iter().collect();
     }
@@ -1539,6 +1604,7 @@ impl PairApp for TmpProcess {
                         *t,
                         e.state,
                         e.home,
+                        e.class,
                         e.volumes.clone(),
                         e.children.iter().copied().collect(),
                     )
@@ -1552,8 +1618,8 @@ impl PairApp for TmpProcess {
         let s = snapshot.expect::<TmpSnapshot>();
         self.seq = s.seq;
         self.txns.clear();
-        for (transid, state, home, volumes, children) in s.txns {
-            let mut t = Txn::new(home);
+        for (transid, state, home, class, volumes, children) in s.txns {
+            let mut t = Txn::new(home, class);
             t.state = state;
             t.volumes = volumes;
             t.children = children.into_iter().collect();

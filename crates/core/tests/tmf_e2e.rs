@@ -13,7 +13,7 @@ use encompass_storage::types::{FileDef, PartitionSpec, Transid, VolumeRef};
 use encompass_storage::Catalog;
 use guardian::{Rpc, Target, TimerOutcome};
 use tmf::facility::{spawn_tmf_network, TmfNodeConfig};
-use tmf::session::{DbOp, SessionEvent, TmfSession};
+use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
 use tmf::state::AbortReason;
 use tmf::tmp::{TmpMsg, TmpReply};
 use std::cell::RefCell;
@@ -42,6 +42,7 @@ type Log = Rc<RefCell<Vec<String>>>;
 
 struct TxnDriver {
     session: TmfSession,
+    options: SessionOptions,
     script: Vec<Step>,
     next: usize,
     log: Log,
@@ -52,8 +53,18 @@ struct TxnDriver {
 
 impl TxnDriver {
     fn new(catalog: Catalog, script: Vec<Step>, log: Log) -> TxnDriver {
+        TxnDriver::with_options(catalog, SessionOptions::default(), script, log)
+    }
+
+    fn with_options(
+        catalog: Catalog,
+        options: SessionOptions,
+        script: Vec<Step>,
+        log: Log,
+    ) -> TxnDriver {
         TxnDriver {
             session: TmfSession::new(catalog, 0),
+            options,
             script,
             next: 0,
             log,
@@ -65,8 +76,11 @@ impl TxnDriver {
         if self.next < self.script.len() {
             let step = self.script[self.next].clone();
             self.next += 1;
-            match step {
-                Step::Begin => self.session.begin(ctx, 0),
+            let refused = match step {
+                Step::Begin => {
+                    self.session.begin(ctx, self.options, 0);
+                    None
+                }
                 Step::Read(f, k) => self
                     .session
                     .op(ctx, DbOp::Read { file: f.into(), key: b(k) }, 0),
@@ -82,11 +96,21 @@ impl TxnDriver {
                 Step::Delete(f, k) => self
                     .session
                     .op(ctx, DbOp::Delete { file: f.into(), key: b(k) }, 0),
-                Step::End => self.session.end(ctx, 0),
-                Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
+                Step::End => {
+                    self.session.end(ctx, 0);
+                    None
+                }
+                Step::Abort => {
+                    self.session.abort(ctx, AbortReason::Voluntary, 0);
+                    None
+                }
                 Step::Pause(d) => {
                     ctx.set_timer(d, 1);
+                    None
                 }
+            };
+            if let Some(ev) = refused {
+                self.on_event(ctx, ev);
             }
         }
     }
@@ -144,6 +168,24 @@ fn drive(world: &mut World, node: NodeId, cpu: u8, catalog: Catalog, script: Vec
         node,
         cpu,
         Box::new(TxnDriver::new(catalog, script, log.clone())),
+    );
+    log
+}
+
+/// Like [`drive`], with explicit [`SessionOptions`] (read-only tests).
+fn drive_with(
+    world: &mut World,
+    node: NodeId,
+    cpu: u8,
+    catalog: Catalog,
+    options: SessionOptions,
+    script: Vec<Step>,
+) -> Log {
+    let log: Log = Rc::new(RefCell::new(Vec::new()));
+    world.spawn(
+        node,
+        cpu,
+        Box::new(TxnDriver::with_options(catalog, options, script, log.clone())),
     );
     log
 }
@@ -626,7 +668,7 @@ fn file_lock_blocks_other_transactions_until_commit() {
     impl Process for FileLocker {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             self.step = 1;
-            self.session.begin(ctx, 0);
+            self.session.begin(ctx, SessionOptions::default(), 0);
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
             let Ok(Some(ev)) = self.session.accept(ctx, payload) else {
@@ -1261,4 +1303,218 @@ fn retransmitted_repark_counts_one_lock_wait() {
         0,
         "no waiter was fenced in this run"
     );
+}
+
+#[test]
+fn readonly_snapshot_commits_without_forces_and_is_not_blocked_by_writer() {
+    let (mut w, n, catalog) = single_node();
+    // committed baseline
+    let log0 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "alice", "100"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log0.borrow().last().unwrap(), "committed");
+    let forces_before =
+        w.metrics().get("tmf.monitor_forces") + w.metrics().get("audit.forces");
+    // a writer takes the X lock on alice and sits on it mid-transaction
+    let writer = drive(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::ReadLock("accounts", "alice"),
+            Step::Update("accounts", "alice", "150"),
+            Step::Pause(SimDuration::from_secs(2)),
+            Step::End,
+        ],
+    );
+    // a snapshot reader starts after the writer holds the lock; it must
+    // read the committed value (100, not the dirty 150) without queueing
+    let reader = drive_with(
+        &mut w,
+        n,
+        2,
+        catalog.clone(),
+        SessionOptions::new().read_only(),
+        vec![
+            Step::Pause(SimDuration::from_millis(500)),
+            Step::Begin,
+            Step::Read("accounts", "alice"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    // the writer is still mid-pause, yet the reader has already committed
+    assert_eq!(
+        reader.borrow().as_slice(),
+        &["began", "value:100", "committed"]
+    );
+    assert_eq!(w.metrics().get("tmf.readonly_commits"), 1);
+    // the read-only END forced nothing on either trail
+    assert_eq!(
+        w.metrics().get("tmf.monitor_forces") + w.metrics().get("audit.forces"),
+        forces_before,
+        "read-only commit must not force a trail record"
+    );
+    // the writer finishes normally afterwards
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(writer.borrow().last().unwrap(), "committed");
+    assert_eq!(w.metrics().get("tmf.commits"), 3);
+}
+
+#[test]
+fn locked_readonly_readers_share_the_lock() {
+    let (mut w, n, catalog) = single_node();
+    let log0 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "bob", "500"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log0.borrow().last().unwrap(), "committed");
+    // two locked-read-only sessions hold the same record lock at once —
+    // shared mode is compatible with itself, so neither queues
+    let ro = SessionOptions::new().read_only().locked_reads();
+    let ra = drive_with(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        ro,
+        vec![
+            Step::Begin,
+            Step::Read("accounts", "bob"),
+            Step::Pause(SimDuration::from_secs(1)),
+            Step::End,
+        ],
+    );
+    let rb = drive_with(
+        &mut w,
+        n,
+        2,
+        catalog.clone(),
+        ro,
+        vec![
+            Step::Begin,
+            Step::Read("accounts", "bob"),
+            Step::Pause(SimDuration::from_secs(1)),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_millis(500));
+    // both reads completed while both transactions are still open
+    assert_eq!(ra.borrow().as_slice(), &["began", "value:500"]);
+    assert_eq!(rb.borrow().as_slice(), &["began", "value:500"]);
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(ra.borrow().last().unwrap(), "committed");
+    assert_eq!(rb.borrow().last().unwrap(), "committed");
+    assert_eq!(w.metrics().get("tmf.readonly_commits"), 2);
+}
+
+#[test]
+fn locked_readonly_reader_blocks_writer_until_end() {
+    let (mut w, n, catalog) = single_node();
+    let log0 = drive(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "carol", "7"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(log0.borrow().last().unwrap(), "committed");
+    // a locked reader pins a shared lock across a pause shorter than the
+    // writer's 500ms lock wait: the writer queues, then is granted
+    let reader = drive_with(
+        &mut w,
+        n,
+        1,
+        catalog.clone(),
+        SessionOptions::new().read_only().locked_reads(),
+        vec![
+            Step::Begin,
+            Step::Read("accounts", "carol"),
+            Step::Pause(SimDuration::from_millis(400)),
+            Step::End,
+        ],
+    );
+    // the writer's exclusive lock request conflicts with the shared hold
+    let writer = drive(
+        &mut w,
+        n,
+        2,
+        catalog.clone(),
+        vec![
+            Step::Pause(SimDuration::from_millis(100)),
+            Step::Begin,
+            Step::ReadLock("accounts", "carol"),
+            Step::Update("accounts", "carol", "8"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_millis(300));
+    assert_eq!(reader.borrow().as_slice(), &["began", "value:7"]);
+    // the writer is queued behind the shared lock: begun, nothing more
+    assert_eq!(writer.borrow().as_slice(), &["began"]);
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(reader.borrow().last().unwrap(), "committed");
+    assert_eq!(writer.borrow().last().unwrap(), "committed");
+    assert_eq!(w.metrics().get("tmf.readonly_commits"), 1);
+}
+
+#[test]
+fn write_under_readonly_session_is_refused_synchronously() {
+    let (mut w, n, catalog) = single_node();
+    let log = drive_with(
+        &mut w,
+        n,
+        0,
+        catalog.clone(),
+        SessionOptions::new().read_only(),
+        vec![
+            Step::Begin,
+            Step::Insert("accounts", "eve", "1"),
+            // the violation doesn't kill the transaction: a read still
+            // works and END still commits (read-only, no forces)
+            Step::Read("accounts", "eve"),
+            Step::End,
+        ],
+    );
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        log.borrow().as_slice(),
+        &["began", "failed", "value:<none>", "committed"]
+    );
+    assert_eq!(w.metrics().get("tmf.readonly_violations"), 1);
+    assert_eq!(w.metrics().get("tmf.readonly_commits"), 1);
+    // nothing was inserted
+    let check = drive(
+        &mut w,
+        n,
+        1,
+        catalog,
+        vec![Step::Read("accounts", "eve")],
+    );
+    w.run_for(SimDuration::from_secs(2));
+    assert_eq!(check.borrow().as_slice(), &["value:<none>"]);
 }

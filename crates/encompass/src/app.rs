@@ -122,7 +122,16 @@ pub struct BankAppParams {
     pub history: bool,
     pub accounts: u64,
     pub terminals_per_node: usize,
+    /// Extra read-only terminals per node running query transactions
+    /// (BEGIN read-only → SEND `query` → END). Appended after the
+    /// read-write terminals so zero readers reproduces historical runs
+    /// byte-for-byte.
+    pub readonly_terminals_per_node: usize,
     pub transactions_per_terminal: u64,
+    /// Transactions each read-only terminal runs; `None` = same as the
+    /// read-write terminals. Lets a benchmark cell pin an exact
+    /// read/write transaction mix within the per-TCP terminal cap.
+    pub readonly_transactions_per_terminal: Option<u64>,
     pub think: SimDuration,
     pub hot_fraction: f64,
     pub hot_set: u64,
@@ -149,7 +158,9 @@ impl Default for BankAppParams {
             history: true,
             accounts: 1000,
             terminals_per_node: 4,
+            readonly_terminals_per_node: 0,
             transactions_per_terminal: 25,
+            readonly_transactions_per_terminal: None,
             think: SimDuration::from_millis(10),
             hot_fraction: 0.0,
             hot_set: 10,
@@ -250,8 +261,11 @@ pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
             think: params.think,
             server_class: "bank".into(),
             server_node: None,
+            read_only: false,
         };
         let terminals = params.terminals_per_node;
+        let readonly_terminals = params.readonly_terminals_per_node;
+        let readonly_transactions = params.readonly_transactions_per_terminal;
         let seed = params.seed;
         let node_idx = i as u64;
         spawn_tcp(
@@ -265,14 +279,29 @@ pub fn launch_bank_app(params: BankAppParams) -> AppHandles {
             },
             catalog,
             move || {
-                (0..terminals)
+                let mut programs: Vec<Box<dyn ScreenProgram>> = (0..terminals)
                     .map(|t| {
                         Box::new(BankProgram::new(
                             wl.clone(),
                             seed ^ (node_idx << 16) ^ t as u64,
                         )) as Box<dyn ScreenProgram>
                     })
-                    .collect()
+                    .collect();
+                // readers ride after the writers: terminal indices (and
+                // therefore rpc id spaces) of the read-write terminals are
+                // untouched when there are zero readers
+                let ro = BankWorkload {
+                    read_only: true,
+                    transactions: readonly_transactions.unwrap_or(wl.transactions),
+                    ..wl.clone()
+                };
+                programs.extend((terminals..terminals + readonly_terminals).map(|t| {
+                    Box::new(BankProgram::new(
+                        ro.clone(),
+                        seed ^ (node_idx << 16) ^ t as u64,
+                    )) as Box<dyn ScreenProgram>
+                }));
+                programs
             },
         );
     }

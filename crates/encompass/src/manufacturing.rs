@@ -438,6 +438,7 @@ impl SuspenseMonitor {
         self.state = MonState::Applying;
         let env = ServerRequest {
             transid: self.session.transid(),
+            options: self.session.options(),
             request: AppRequest::new(
                 "apply-replica",
                 vec![
@@ -467,7 +468,7 @@ impl SuspenseMonitor {
     fn scan(&mut self, ctx: &mut Ctx<'_>) {
         self.state = MonState::Scanning;
         let node = ctx.node();
-        self.session.op(
+        let _ = self.session.op(
             ctx,
             DbOp::ReadRange {
                 file: suspense(node),
@@ -509,7 +510,8 @@ impl SuspenseMonitor {
                         ctx.count("suspense.picked", 1);
                         self.current = Some(work);
                         self.state = MonState::Beginning;
-                        self.session.begin(ctx, 0);
+                        self.session
+                            .begin(ctx, tmf::session::SessionOptions::default(), 0);
                     }
                     None => self.rearm(ctx),
                 }
@@ -534,7 +536,7 @@ impl SuspenseMonitor {
                     let entry = self.current.as_ref().expect("work chosen").0;
                     let node = ctx.node();
                     self.state = MonState::Deleting;
-                    self.session.op(
+                    let _ = self.session.op(
                         ctx,
                         DbOp::Delete {
                             file: suspense(node),
@@ -601,7 +603,7 @@ impl Process for SuspenseMonitor {
                     let entry = self.current.as_ref().expect("work chosen").0;
                     let node = ctx.node();
                     self.state = MonState::Locking;
-                    self.session.op(
+                    let _ = self.session.op(
                         ctx,
                         DbOp::ReadLock {
                             file: suspense(node),

@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use encompass_storage::types::Transid;
+use tmf::session::SessionOptions;
 
 /// A request from a screen program to a server class.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,10 +67,13 @@ impl AppReply {
     }
 }
 
-/// The wire envelope: the File System attaches the current transid.
+/// The wire envelope: the File System attaches the current transid and
+/// the transaction's declared [`SessionOptions`], so the server's reads
+/// run in the requester's mode (exclusive, shared, or snapshot).
 #[derive(Clone, Debug)]
 pub struct ServerRequest {
     pub transid: Option<Transid>,
+    pub options: SessionOptions,
     pub request: AppRequest,
 }
 

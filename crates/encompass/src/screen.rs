@@ -15,12 +15,15 @@
 
 use crate::messages::{AppReply, AppRequest};
 use encompass_sim::SimDuration;
+use tmf::session::SessionOptions;
 
 /// What the program wants the TCP to do next.
 #[derive(Clone, Debug)]
 pub enum ScreenAction {
-    /// BEGIN-TRANSACTION.
-    Begin,
+    /// BEGIN-TRANSACTION, with the transaction's declared options
+    /// (class and read mode). [`ScreenAction::begin`] builds the default
+    /// read-write begin.
+    Begin { options: SessionOptions },
     /// SEND a request to a server class (optionally on a specific node;
     /// `None` = the TCP's own node).
     Send {
@@ -38,6 +41,22 @@ pub enum ScreenAction {
     Think(SimDuration),
     /// The terminal's work is done.
     Finished,
+}
+
+impl ScreenAction {
+    /// BEGIN-TRANSACTION with default options (a read-write transaction).
+    pub fn begin() -> ScreenAction {
+        ScreenAction::Begin {
+            options: SessionOptions::default(),
+        }
+    }
+
+    /// BEGIN-TRANSACTION for a read-only transaction (snapshot reads).
+    pub fn begin_read_only() -> ScreenAction {
+        ScreenAction::Begin {
+            options: SessionOptions::new().read_only(),
+        }
+    }
 }
 
 /// What just happened, fed to the program to get its next action.
@@ -101,7 +120,7 @@ impl ScreenProgram for ScriptProgram {
             return ScreenAction::Finished;
         }
         let action = self.steps[self.next].clone();
-        if matches!(action, ScreenAction::Begin) {
+        if matches!(action, ScreenAction::Begin { .. }) {
             self.begin_at = self.next;
         }
         self.next += 1;
@@ -119,8 +138,8 @@ mod tests {
 
     #[test]
     fn script_runs_in_order_and_finishes() {
-        let mut p = ScriptProgram::new(vec![ScreenAction::Begin, ScreenAction::End]);
-        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Begin));
+        let mut p = ScriptProgram::new(vec![ScreenAction::begin(), ScreenAction::End]);
+        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Begin { .. }));
         assert!(matches!(p.next(ScreenInput::Began), ScreenAction::End));
         assert!(matches!(p.next(ScreenInput::Committed), ScreenAction::Finished));
         assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Finished));
@@ -130,7 +149,7 @@ mod tests {
     fn restart_rewinds_to_last_begin() {
         let mut p = ScriptProgram::new(vec![
             ScreenAction::Think(SimDuration::from_millis(1)),
-            ScreenAction::Begin,
+            ScreenAction::begin(),
             ScreenAction::End,
         ]);
         let _ = p.next(ScreenInput::Go); // think
@@ -138,7 +157,7 @@ mod tests {
         let _ = p.next(ScreenInput::Began); // end
         p.restart();
         assert!(
-            matches!(p.next(ScreenInput::Go), ScreenAction::Begin),
+            matches!(p.next(ScreenInput::Go), ScreenAction::Begin { .. }),
             "restart resumes at BEGIN, not at the think step"
         );
     }

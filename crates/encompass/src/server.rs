@@ -79,7 +79,15 @@ impl ServerProcess {
 
     fn run_step(&mut self, ctx: &mut Ctx<'_>, step: ServerStep) {
         match step {
-            ServerStep::Db(op) => self.session.op(ctx, op, 0),
+            ServerStep::Db(op) => {
+                if let Some(SessionEvent::Failed { .. }) = self.session.op(ctx, op, 0) {
+                    // synchronous refusal (a write under a read-only
+                    // transaction): a server-logic bug, not a transient —
+                    // restarting would loop forever
+                    ctx.count("server.readonly_violations", 1);
+                    self.finish(ctx, AppReply::error());
+                }
+            }
             ServerStep::Reply(r) => self.finish(ctx, r),
         }
     }
@@ -152,9 +160,9 @@ impl Process for ServerProcess {
                 return;
             }
             // (1) read the request: adopt its transid as the current
-            // process transid
+            // process transid, in the requester's declared mode
             match d.body.transid {
-                Some(t) => self.session.adopt(t),
+                Some(t) => self.session.adopt(t, d.body.options),
                 None => self.session.clear(),
             }
             let mut logic = (self.factory)();
@@ -223,6 +231,7 @@ mod tests {
                         from: ctx.pid(),
                         body: ServerRequest {
                             transid: None,
+                            options: tmf::session::SessionOptions::default(),
                             request: AppRequest::new("x", vec![]),
                         },
                     }),

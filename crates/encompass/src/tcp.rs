@@ -164,7 +164,7 @@ impl TerminalControlProcess {
         let my_node = ctx.node();
         let t = &mut self.terminals[idx];
         match action {
-            ScreenAction::Begin => {
+            ScreenAction::Begin { options } => {
                 if t.session.transid().is_some() {
                     // BEGIN while already in transaction mode: program error
                     ctx.count("tcp.program_errors", 1);
@@ -172,7 +172,7 @@ impl TerminalControlProcess {
                     return;
                 }
                 t.state = TermState::AwaitBegin;
-                t.session.begin(ctx, idx as u64);
+                t.session.begin(ctx, options, idx as u64);
             }
             ScreenAction::Send {
                 node,
@@ -238,6 +238,7 @@ impl TerminalControlProcess {
         let target = Target::Named(dest, format!("$SC-{class}"));
         let env = ServerRequest {
             transid: t.session.transid(),
+            options: t.session.options(),
             request,
         };
         ctx.count("tcp.sends", 1);

@@ -104,6 +104,11 @@ impl ServerLogic for BankServer {
             (_, DiscReply::Err(DiscError::LockTimeout)) => {
                 ServerStep::Reply(AppReply::restart())
             }
+            // the snapshot fence aged out of the volume's before-image
+            // ring: restart pins a fresh fence
+            (_, DiscReply::Err(DiscError::SnapshotTooOld)) => {
+                ServerStep::Reply(AppReply::restart())
+            }
             // debit: balance updated → optional history append
             (2, DiscReply::Ok) => match &self.history_file {
                 Some(h) => {
@@ -148,6 +153,9 @@ pub struct BankWorkload {
     /// Server class to SEND to, and the node it runs on (`None` = local).
     pub server_class: String,
     pub server_node: Option<NodeId>,
+    /// Run read-only query transactions (BEGIN read-only → SEND `query` →
+    /// END) instead of debits. Readers commit without forcing any trail.
+    pub read_only: bool,
 }
 
 impl Default for BankWorkload {
@@ -160,6 +168,7 @@ impl Default for BankWorkload {
             think: SimDuration::from_millis(10),
             server_class: "bank".into(),
             server_node: None,
+            read_only: false,
         }
     }
 }
@@ -208,18 +217,24 @@ impl ScreenProgram for BankProgram {
                     self.current = Some((acct, amount));
                 }
                 self.phase = 0;
-                ScreenAction::Begin
+                if self.cfg.read_only {
+                    ScreenAction::begin_read_only()
+                } else {
+                    ScreenAction::begin()
+                }
             }
             ScreenInput::Began => {
                 let (acct, amount) = self.current.expect("input data present");
                 self.phase = 1;
+                let request = if self.cfg.read_only {
+                    AppRequest::new("query", vec![account_key(acct)])
+                } else {
+                    AppRequest::new("debit", vec![account_key(acct), balance_bytes(amount)])
+                };
                 ScreenAction::Send {
                     node: self.cfg.server_node,
                     class: self.cfg.server_class.clone(),
-                    request: AppRequest::new(
-                        "debit",
-                        vec![account_key(acct), balance_bytes(amount)],
-                    ),
+                    request,
                 }
             }
             ScreenInput::Reply(r) => {
@@ -325,7 +340,7 @@ mod tests {
             },
             7,
         );
-        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Begin));
+        assert!(matches!(p.next(ScreenInput::Go), ScreenAction::Begin { .. }));
         let send = p.next(ScreenInput::Began);
         match &send {
             ScreenAction::Send { class, request, .. } => {

@@ -11,6 +11,7 @@ use encompass_sim::{CpuId, Ctx, Fault, NodeId, Payload, Pid, Process, SimDuratio
 use guardian::{Rpc, Target, TimerOutcome};
 use std::cell::RefCell;
 use std::rc::Rc;
+use tmf::session::SessionOptions;
 
 #[test]
 fn bank_app_runs_all_transactions_and_conserves_money() {
@@ -110,7 +111,7 @@ impl OneShot {
 impl Process for OneShot {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.state = 1;
-        self.session.begin(ctx, 0);
+        self.session.begin(ctx, SessionOptions::default(), 0);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
         let payload = match self.session.accept(ctx, payload) {
@@ -121,6 +122,7 @@ impl Process for OneShot {
                         self.state = 2;
                         let env = ServerRequest {
                             transid: self.session.transid(),
+                            options: self.session.options(),
                             request: self.request.clone(),
                         };
                         let _ = self.rpc.call(

@@ -74,13 +74,13 @@ fn scripted_commit_and_voluntary_abort_through_the_tcp() {
             vec![
                 // terminal 0: begin → debit → commit
                 Box::new(ScriptProgram::new(vec![
-                    ScreenAction::Begin,
+                    ScreenAction::begin(),
                     debit_send(),
                     ScreenAction::End,
                 ])) as Box<dyn ScreenProgram>,
                 // terminal 1: begin → debit → ABORT-TRANSACTION
                 Box::new(ScriptProgram::new(vec![
-                    ScreenAction::Begin,
+                    ScreenAction::begin(),
                     debit_send(),
                     ScreenAction::Abort,
                 ])) as Box<dyn ScreenProgram>,
@@ -127,7 +127,7 @@ fn send_to_unknown_server_class_hits_the_restart_limit() {
         catalog,
         move || {
             vec![Box::new(ScriptProgram::new(vec![
-                ScreenAction::Begin,
+                ScreenAction::begin(),
                 ScreenAction::Send {
                     node: None,
                     class: "no-such-class".into(),
@@ -163,7 +163,7 @@ fn tcp_takeover_aborts_open_transaction_and_finishes_script() {
         catalog,
         move || {
             vec![Box::new(ScriptProgram::new(vec![
-                ScreenAction::Begin,
+                ScreenAction::begin(),
                 debit_send(),
                 // a long think inside the transaction: the kill lands here
                 ScreenAction::Think(SimDuration::from_secs(2)),

@@ -25,6 +25,8 @@ pub const PROTOCOL_ENUMS: &[&str] = &[
     "BackoutMsg",
     "DumpMsg",
     "TxState",
+    "LockMode",
+    "TxnClass",
 ];
 
 /// Order-sensitive methods on hash containers (L1-iter).

@@ -70,7 +70,7 @@ pub use config::SimConfig;
 pub use fault::Fault;
 pub use flightrec::{
     attribute_commit, format_timeline, CommitAttribution, FlightCause, FlightEvent,
-    FlightRecorder, FlightTransid, LatencyComponent,
+    FlightLockMode, FlightRecorder, FlightTransid, LatencyComponent,
 };
 pub use ids::{CpuId, LinkId, NodeId, Pid};
 pub use kernel::World;

@@ -3,9 +3,14 @@
 //! One instance lives inside each DISCPROCESS and covers *only* the
 //! records and files resident on that volume — "concurrency control for
 //! ENCOMPASS is decentralized … no central lock manager exists". Two
-//! granularities are provided, record and file, both exclusive mode (the
-//! only mode the paper's TMF offers). There is no block- or index-level
-//! locking.
+//! granularities are provided, record and file. The paper's TMF offers
+//! exclusive mode only; this manager additionally provides shared record
+//! locks and intent modes at file scope (Gray's hierarchical locking) so
+//! read-only transactions can coexist with one another while writers
+//! still serialize. Record locks held by a transaction imply an intent
+//! lock on their file (IS for shared, IX for exclusive records), which is
+//! what a file-scope request is tested against. There is no block- or
+//! index-level locking.
 //!
 //! Deadlock detection is by timeout: a request that cannot be granted
 //! queues, and its DISCPROCESS arms a timer; if the timer fires first the
@@ -16,12 +21,82 @@ use crate::types::Transid;
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
+/// The lock modes. `Shared` and `Exclusive` apply to both scopes;
+/// the intent modes only make sense at file scope, where they summarize
+/// record-level activity below.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Read lock: compatible with other readers.
+    Shared,
+    /// Write lock: compatible with nothing.
+    Exclusive,
+    /// File-scope summary of shared record locks below.
+    IntentShared,
+    /// File-scope summary of exclusive record locks below.
+    IntentExclusive,
+}
+
+impl LockMode {
+    /// Gray's compatibility matrix (no SIX — nothing here needs it).
+    pub fn compatible(self, other: LockMode) -> bool {
+        match (self, other) {
+            (LockMode::IntentShared, LockMode::IntentShared)
+            | (LockMode::IntentShared, LockMode::IntentExclusive)
+            | (LockMode::IntentShared, LockMode::Shared)
+            | (LockMode::IntentExclusive, LockMode::IntentShared)
+            | (LockMode::IntentExclusive, LockMode::IntentExclusive)
+            | (LockMode::Shared, LockMode::IntentShared)
+            | (LockMode::Shared, LockMode::Shared) => true,
+            (LockMode::IntentShared, LockMode::Exclusive)
+            | (LockMode::IntentExclusive, LockMode::Shared)
+            | (LockMode::IntentExclusive, LockMode::Exclusive)
+            | (LockMode::Shared, LockMode::IntentExclusive)
+            | (LockMode::Shared, LockMode::Exclusive)
+            | (LockMode::Exclusive, LockMode::IntentShared)
+            | (LockMode::Exclusive, LockMode::IntentExclusive)
+            | (LockMode::Exclusive, LockMode::Shared)
+            | (LockMode::Exclusive, LockMode::Exclusive) => false,
+        }
+    }
+
+    /// Does a grant in mode `self` satisfy a request for `req`?
+    /// (Exclusive covers everything; Shared and IX cover IS.)
+    pub fn covers(self, req: LockMode) -> bool {
+        match (self, req) {
+            (LockMode::Shared, LockMode::Shared)
+            | (LockMode::Shared, LockMode::IntentShared)
+            | (LockMode::Exclusive, LockMode::Shared)
+            | (LockMode::Exclusive, LockMode::Exclusive)
+            | (LockMode::Exclusive, LockMode::IntentShared)
+            | (LockMode::Exclusive, LockMode::IntentExclusive)
+            | (LockMode::IntentShared, LockMode::IntentShared)
+            | (LockMode::IntentExclusive, LockMode::IntentShared)
+            | (LockMode::IntentExclusive, LockMode::IntentExclusive) => true,
+            (LockMode::Shared, LockMode::Exclusive)
+            | (LockMode::Shared, LockMode::IntentExclusive)
+            | (LockMode::IntentShared, LockMode::Shared)
+            | (LockMode::IntentShared, LockMode::Exclusive)
+            | (LockMode::IntentShared, LockMode::IntentExclusive)
+            | (LockMode::IntentExclusive, LockMode::Shared)
+            | (LockMode::IntentExclusive, LockMode::Exclusive) => false,
+        }
+    }
+
+    /// The file-scope intent a record lock in this mode implies.
+    pub fn implied_intent(self) -> LockMode {
+        match self {
+            LockMode::Shared | LockMode::IntentShared => LockMode::IntentShared,
+            LockMode::Exclusive | LockMode::IntentExclusive => LockMode::IntentExclusive,
+        }
+    }
+}
+
 /// What a lock covers.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum LockScope {
     /// The primary key of one logical record.
     Record { file: String, key: Bytes },
-    /// A whole file (conflicts with every record lock in the file).
+    /// A whole file (tested against every record lock in the file).
     File { file: String },
 }
 
@@ -37,7 +112,7 @@ impl LockScope {
 /// Result of a lock request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Acquire {
-    /// Granted now (or the transaction already held it).
+    /// Granted now (or the transaction already held a covering mode).
     Granted,
     /// Conflicts; the request is queued under the given waiter token.
     Queued,
@@ -49,29 +124,57 @@ pub struct GrantedWaiter {
     pub token: u64,
     pub txn: Transid,
     pub scope: LockScope,
+    pub mode: LockMode,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Grant {
+    txn: Transid,
+    mode: LockMode,
 }
 
 #[derive(Debug)]
 struct WaitEntry {
     token: u64,
     txn: Transid,
+    mode: LockMode,
 }
 
 #[derive(Default)]
 struct LockQueue {
-    holder: Option<Transid>,
+    granted: Vec<Grant>,
     waiters: VecDeque<WaitEntry>,
 }
 
-/// Exclusive record + file locks for one volume.
+/// Per-file, per-transaction record-lock counts: how many shared and how
+/// many exclusive record locks the transaction holds in the file. The
+/// implied file intent is IX if any exclusive, else IS.
+#[derive(Default, Clone, Copy)]
+struct RecordCounts {
+    shared: usize,
+    exclusive: usize,
+}
+
+impl RecordCounts {
+    fn implied_intent(self) -> LockMode {
+        if self.exclusive > 0 {
+            LockMode::IntentExclusive
+        } else {
+            LockMode::IntentShared
+        }
+    }
+}
+
+/// Multi-mode record + file locks for one volume.
 #[derive(Default)]
 pub struct LockManager {
     records: BTreeMap<(String, Bytes), LockQueue>,
     files: BTreeMap<String, LockQueue>,
-    /// Per-file count of record locks held, per transaction — used to
-    /// decide file-lock compatibility.
-    file_record_holders: BTreeMap<String, BTreeMap<Transid, usize>>,
-    /// Everything a transaction holds, for release_all.
+    /// Record-lock counts per file per transaction — the implied intent
+    /// locks a file-scope request is tested against.
+    file_record_holders: BTreeMap<String, BTreeMap<Transid, RecordCounts>>,
+    /// Everything a transaction holds, for release_all (modes live in
+    /// the grant sets).
     held: BTreeMap<Transid, Vec<LockScope>>,
 }
 
@@ -85,29 +188,42 @@ impl LockManager {
         self.held.get(&txn).map(|v| v.len()).unwrap_or(0)
     }
 
-    /// Current holder of a scope, if locked.
-    pub fn holder(&self, scope: &LockScope) -> Option<Transid> {
-        match scope {
-            LockScope::Record { file, key } => self
-                .records
-                .get(&(file.clone(), key.clone()))
-                .and_then(|q| q.holder),
-            LockScope::File { file } => self.files.get(file).and_then(|q| q.holder),
-        }
+    /// The grant set of a scope: every `(transaction, mode)` holding it.
+    pub fn holders(&self, scope: &LockScope) -> Vec<(Transid, LockMode)> {
+        let q = match scope {
+            LockScope::Record { file, key } => self.records.get(&(file.clone(), key.clone())),
+            LockScope::File { file } => self.files.get(file),
+        };
+        q.map(|q| q.granted.iter().map(|g| (g.txn, g.mode)).collect())
+            .unwrap_or_default()
     }
 
-    /// Does `txn` hold this exact scope?
-    pub fn holds(&self, txn: Transid, scope: &LockScope) -> bool {
-        self.holder(scope) == Some(txn)
+    /// The mode `txn` holds on this exact scope, if any.
+    fn grant_mode(&self, txn: Transid, scope: &LockScope) -> Option<LockMode> {
+        let q = match scope {
+            LockScope::Record { file, key } => self.records.get(&(file.clone(), key.clone()))?,
+            LockScope::File { file } => self.files.get(file)?,
+        };
+        q.granted.iter().find(|g| g.txn == txn).map(|g| g.mode)
     }
 
-    /// Every `(transaction, scope)` currently held — used to snapshot a
-    /// DISCPROCESS for backup initialization. Waiters are deliberately
-    /// excluded: their requesters retransmit and re-queue.
-    pub fn holdings(&self) -> Vec<(Transid, LockScope)> {
+    /// Does `txn` hold this exact scope in a mode covering `mode`?
+    pub fn holds(&self, txn: Transid, scope: &LockScope, mode: LockMode) -> bool {
+        self.grant_mode(txn, scope).is_some_and(|m| m.covers(mode))
+    }
+
+    /// Every `(transaction, scope, mode)` currently held — used to
+    /// snapshot a DISCPROCESS for backup initialization. Waiters are
+    /// deliberately excluded: their requesters retransmit and re-queue.
+    pub fn holdings(&self) -> Vec<(Transid, LockScope, LockMode)> {
         self.held
             .iter()
-            .flat_map(|(t, scopes)| scopes.iter().map(move |s| (*t, s.clone())))
+            .flat_map(|(t, scopes)| {
+                scopes.iter().map(move |s| {
+                    let mode = self.grant_mode(*t, s).expect("held implies granted");
+                    (*t, s.clone(), mode)
+                })
+            })
             .collect()
     }
 
@@ -120,122 +236,212 @@ impl LockManager {
             .sum()
     }
 
-    fn record_compatible(&self, txn: Transid, file: &str, key: &Bytes) -> bool {
+    fn record_compatible(&self, txn: Transid, file: &str, key: &Bytes, mode: LockMode) -> bool {
+        let intent = mode.implied_intent();
         if let Some(fq) = self.files.get(file) {
-            match fq.holder {
-                // a file lock by another transaction blocks all record locks
-                Some(h) if h != txn => return false,
-                Some(_) => {} // txn's own file lock covers its record locks
-                None => {
-                    // Fairness fence: once a file-lock waiter from another
-                    // transaction is queued, record-lock requests from
-                    // transactions that hold nothing in the file yet are
-                    // refused — otherwise a stream of latecomers keeps the
-                    // record-holder count non-zero and starves the file
-                    // waiter until its timeout. Transactions already
-                    // holding record locks in the file stay exempt (their
-                    // further locks, and their own file-lock upgrade, must
-                    // not deadlock against the fence).
-                    let foreign_waiter = fq.waiters.iter().any(|w| w.txn != txn);
-                    let already_in_file = self
-                        .file_record_holders
-                        .get(file)
-                        .is_some_and(|m| m.contains_key(&txn));
-                    if foreign_waiter && !already_in_file {
-                        return false;
-                    }
+            // a file grant by another transaction in an incompatible mode
+            // blocks the record lock; txn's own file grant covers it
+            let own_file_grant = fq.granted.iter().any(|g| g.txn == txn);
+            for g in &fq.granted {
+                if g.txn != txn && !g.mode.compatible(intent) {
+                    return false;
+                }
+            }
+            if !own_file_grant {
+                // Fairness fence: once an incompatible file-lock waiter
+                // from another transaction is queued, record-lock requests
+                // from transactions that hold nothing in the file yet are
+                // refused — otherwise a stream of latecomers keeps the
+                // record-holder count non-zero and starves the file
+                // waiter until its timeout. Transactions already
+                // holding record locks in the file stay exempt (their
+                // further locks, and their own file-lock upgrade, must
+                // not deadlock against the fence).
+                let foreign_waiter = fq
+                    .waiters
+                    .iter()
+                    .any(|w| w.txn != txn && !w.mode.compatible(intent));
+                let already_in_file = self
+                    .file_record_holders
+                    .get(file)
+                    .is_some_and(|m| m.contains_key(&txn));
+                if foreign_waiter && !already_in_file {
+                    return false;
                 }
             }
         }
         match self.records.get(&(file.to_string(), key.clone())) {
-            Some(q) => q.holder.is_none() || q.holder == Some(txn),
+            Some(q) => q
+                .granted
+                .iter()
+                .all(|g| g.txn == txn || g.mode.compatible(mode)),
             None => true,
         }
     }
 
-    fn file_compatible(&self, txn: Transid, file: &str) -> bool {
+    fn file_compatible(&self, txn: Transid, file: &str, mode: LockMode) -> bool {
         if let Some(fq) = self.files.get(file) {
-            if let Some(h) = fq.holder {
-                if h != txn {
+            for g in &fq.granted {
+                if g.txn != txn && !g.mode.compatible(mode) {
                     return false;
                 }
             }
-            // NOTE: compatible file requests may overtake queued file
-            // waiters — blocking on the queue would deadlock a transaction
-            // that holds record locks against its own file-lock upgrade.
-            // Record-lock latecomers, however, are fenced while a foreign
-            // file waiter queues (see `record_compatible`), so the waiter
-            // cannot be starved by a stream of new record locks.
+            // NOTE: file requests from transactions already active in the
+            // file may overtake queued file waiters — blocking on the
+            // queue would deadlock a transaction that holds record locks
+            // against its own file-lock upgrade. Record-lock latecomers,
+            // however, are fenced while a foreign file waiter queues (see
+            // `record_compatible`), and file-lock latecomers holding
+            // nothing in the file defer to queued waiters (see
+            // `acquire`), so the waiter cannot be starved.
         }
-        // any record lock in the file by another transaction blocks it
+        // a record lock in the file by another transaction blocks the
+        // request unless its implied intent is compatible
         if let Some(holders) = self.file_record_holders.get(file) {
-            if holders.keys().any(|h| *h != txn) {
-                return false;
+            for (h, counts) in holders {
+                if *h != txn && !counts.implied_intent().compatible(mode) {
+                    return false;
+                }
             }
         }
         true
     }
 
     /// Try to acquire; on conflict the request queues under `token`.
-    /// Re-requesting a scope the transaction already holds is granted
-    /// immediately (idempotent, for retried requests).
-    pub fn acquire(&mut self, txn: Transid, scope: LockScope, token: u64) -> Acquire {
-        if self.holds(txn, &scope) {
+    /// Re-requesting a scope the transaction already holds in a covering
+    /// mode is granted immediately (idempotent, for retried requests);
+    /// requesting `Exclusive` over an own `Shared` grant upgrades in
+    /// place once every other holder is gone.
+    pub fn acquire(&mut self, txn: Transid, scope: LockScope, mode: LockMode, token: u64) -> Acquire {
+        if self.holds(txn, &scope, mode) {
             return Acquire::Granted;
         }
         match &scope {
             LockScope::Record { file, key } => {
-                if self.record_compatible(txn, file, key) {
-                    self.grant_record(txn, file.clone(), key.clone());
+                // a shared request defers to a queued incompatible waiter
+                // (an exclusive one) so reader streams cannot starve it;
+                // exclusive requests keep the historical overtake — the
+                // front waiter may be fenced while the requester is not
+                let defer = mode == LockMode::Shared
+                    && self
+                        .records
+                        .get(&(file.clone(), key.clone()))
+                        .is_some_and(|q| {
+                            q.waiters.iter().any(|w| w.txn != txn && !w.mode.compatible(mode))
+                        });
+                if !defer && self.record_compatible(txn, file, key, mode) {
+                    self.grant_record(txn, file.clone(), key.clone(), mode);
                     Acquire::Granted
                 } else {
                     self.records
                         .entry((file.clone(), key.clone()))
                         .or_default()
                         .waiters
-                        .push_back(WaitEntry { token, txn });
+                        .push_back(WaitEntry { token, txn, mode });
                     Acquire::Queued
                 }
             }
             LockScope::File { file } => {
-                if self.file_compatible(txn, file) {
-                    self.grant_file(txn, file.clone());
+                // a file request from a transaction holding nothing in the
+                // file defers to queued incompatible file waiters; one
+                // already active in the file may overtake (self-upgrade)
+                let active_in_file = self
+                    .files
+                    .get(file)
+                    .is_some_and(|q| q.granted.iter().any(|g| g.txn == txn))
+                    || self
+                        .file_record_holders
+                        .get(file)
+                        .is_some_and(|m| m.contains_key(&txn));
+                let defer = !active_in_file
+                    && self.files.get(file).is_some_and(|q| {
+                        q.waiters.iter().any(|w| w.txn != txn && !w.mode.compatible(mode))
+                    });
+                if !defer && self.file_compatible(txn, file, mode) {
+                    self.grant_file(txn, file.clone(), mode);
                     Acquire::Granted
                 } else {
                     self.files
                         .entry(file.clone())
                         .or_default()
                         .waiters
-                        .push_back(WaitEntry { token, txn });
+                        .push_back(WaitEntry { token, txn, mode });
                     Acquire::Queued
                 }
             }
         }
     }
 
-    fn grant_record(&mut self, txn: Transid, file: String, key: Bytes) {
-        let q = self.records.entry((file.clone(), key.clone())).or_default();
-        debug_assert!(q.holder.is_none() || q.holder == Some(txn));
-        if q.holder != Some(txn) {
-            q.holder = Some(txn);
-            *self
-                .file_record_holders
-                .entry(file.clone())
-                .or_default()
-                .entry(txn)
-                .or_insert(0) += 1;
-            self.held
-                .entry(txn)
-                .or_default()
-                .push(LockScope::Record { file, key });
+    fn grant_record(&mut self, txn: Transid, file: String, key: Bytes, mode: LockMode) {
+        enum Change {
+            Covered,
+            Upgrade,
+            Fresh,
+        }
+        let change = {
+            let q = self.records.entry((file.clone(), key.clone())).or_default();
+            debug_assert!(q.granted.iter().all(|g| g.txn == txn || g.mode.compatible(mode)));
+            match q.granted.iter_mut().find(|g| g.txn == txn) {
+                Some(g) if g.mode.covers(mode) => Change::Covered,
+                Some(g) => {
+                    debug_assert_eq!(g.mode, LockMode::Shared);
+                    g.mode = mode;
+                    Change::Upgrade
+                }
+                None => {
+                    q.granted.push(Grant { txn, mode });
+                    Change::Fresh
+                }
+            }
+        };
+        match change {
+            Change::Covered => {}
+            Change::Upgrade => {
+                // Shared → Exclusive in place: move the intent count over
+                let counts = self
+                    .file_record_holders
+                    .get_mut(&file)
+                    .and_then(|m| m.get_mut(&txn))
+                    .expect("upgraded holder is counted");
+                counts.shared -= 1;
+                counts.exclusive += 1;
+            }
+            Change::Fresh => {
+                let counts = self
+                    .file_record_holders
+                    .entry(file.clone())
+                    .or_default()
+                    .entry(txn)
+                    .or_default();
+                match mode {
+                    LockMode::Shared | LockMode::IntentShared => counts.shared += 1,
+                    LockMode::Exclusive | LockMode::IntentExclusive => counts.exclusive += 1,
+                }
+                self.held
+                    .entry(txn)
+                    .or_default()
+                    .push(LockScope::Record { file, key });
+            }
         }
     }
 
-    fn grant_file(&mut self, txn: Transid, file: String) {
-        let q = self.files.entry(file.clone()).or_default();
-        debug_assert!(q.holder.is_none() || q.holder == Some(txn));
-        if q.holder != Some(txn) {
-            q.holder = Some(txn);
+    fn grant_file(&mut self, txn: Transid, file: String, mode: LockMode) {
+        let fresh = {
+            let q = self.files.entry(file.clone()).or_default();
+            debug_assert!(q.granted.iter().all(|g| g.txn == txn || g.mode.compatible(mode)));
+            match q.granted.iter_mut().find(|g| g.txn == txn) {
+                Some(g) if g.mode.covers(mode) => false,
+                Some(g) => {
+                    g.mode = mode;
+                    false
+                }
+                None => {
+                    q.granted.push(Grant { txn, mode });
+                    true
+                }
+            }
+        };
+        if fresh {
             self.held
                 .entry(txn)
                 .or_default()
@@ -282,25 +488,35 @@ impl LockManager {
         for scope in &scopes {
             match scope {
                 LockScope::Record { file, key } => {
+                    let mut released = None;
                     if let Some(q) = self.records.get_mut(&(file.clone(), key.clone())) {
-                        q.holder = None;
-                    }
-                    if let Some(holders) = self.file_record_holders.get_mut(file) {
-                        if let Some(c) = holders.get_mut(&txn) {
-                            *c -= 1;
-                            if *c == 0 {
-                                holders.remove(&txn);
-                            }
+                        if let Some(pos) = q.granted.iter().position(|g| g.txn == txn) {
+                            released = Some(q.granted.remove(pos).mode);
                         }
-                        if holders.is_empty() {
-                            self.file_record_holders.remove(file);
+                    }
+                    if let Some(mode) = released {
+                        if let Some(holders) = self.file_record_holders.get_mut(file) {
+                            if let Some(c) = holders.get_mut(&txn) {
+                                match mode {
+                                    LockMode::Shared | LockMode::IntentShared => c.shared -= 1,
+                                    LockMode::Exclusive | LockMode::IntentExclusive => {
+                                        c.exclusive -= 1
+                                    }
+                                }
+                                if c.shared == 0 && c.exclusive == 0 {
+                                    holders.remove(&txn);
+                                }
+                            }
+                            if holders.is_empty() {
+                                self.file_record_holders.remove(file);
+                            }
                         }
                     }
                     touched_files.push(file.clone());
                 }
                 LockScope::File { file } => {
                     if let Some(q) = self.files.get_mut(file) {
-                        q.holder = None;
+                        q.granted.retain(|g| g.txn != txn);
                     }
                     touched_files.push(file.clone());
                 }
@@ -323,86 +539,84 @@ impl LockManager {
         }
         // drop empty queues to bound memory
         self.records
-            .retain(|_, q| q.holder.is_some() || !q.waiters.is_empty());
+            .retain(|_, q| !q.granted.is_empty() || !q.waiters.is_empty());
         self.files
-            .retain(|_, q| q.holder.is_some() || !q.waiters.is_empty());
+            .retain(|_, q| !q.granted.is_empty() || !q.waiters.is_empty());
         granted
     }
 
     fn wake_record(&mut self, file: &str, key: &Bytes, granted: &mut Vec<GrantedWaiter>) {
-        let Some(q) = self.records.get_mut(&(file.to_string(), key.clone())) else {
-            return;
-        };
-        if q.holder.is_some() {
-            return;
+        // grant the maximal compatible prefix of the queue: a shared
+        // group drains together, and the first incompatible waiter
+        // (an exclusive one behind readers, or vice versa) blocks the rest
+        loop {
+            let Some(q) = self.records.get(&(file.to_string(), key.clone())) else {
+                return;
+            };
+            let Some(front) = q.waiters.front() else {
+                return;
+            };
+            let (txn, mode) = (front.txn, front.mode);
+            if !self.record_compatible(txn, file, key, mode) {
+                return;
+            }
+            let q = self
+                .records
+                .get_mut(&(file.to_string(), key.clone()))
+                .expect("present above");
+            let w = q.waiters.pop_front().expect("present above");
+            self.grant_record(w.txn, file.to_string(), key.clone(), w.mode);
+            granted.push(GrantedWaiter {
+                token: w.token,
+                txn: w.txn,
+                scope: LockScope::Record {
+                    file: file.to_string(),
+                    key: key.clone(),
+                },
+                mode: w.mode,
+            });
         }
-        let Some(front) = q.waiters.front() else {
-            return;
-        };
-        let txn = front.txn;
-        if !self.record_compatible(txn, file, key) {
-            return;
-        }
-        let q = self
-            .records
-            .get_mut(&(file.to_string(), key.clone()))
-            .expect("present above");
-        let w = q.waiters.pop_front().expect("present above");
-        self.grant_record(w.txn, file.to_string(), key.clone());
-        // an exclusive grant blocks the rest of the queue
-        granted.push(GrantedWaiter {
-            token: w.token,
-            txn: w.txn,
-            scope: LockScope::Record {
-                file: file.to_string(),
-                key: key.clone(),
-            },
-        });
     }
 
     fn wake_file(&mut self, file: &str, granted: &mut Vec<GrantedWaiter>) {
-        let Some(q) = self.files.get(file) else {
-            return;
-        };
-        if q.holder.is_some() {
-            return;
-        }
-        let Some(front) = q.waiters.front() else {
-            return;
-        };
-        let txn = front.txn;
-        // temporarily pop to evaluate compatibility without self-blocking
-        let w = self
-            .files
-            .get_mut(file)
-            .expect("present above")
-            .waiters
-            .pop_front()
-            .expect("present above");
-        if self.file_compatible(txn, file) {
-            self.grant_file(w.txn, file.to_string());
+        // like wake_record: the maximal compatible prefix is granted
+        loop {
+            let Some(q) = self.files.get(file) else {
+                return;
+            };
+            let Some(front) = q.waiters.front() else {
+                return;
+            };
+            let (txn, mode) = (front.txn, front.mode);
+            if !self.file_compatible(txn, file, mode) {
+                return;
+            }
+            let w = self
+                .files
+                .get_mut(file)
+                .expect("present above")
+                .waiters
+                .pop_front()
+                .expect("present above");
+            self.grant_file(w.txn, file.to_string(), w.mode);
             granted.push(GrantedWaiter {
                 token: w.token,
                 txn: w.txn,
                 scope: LockScope::File {
                     file: file.to_string(),
                 },
+                mode: w.mode,
             });
-        } else {
-            self.files
-                .get_mut(file)
-                .expect("present above")
-                .waiters
-                .push_front(w);
         }
     }
 
     fn wake_records_of_file(&mut self, file: &str, granted: &mut Vec<GrantedWaiter>) {
-        // a released file lock may unblock record waiters anywhere in the file
+        // a released file lock (or a lifted fence) may unblock record
+        // waiters anywhere in the file
         let keys: Vec<Bytes> = self
             .records
             .iter()
-            .filter(|((f, _), q)| f == file && q.holder.is_none() && !q.waiters.is_empty())
+            .filter(|((f, _), q)| f == file && !q.waiters.is_empty())
             .map(|((_, k), _)| k.clone())
             .collect();
         for key in keys {
@@ -435,27 +649,31 @@ mod tests {
         LockScope::File { file: file.into() }
     }
 
+    const X: LockMode = LockMode::Exclusive;
+    const S: LockMode = LockMode::Shared;
+
     #[test]
     fn exclusive_record_lock() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), rec("f", "k"), 100), Acquire::Granted);
-        assert_eq!(lm.acquire(t(1), rec("f", "k"), 101), Acquire::Granted, "re-entrant");
-        assert_eq!(lm.acquire(t(2), rec("f", "k"), 102), Acquire::Queued);
-        assert_eq!(lm.holder(&rec("f", "k")), Some(t(1)));
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), X, 100), Acquire::Granted);
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), X, 101), Acquire::Granted, "re-entrant");
+        assert_eq!(lm.acquire(t(2), rec("f", "k"), X, 102), Acquire::Queued);
+        assert_eq!(lm.holders(&rec("f", "k")), vec![(t(1), X)]);
         assert_eq!(lm.waiting(), 1);
         let granted = lm.release_all(t(1));
         assert_eq!(granted.len(), 1);
         assert_eq!(granted[0].txn, t(2));
         assert_eq!(granted[0].token, 102);
-        assert!(lm.holds(t(2), &rec("f", "k")));
+        assert_eq!(granted[0].mode, X);
+        assert!(lm.holds(t(2), &rec("f", "k"), X));
     }
 
     #[test]
     fn fifo_waiter_order() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "k"), 0);
-        lm.acquire(t(2), rec("f", "k"), 1);
-        lm.acquire(t(3), rec("f", "k"), 2);
+        lm.acquire(t(1), rec("f", "k"), X, 0);
+        lm.acquire(t(2), rec("f", "k"), X, 1);
+        lm.acquire(t(3), rec("f", "k"), X, 2);
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1, "exclusive: only the first waiter granted");
         assert_eq!(g[0].txn, t(2));
@@ -466,33 +684,33 @@ mod tests {
     #[test]
     fn file_lock_conflicts_with_record_locks() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "a"), 0);
-        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        lm.acquire(t(1), rec("f", "a"), X, 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), X, 1), Acquire::Queued);
         // same txn's own record locks do not block its file lock
-        assert_eq!(lm.acquire(t(1), fl("f"), 2), Acquire::Granted);
+        assert_eq!(lm.acquire(t(1), fl("f"), X, 2), Acquire::Granted);
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].scope, fl("f"));
-        assert!(lm.holds(t(2), &fl("f")));
+        assert!(lm.holds(t(2), &fl("f"), X));
     }
 
     #[test]
     fn record_lock_blocked_by_file_lock() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), fl("f"), 0);
-        assert_eq!(lm.acquire(t(2), rec("f", "x"), 1), Acquire::Queued);
+        lm.acquire(t(1), fl("f"), X, 0);
+        assert_eq!(lm.acquire(t(2), rec("f", "x"), X, 1), Acquire::Queued);
         // other files unaffected — locking is per scope
-        assert_eq!(lm.acquire(t(2), rec("g", "x"), 2), Acquire::Granted);
+        assert_eq!(lm.acquire(t(2), rec("g", "x"), X, 2), Acquire::Granted);
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1);
-        assert!(lm.holds(t(2), &rec("f", "x")));
+        assert!(lm.holds(t(2), &rec("f", "x"), X));
     }
 
     #[test]
     fn cancel_waiter_models_timeout() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "k"), 0);
-        lm.acquire(t(2), rec("f", "k"), 55);
+        lm.acquire(t(1), rec("f", "k"), X, 0);
+        lm.acquire(t(2), rec("f", "k"), X, 55);
         assert_eq!(lm.cancel_waiter(55), Some(Vec::new()));
         assert!(lm.cancel_waiter(55).is_none(), "already cancelled");
         let g = lm.release_all(t(1));
@@ -503,13 +721,13 @@ mod tests {
     #[test]
     fn release_all_spans_files_and_scopes() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("a", "x"), 0);
-        lm.acquire(t(1), rec("b", "y"), 0);
-        lm.acquire(t(1), fl("c"), 0);
+        lm.acquire(t(1), rec("a", "x"), X, 0);
+        lm.acquire(t(1), rec("b", "y"), X, 0);
+        lm.acquire(t(1), fl("c"), X, 0);
         assert_eq!(lm.held_count(t(1)), 3);
-        lm.acquire(t(2), rec("a", "x"), 1);
-        lm.acquire(t(3), fl("b"), 2);
-        lm.acquire(t(4), rec("c", "z"), 3);
+        lm.acquire(t(2), rec("a", "x"), X, 1);
+        lm.acquire(t(3), fl("b"), X, 2);
+        lm.acquire(t(4), rec("c", "z"), X, 3);
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 3, "one waiter per released scope: {g:?}");
         assert_eq!(lm.held_count(t(1)), 0);
@@ -518,16 +736,16 @@ mod tests {
     #[test]
     fn file_waiter_fences_latecomer_record_locks() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "a"), 0);
+        lm.acquire(t(1), rec("f", "a"), X, 0);
         // t2 queues for the file lock
-        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        assert_eq!(lm.acquire(t(2), fl("f"), X, 1), Acquire::Queued);
         // t3 arrives later for a fresh record in f: fenced behind the
         // queued file waiter, even though the record itself is free
-        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Queued);
+        assert_eq!(lm.acquire(t(3), rec("f", "b"), X, 2), Acquire::Queued);
         // other files are unaffected by the fence
-        assert_eq!(lm.acquire(t(3), rec("g", "b"), 3), Acquire::Granted);
+        assert_eq!(lm.acquire(t(3), rec("g", "b"), X, 3), Acquire::Granted);
         // t1 already holds a record in f: its further locks overtake
-        assert_eq!(lm.acquire(t(1), rec("f", "c"), 4), Acquire::Granted);
+        assert_eq!(lm.acquire(t(1), rec("f", "c"), X, 4), Acquire::Granted);
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1, "file waiter granted first: {g:?}");
         assert_eq!(g[0].txn, t(2));
@@ -545,12 +763,12 @@ mod tests {
         // keeping the record-holder count non-zero forever, so the queued
         // file waiter starved until its timeout.
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "a"), 0);
-        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
+        lm.acquire(t(1), rec("f", "a"), X, 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), X, 1), Acquire::Queued);
         // a stream of latecomers, arriving while t1 still works
         for (i, seq) in (3..8).enumerate() {
             assert_eq!(
-                lm.acquire(t(seq), rec("f", &format!("k{seq}")), 10 + i as u64),
+                lm.acquire(t(seq), rec("f", &format!("k{seq}")), X, 10 + i as u64),
                 Acquire::Queued,
                 "latecomer t{seq} must be fenced"
             );
@@ -559,7 +777,7 @@ mod tests {
         let g = lm.release_all(t(1));
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].txn, t(2));
-        assert!(lm.holds(t(2), &fl("f")));
+        assert!(lm.holds(t(2), &fl("f"), X));
     }
 
     #[test]
@@ -568,10 +786,10 @@ mod tests {
         // may take more record locks (and upgrade to the file lock) even
         // while its own file-lock request queues
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "a"), 0);
-        lm.acquire(t(2), rec("f", "b"), 1);
-        assert_eq!(lm.acquire(t(1), fl("f"), 2), Acquire::Queued);
-        assert_eq!(lm.acquire(t(1), rec("f", "c"), 3), Acquire::Granted);
+        lm.acquire(t(1), rec("f", "a"), X, 0);
+        lm.acquire(t(2), rec("f", "b"), X, 1);
+        assert_eq!(lm.acquire(t(1), fl("f"), X, 2), Acquire::Queued);
+        assert_eq!(lm.acquire(t(1), rec("f", "c"), X, 3), Acquire::Granted);
         let g = lm.release_all(t(2));
         assert_eq!(g.len(), 1, "t1's own upgrade is granted: {g:?}");
         assert_eq!(g[0].txn, t(1));
@@ -581,47 +799,163 @@ mod tests {
     #[test]
     fn cancelled_file_waiter_unfences_records() {
         let mut lm = LockManager::new();
-        lm.acquire(t(1), rec("f", "a"), 0);
-        assert_eq!(lm.acquire(t(2), fl("f"), 1), Acquire::Queued);
-        assert_eq!(lm.acquire(t(3), rec("f", "b"), 2), Acquire::Queued);
+        lm.acquire(t(1), rec("f", "a"), X, 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), X, 1), Acquire::Queued);
+        assert_eq!(lm.acquire(t(3), rec("f", "b"), X, 2), Acquire::Queued);
         // the file waiter times out: the fence lifts and the fenced record
         // waiter is granted right away (record "b" was free all along)
         let g = lm.cancel_waiter(1).expect("file waiter present");
         assert_eq!(g.len(), 1, "fenced record waiter granted: {g:?}");
         assert_eq!(g[0].txn, t(3));
         assert_eq!(g[0].scope, rec("f", "b"));
-        assert!(lm.holds(t(3), &rec("f", "b")));
+        assert!(lm.holds(t(3), &rec("f", "b"), X));
     }
 
     #[test]
-    fn no_two_holders_property() {
-        // randomized interleaving sanity: at most one holder per scope
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), S, 0), Acquire::Granted);
+        assert_eq!(lm.acquire(t(2), rec("f", "k"), S, 1), Acquire::Granted);
+        assert_eq!(lm.holders(&rec("f", "k")), vec![(t(1), S), (t(2), S)]);
+        // an exclusive request waits for the whole read group
+        assert_eq!(lm.acquire(t(3), rec("f", "k"), X, 2), Acquire::Queued);
+        assert!(lm.release_all(t(1)).is_empty(), "t2 still reads");
+        let g = lm.release_all(t(2));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, t(3));
+        assert_eq!(g[0].mode, X);
+    }
+
+    #[test]
+    fn shared_and_exclusive_block_each_other() {
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "k"), X, 0);
+        assert_eq!(lm.acquire(t(2), rec("f", "k"), S, 1), Acquire::Queued);
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].mode, S);
+        // …and the other way around
+        assert_eq!(lm.acquire(t(3), rec("f", "k"), X, 2), Acquire::Queued);
+        assert_eq!(lm.waiting(), 1);
+    }
+
+    #[test]
+    fn intent_escalation_at_file_scope() {
+        let mut lm = LockManager::new();
+        // shared record locks imply IS on the file: a shared file lock is
+        // compatible, an exclusive one is not
+        lm.acquire(t(1), rec("f", "a"), S, 0);
+        assert_eq!(lm.acquire(t(2), fl("f"), S, 1), Acquire::Granted);
+        assert_eq!(lm.acquire(t(3), fl("f"), X, 2), Acquire::Queued);
+        // an exclusive record lock implies IX: blocked by t2's S file lock
+        assert_eq!(lm.acquire(t(4), rec("f", "b"), X, 3), Acquire::Queued);
+        // …but a shared record latecomer is only fenced by the queued X
+        // file waiter, not by the S file grant itself
+        let mut lm2 = LockManager::new();
+        lm2.acquire(t(2), fl("f"), S, 0);
+        assert_eq!(lm2.acquire(t(5), rec("f", "c"), S, 1), Acquire::Granted);
+        // an exclusive record lock under a foreign shared file lock waits
+        assert_eq!(lm2.acquire(t(6), rec("f", "d"), X, 2), Acquire::Queued);
+    }
+
+    #[test]
+    fn same_transid_mode_upgrade_exemption() {
+        let mut lm = LockManager::new();
+        // sole shared holder upgrades in place
+        lm.acquire(t(1), rec("f", "k"), S, 0);
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), X, 1), Acquire::Granted);
+        assert_eq!(lm.holders(&rec("f", "k")), vec![(t(1), X)]);
+        assert_eq!(lm.held_count(t(1)), 1, "upgrade is not a second lock");
+        // with a co-reader the upgrade waits for it, then lands
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "k"), S, 0);
+        lm.acquire(t(2), rec("f", "k"), S, 1);
+        assert_eq!(lm.acquire(t(1), rec("f", "k"), X, 2), Acquire::Queued);
+        let g = lm.release_all(t(2));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].txn, t(1));
+        assert_eq!(g[0].mode, X);
+        assert!(lm.holds(t(1), &rec("f", "k"), X));
+    }
+
+    #[test]
+    fn shared_group_and_exclusive_waiter_fairness() {
+        // a shared waiter group behind an exclusive waiter neither starves
+        // it nor is starved by it
+        let mut lm = LockManager::new();
+        lm.acquire(t(1), rec("f", "k"), S, 0);
+        assert_eq!(lm.acquire(t(2), rec("f", "k"), X, 1), Acquire::Queued);
+        // reader latecomers defer to the queued writer instead of joining
+        // t1's grant set (which would starve t2 forever)
+        assert_eq!(lm.acquire(t(3), rec("f", "k"), S, 2), Acquire::Queued);
+        assert_eq!(lm.acquire(t(4), rec("f", "k"), S, 3), Acquire::Queued);
+        // the writer gets its turn…
+        let g = lm.release_all(t(1));
+        assert_eq!(g.len(), 1, "writer granted alone: {g:?}");
+        assert_eq!(g[0].txn, t(2));
+        // …and the whole reader group drains together behind it
+        let g = lm.release_all(t(2));
+        assert_eq!(g.len(), 2, "shared group granted together: {g:?}");
+        assert_eq!(g[0].txn, t(3));
+        assert_eq!(g[1].txn, t(4));
+        assert_eq!(lm.holders(&rec("f", "k")), vec![(t(3), S), (t(4), S)]);
+    }
+
+    #[test]
+    fn no_incompatible_holders_property() {
+        // randomized interleaving sanity: every grant set is pairwise
+        // compatible, and file grants are compatible with the intents
+        // implied by foreign record locks
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut lm = LockManager::new();
         let mut tokens = 0u64;
-        for _ in 0..2000 {
+        for _ in 0..3000 {
             let txn = t(rng.random_range(0..8));
             let key = format!("k{}", rng.random_range(0..5));
+            let mode = if rng.random_range(0..2) == 0 { S } else { X };
             match rng.random_range(0..3) {
                 0 => {
                     tokens += 1;
-                    let _ = lm.acquire(txn, rec("f", &key), tokens);
+                    let _ = lm.acquire(txn, rec("f", &key), mode, tokens);
                 }
                 1 => {
                     tokens += 1;
-                    let _ = lm.acquire(txn, fl("f"), tokens);
+                    let _ = lm.acquire(txn, fl("f"), mode, tokens);
                 }
                 _ => {
                     let _ = lm.release_all(txn);
                 }
             }
-            // invariant: if a file lock is held, no other txn holds records
-            if let Some(h) = lm.holder(&fl("f")) {
-                for k in 0..5 {
-                    let scope = rec("f", &format!("k{k}"));
-                    if let Some(rh) = lm.holder(&scope) {
-                        assert_eq!(rh, h, "file lock coexists only with own record locks");
+            for k in 0..5 {
+                let hs = lm.holders(&rec("f", &format!("k{k}")));
+                for (i, a) in hs.iter().enumerate() {
+                    for b in hs.iter().skip(i + 1) {
+                        assert!(
+                            a.1.compatible(b.1),
+                            "incompatible record grant set: {hs:?}"
+                        );
+                    }
+                }
+            }
+            let fh = lm.holders(&fl("f"));
+            for (i, a) in fh.iter().enumerate() {
+                for b in fh.iter().skip(i + 1) {
+                    assert!(a.1.compatible(b.1), "incompatible file grant set: {fh:?}");
+                }
+            }
+            for (fg_txn, fg_mode) in &fh {
+                for (h_txn, scope, h_mode) in lm.holdings() {
+                    if h_txn == *fg_txn {
+                        continue;
+                    }
+                    if let LockScope::Record { file, .. } = &scope {
+                        if file == "f" {
+                            assert!(
+                                fg_mode.compatible(h_mode.implied_intent()),
+                                "file {fg_mode:?} grant coexists with foreign record {h_mode:?}"
+                            );
+                        }
                     }
                 }
             }

@@ -6,6 +6,7 @@ use encompass_sim::{CpuId, Fault, NodeId, SimConfig, SimDuration, SimTime, World
 use encompass_storage::discprocess::{
     spawn_disc_process, DiscConfig, DiscError, DiscReply, DiscRequest,
 };
+use encompass_storage::locks::LockMode;
 use encompass_storage::media::{media_key, VolumeMedia};
 use encompass_storage::testkit::run_script;
 use encompass_storage::types::{num_key, FileDef, PartitionSpec, Transid, VolumeRef};
@@ -73,7 +74,7 @@ fn transactional_insert_read_update_delete() {
                 transid: Some(t),
             },
             DiscRequest::EndPhase1 { transid: t },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
             DiscRequest::Read {
                 file: "accounts".into(),
                 key: b("alice"),
@@ -156,6 +157,7 @@ fn lock_conflict_waits_until_release() {
             key: b("k"),
             transid: t2,
             lock_wait: SimDuration::from_secs(2),
+            mode: LockMode::Exclusive,
         }],
     );
     w.run_for(SimDuration::from_millis(100));
@@ -167,7 +169,7 @@ fn lock_conflict_waits_until_release() {
         n,
         2,
         target,
-        vec![DiscRequest::ReleaseLocks { transid: t1 }],
+        vec![DiscRequest::ReleaseLocks { transid: t1, commit: true }],
     );
     w.run_for(SimDuration::from_secs(2));
     assert_eq!(r2.borrow()[0], DiscReply::Value(Some(b("v1"))));
@@ -203,6 +205,7 @@ fn lock_timeout_signals_deadlock() {
             key: b("hot"),
             transid: t2,
             lock_wait: SimDuration::from_millis(80),
+            mode: LockMode::Exclusive,
         }],
     );
     w.run_for(SimDuration::from_secs(2));
@@ -231,7 +234,7 @@ fn entry_sequenced_append_and_scan() {
                 value: b("second"),
                 transid: Some(t),
             },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
             DiscRequest::ReadRange {
                 file: "history".into(),
                 low: num_key(0),
@@ -279,7 +282,7 @@ fn alternate_key_index_is_maintained() {
                 transid: Some(t),
                 lock_wait: WAIT,
             },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
             // scan the index by region prefix "CA"
             DiscRequest::ReadRange {
                 file: "vendors.region".into(),
@@ -311,6 +314,7 @@ fn alternate_key_index_is_maintained() {
                 key: b("acme"),
                 transid: t2,
                 lock_wait: WAIT,
+                mode: LockMode::Exclusive,
             },
             DiscRequest::Update {
                 file: "vendors".into(),
@@ -318,7 +322,7 @@ fn alternate_key_index_is_maintained() {
                 value: b("NYdata2"),
                 transid: Some(t2),
             },
-            DiscRequest::ReleaseLocks { transid: t2 },
+            DiscRequest::ReleaseLocks { transid: t2, commit: true },
             DiscRequest::ReadRange {
                 file: "vendors.region".into(),
                 low: b(""),
@@ -403,7 +407,7 @@ fn flush_reaches_media_and_survives_double_cpu_loss() {
                 transid: Some(t),
                 lock_wait: WAIT,
             },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
         ],
     );
     // plenty of time for the background flush
@@ -464,6 +468,7 @@ fn takeover_preserves_overlay_and_locks() {
                 key: b("x"),
                 transid: t2,
                 lock_wait: SimDuration::from_millis(50),
+                mode: LockMode::Exclusive,
             },
         ],
     );
@@ -496,7 +501,7 @@ fn mirrored_drive_failure_is_transparent_but_double_failure_stops_io() {
                 transid: Some(t),
                 lock_wait: WAIT,
             },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
         ],
     );
     w.run_for(SimDuration::from_secs(1));
@@ -556,13 +561,14 @@ fn undo_restores_before_images() {
                 transid: Some(t),
                 lock_wait: WAIT,
             },
-            DiscRequest::ReleaseLocks { transid: t },
+            DiscRequest::ReleaseLocks { transid: t, commit: true },
             // a second transaction updates, then is "backed out" via Undo
             DiscRequest::ReadLock {
                 file: "accounts".into(),
                 key: b("u"),
                 transid: txn(2),
                 lock_wait: WAIT,
+                mode: LockMode::Exclusive,
             },
             DiscRequest::Update {
                 file: "accounts".into(),
@@ -582,7 +588,7 @@ fn undo_restores_before_images() {
                     after: Some(b("dirty")),
                 }],
             },
-            DiscRequest::ReleaseLocks { transid: txn(2) },
+            DiscRequest::ReleaseLocks { transid: txn(2), commit: false },
             DiscRequest::Read {
                 file: "accounts".into(),
                 key: b("u"),
@@ -619,7 +625,7 @@ fn deterministic_under_faults() {
                     value: b("2"),
                     transid: Some(t),
                 },
-                DiscRequest::ReleaseLocks { transid: t },
+                DiscRequest::ReleaseLocks { transid: t, commit: true },
             ],
         );
         w.schedule_fault(SimTime::from_micros(300), Fault::KillCpu(n, CpuId(0)));
@@ -627,4 +633,258 @@ fn deterministic_under_faults() {
         w.trace_hash()
     }
     assert_eq!(run(), run());
+}
+
+#[test]
+fn snapshot_read_sees_fence_time_value_despite_later_commit() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    // t1 commits "v1"
+    let t1 = txn(1);
+    let _ = run_script(
+        &mut w,
+        n,
+        0,
+        target.clone(),
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("snap"),
+                value: b("v1"),
+                transid: Some(t1),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: t1 },
+            DiscRequest::ReleaseLocks { transid: t1, commit: true },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    // an unfenced snapshot read pins the current fence and sees v1
+    let r1 = run_script(
+        &mut w,
+        n,
+        1,
+        target.clone(),
+        vec![DiscRequest::SnapshotRead {
+            file: "accounts".into(),
+            key: b("snap"),
+            fence: None,
+        }],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    let fence = match r1.borrow().first() {
+        Some(DiscReply::Snapshot { value, fence }) => {
+            assert_eq!(value.as_deref(), Some(&b("v1")[..]));
+            *fence
+        }
+        other => panic!("expected Snapshot reply, got {other:?}"),
+    };
+    // t2 overwrites and commits
+    let t2 = txn(2);
+    let _ = run_script(
+        &mut w,
+        n,
+        2,
+        target.clone(),
+        vec![
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("snap"),
+                transid: t2,
+                lock_wait: WAIT,
+                mode: LockMode::Exclusive,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("snap"),
+                value: b("v2"),
+                transid: Some(t2),
+            },
+            DiscRequest::EndPhase1 { transid: t2 },
+            DiscRequest::ReleaseLocks { transid: t2, commit: true },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    // re-reading at the pinned fence still sees v1; an unfenced read sees v2
+    let r2 = run_script(
+        &mut w,
+        n,
+        3,
+        target,
+        vec![
+            DiscRequest::SnapshotRead {
+                file: "accounts".into(),
+                key: b("snap"),
+                fence: Some(fence),
+            },
+            DiscRequest::SnapshotRead {
+                file: "accounts".into(),
+                key: b("snap"),
+                fence: None,
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    let r = r2.borrow();
+    match &r[0] {
+        DiscReply::Snapshot { value, fence: f } => {
+            assert_eq!(value.as_deref(), Some(&b("v1")[..]), "fenced read travels in time");
+            assert_eq!(*f, fence);
+        }
+        other => panic!("expected Snapshot reply, got {other:?}"),
+    }
+    match &r[1] {
+        DiscReply::Snapshot { value, .. } => {
+            assert_eq!(value.as_deref(), Some(&b("v2")[..]), "unfenced read is current");
+        }
+        other => panic!("expected Snapshot reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_read_ignores_uncommitted_writer_without_blocking() {
+    let node = NodeId(0);
+    let (mut w, n, target) = setup(basic_catalog(node));
+    let t1 = txn(1);
+    let _ = run_script(
+        &mut w,
+        n,
+        0,
+        target.clone(),
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("live"),
+                value: b("committed"),
+                transid: Some(t1),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: t1 },
+            DiscRequest::ReleaseLocks { transid: t1, commit: true },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    // t2 holds an exclusive lock and a dirty overwrite, uncommitted
+    let t2 = txn(2);
+    let _ = run_script(
+        &mut w,
+        n,
+        1,
+        target.clone(),
+        vec![
+            DiscRequest::ReadLock {
+                file: "accounts".into(),
+                key: b("live"),
+                transid: t2,
+                lock_wait: WAIT,
+                mode: LockMode::Exclusive,
+            },
+            DiscRequest::Update {
+                file: "accounts".into(),
+                key: b("live"),
+                value: b("dirty"),
+                transid: Some(t2),
+            },
+        ],
+    );
+    w.run_for(SimDuration::from_millis(200));
+    // the snapshot read completes immediately (no lock acquired) and sees
+    // the committed value, not t2's dirty one
+    let r = run_script(
+        &mut w,
+        n,
+        2,
+        target,
+        vec![DiscRequest::SnapshotRead {
+            file: "accounts".into(),
+            key: b("live"),
+            fence: None,
+        }],
+    );
+    w.run_for(SimDuration::from_millis(200));
+    match r.borrow().first() {
+        Some(DiscReply::Snapshot { value, .. }) => {
+            assert_eq!(value.as_deref(), Some(&b("committed")[..]));
+        }
+        other => panic!("snapshot read should not queue behind the X lock: {other:?}"),
+    };
+}
+
+#[test]
+fn snapshot_read_with_evicted_fence_is_too_old() {
+    let mut w = World::new(SimConfig::default());
+    let n = w.add_node(4);
+    let vol = VolumeRef::new(n, "$DATA");
+    let catalog = basic_catalog(n);
+    // a tiny undo ring so a handful of commits evicts the oldest entries
+    let cfg = DiscConfig {
+        snapshot_undo_capacity: 2,
+        ..DiscConfig::default()
+    };
+    let h = spawn_disc_process(&mut w, 0, 1, vol, catalog, cfg);
+    let target = h.target();
+    let t0 = txn(9);
+    let _ = run_script(
+        &mut w,
+        n,
+        0,
+        target.clone(),
+        vec![
+            DiscRequest::Insert {
+                file: "accounts".into(),
+                key: b("old"),
+                value: b("v0"),
+                transid: Some(t0),
+                lock_wait: WAIT,
+            },
+            DiscRequest::EndPhase1 { transid: t0 },
+            DiscRequest::ReleaseLocks { transid: t0, commit: true },
+        ],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    for i in 1..=4u64 {
+        let t = txn(i);
+        let _ = run_script(
+            &mut w,
+            n,
+            0,
+            target.clone(),
+            vec![
+                DiscRequest::ReadLock {
+                    file: "accounts".into(),
+                    key: b("old"),
+                    transid: t,
+                    lock_wait: WAIT,
+                    mode: LockMode::Exclusive,
+                },
+                DiscRequest::Update {
+                    file: "accounts".into(),
+                    key: b("old"),
+                    value: Bytes::from(format!("v{i}")),
+                    transid: Some(t),
+                },
+                DiscRequest::EndPhase1 { transid: t },
+                DiscRequest::ReleaseLocks { transid: t, commit: true },
+            ],
+        );
+        w.run_for(SimDuration::from_secs(1));
+    }
+    // fence 0 predates the ring's oldest retained entry
+    let r = run_script(
+        &mut w,
+        n,
+        1,
+        target,
+        vec![DiscRequest::SnapshotRead {
+            file: "accounts".into(),
+            key: b("old"),
+            fence: Some(0),
+        }],
+    );
+    w.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        r.borrow().first(),
+        Some(&DiscReply::Err(DiscError::SnapshotTooOld))
+    );
+    assert_eq!(w.metrics().get("disc.snapshot_too_old"), 1);
 }

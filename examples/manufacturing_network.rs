@@ -31,7 +31,7 @@ struct Update {
 impl Process for Update {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.state = 1;
-        self.session.begin(ctx, 0);
+        self.session.begin(ctx, SessionOptions::default(), 0);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
         let payload = match self.session.accept(ctx, payload) {
@@ -41,6 +41,7 @@ impl Process for Update {
                         self.state = 2;
                         let env = ServerRequest {
                             transid: self.session.transid(),
+                            options: self.session.options(),
                             request: AppRequest::new(
                                 "master-update",
                                 vec![

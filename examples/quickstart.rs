@@ -24,7 +24,7 @@ impl Process for Quickstart {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         println!("[{}] BEGIN-TRANSACTION", ctx.now());
         self.step = 1;
-        self.session.begin(ctx, 0);
+        self.session.begin(ctx, SessionOptions::default(), 0);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
@@ -35,7 +35,7 @@ impl Process for Quickstart {
             (1, SessionEvent::Began { transid, .. }) => {
                 println!("[{}]   transid = {transid}", ctx.now());
                 self.step = 2;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::Insert { file: "accounts".into(), key: b("alice"), value: b("100") },
                     0,
@@ -50,11 +50,11 @@ impl Process for Quickstart {
                 println!("[{}] END-TRANSACTION: committed", ctx.now());
                 // second transaction: update then ABORT — TMF backs it out
                 self.step = 4;
-                self.session.begin(ctx, 0);
+                self.session.begin(ctx, SessionOptions::default(), 0);
             }
             (4, SessionEvent::Began { .. }) => {
                 self.step = 5;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::ReadLock { file: "accounts".into(), key: b("alice") },
                     0,
@@ -63,7 +63,7 @@ impl Process for Quickstart {
             (5, SessionEvent::OpDone { reply, .. }) => {
                 println!("[{}]   read-lock alice -> {reply:?}", ctx.now());
                 self.step = 6;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::Update { file: "accounts".into(), key: b("alice"), value: b("0") },
                     0,
@@ -77,7 +77,7 @@ impl Process for Quickstart {
             (7, SessionEvent::Aborted { .. }) => {
                 println!("[{}] ABORT-TRANSACTION: backed out", ctx.now());
                 self.step = 8;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::Read { file: "accounts".into(), key: b("alice") },
                     0,

@@ -31,8 +31,9 @@ pub mod prelude {
         spawn_tmf_network, spawn_tmf_node, ConfigError, NodeHandles, TmfNodeConfig,
         TmfNodeConfigBuilder,
     };
-    pub use tmf::session::{DbOp, SessionError, SessionEvent, TmfSession};
-    pub use tmf::state::{AbortReason, TxState};
+    pub use encompass_storage::locks::{LockMode, LockScope};
+    pub use tmf::session::{DbOp, SessionError, SessionEvent, SessionOptions, TmfSession};
+    pub use tmf::state::{AbortReason, TxState, TxnClass};
     pub use tmf::Transid;
     // application layer
     pub use encompass::app::{launch_bank_app, AppBuilder, BankAppParams};

@@ -19,7 +19,7 @@ mod driver {
     use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{DbOp, SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
     use tmf::state::AbortReason;
 
     /// Runs `count` two-node transactions back to back, restarting on any
@@ -47,7 +47,7 @@ mod driver {
                 return;
             }
             self.step = 1;
-            self.session.begin(ctx, 0);
+            self.session.begin(ctx, SessionOptions::default(), 0);
         }
         fn handle(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
             match (self.step, ev) {
@@ -55,7 +55,7 @@ mod driver {
                     self.step = 2;
                     self.seq += 1;
                     let k = Bytes::from(format!("k{}", self.seq));
-                    self.session.op(
+                    let _ = self.session.op(
                         ctx,
                         DbOp::Insert { file: "f0".into(), key: k, value: Bytes::from_static(b"v") },
                         0,
@@ -65,7 +65,7 @@ mod driver {
                     if matches!(reply, encompass_tmf::storage::discprocess::DiscReply::Ok) {
                         self.step = 3;
                         let k = Bytes::from(format!("k{}", self.seq));
-                        self.session.op(
+                        let _ = self.session.op(
                             ctx,
                             DbOp::Insert {
                                 file: "f1".into(),
@@ -259,7 +259,7 @@ mod dual_driver {
     use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{DbOp, SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
 
     pub struct Dual {
         session: TmfSession,
@@ -291,7 +291,7 @@ mod dual_driver {
                 return;
             }
             self.step = 1;
-            self.session.begin(ctx, 0);
+            self.session.begin(ctx, SessionOptions::default(), 0);
         }
         fn handle(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
             let k = Bytes::from(format!("k{}", self.seq));
@@ -300,7 +300,7 @@ mod dual_driver {
                     self.seq += 1;
                     self.step = 2;
                     let k = Bytes::from(format!("k{}", self.seq));
-                    self.session.op(
+                    let _ = self.session.op(
                         ctx,
                         DbOp::Insert { file: "fa".into(), key: k, value: Bytes::from_static(b"v") },
                         0,
@@ -308,7 +308,7 @@ mod dual_driver {
                 }
                 (2, SessionEvent::OpDone { .. }) => {
                     self.step = 3;
-                    self.session.op(
+                    let _ = self.session.op(
                         ctx,
                         DbOp::Insert { file: "fb".into(), key: k, value: Bytes::from_static(b"v") },
                         0,

@@ -28,7 +28,8 @@ struct OneTxn {
 impl Process for OneTxn {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.step = 1;
-        self.session.begin(ctx, 0);
+        self.session
+            .begin(ctx, encompass_tmf::tmf::session::SessionOptions::default(), 0);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
         let Ok(Some(ev)) = self.session.accept(ctx, payload) else {
@@ -48,7 +49,7 @@ impl OneTxn {
         match (self.step, ev) {
             (1, SessionEvent::Began { .. }) => {
                 self.step = 2;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::Insert {
                         file: "f0".into(),
@@ -60,7 +61,7 @@ impl OneTxn {
             }
             (2, SessionEvent::OpDone { .. }) => {
                 self.step = 3;
-                self.session.op(
+                let _ = self.session.op(
                     ctx,
                     DbOp::Insert {
                         file: "f1".into(),

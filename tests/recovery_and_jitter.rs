@@ -26,7 +26,7 @@ mod driver {
     use encompass_tmf::storage::Catalog;
     use std::cell::RefCell;
     use std::rc::Rc;
-    use tmf::session::{DbOp, SessionEvent, TmfSession};
+    use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
     use tmf::state::AbortReason;
 
     #[derive(Clone)]
@@ -73,11 +73,15 @@ mod driver {
             let step = self.script[self.next].clone();
             self.next += 1;
             match step {
-                Step::Begin => self.session.begin(ctx, 0),
-                Step::Read(f, k) => self.session.op(ctx, DbOp::Read { file: f, key: k }, 0),
-                Step::Insert(f, k, v) => self
-                    .session
-                    .op(ctx, DbOp::Insert { file: f, key: k, value: v }, 0),
+                Step::Begin => self.session.begin(ctx, SessionOptions::default(), 0),
+                Step::Read(f, k) => {
+                    let _ = self.session.op(ctx, DbOp::Read { file: f, key: k }, 0);
+                }
+                Step::Insert(f, k, v) => {
+                    let _ = self
+                        .session
+                        .op(ctx, DbOp::Insert { file: f, key: k, value: v }, 0);
+                }
                 Step::End => self.session.end(ctx, 0),
                 Step::Abort => self.session.abort(ctx, AbortReason::Voluntary, 0),
             }
