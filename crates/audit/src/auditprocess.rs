@@ -545,6 +545,21 @@ impl PairApp for AuditProcess {
                 self.replies.store(req.id, r.clone());
                 reply(ctx, req.id, req.from, r);
             }
+            AuditMsg::StateAudit => {
+                // utility query: not cached (idempotent), not checkpointed
+                let report = encompass_storage::audit_api::AuditStateReport {
+                    buffered: self.parts.iter().map(|p| p.buffer.len()).sum(),
+                    waiters: self.parts.iter().map(|p| p.waiters.len()).sum(),
+                    inflight_forces: self
+                        .parts
+                        .iter()
+                        .filter(|p| p.force_in_progress.is_some())
+                        .count(),
+                    pending_forces: self.pending.len(),
+                    reply_cache: self.replies.entries().len(),
+                };
+                reply(ctx, req.id, req.from, AuditReply::State(report));
+            }
             AuditMsg::ReadTxnImages { transid } => {
                 let mut images: Vec<ImageRecord> = Vec::new();
                 for p in 0..self.parts.len() {

@@ -31,7 +31,9 @@
 
 use encompass_sim::{Payload, Pid, SimDuration, World};
 use encompass_storage::discprocess::{DiscReply, DiscRequest};
-use encompass_storage::media::{archive_key, dump_registry_key, ArchiveImage, DumpRegistry, FileImage};
+use encompass_storage::media::{
+    archive_key, dump_registry_key, superseded_archive_keys, ArchiveImage, DumpRegistry, FileImage,
+};
 use encompass_storage::types::{FileOrganization, VolumeRef};
 use guardian::{reply, PairApp, PairCtx, PairHandle, ReplyCache, Request, Rpc, Target};
 use std::collections::{BTreeMap, HashMap};
@@ -84,16 +86,24 @@ pub struct DumpProcess {
     /// disc-rpc id → job request id.
     waits: HashMap<u64, u64>,
     replies: ReplyCache<DumpReply>,
+    /// Archive generations retained per volume; older generations are
+    /// deleted once the registry update supersedes them.
+    archive_retain: u64,
 }
 
 impl DumpProcess {
     pub fn new(service: &str) -> DumpProcess {
+        DumpProcess::with_retain(service, 2)
+    }
+
+    pub fn with_retain(service: &str, archive_retain: u64) -> DumpProcess {
         DumpProcess {
             service: service.to_string(),
             disc_rpc: Rpc::new(1),
             jobs: HashMap::new(),
             waits: HashMap::new(),
             replies: ReplyCache::new(4096),
+            archive_retain: archive_retain.max(1),
         }
     }
 
@@ -209,6 +219,21 @@ impl DumpProcess {
                 if current.is_none_or(|c| c.generation <= entry.generation) {
                     ctx.stable().remove(&rkey);
                     ctx.stable().get_or_create::<DumpRegistry, _>(&rkey, move || entry);
+                    // the registry update above made this generation
+                    // authoritative; archives older than the retention
+                    // window can never again be the newest usable one
+                    let mut deleted = 0u64;
+                    for key in
+                        superseded_archive_keys(&job.volume, job.generation, self.archive_retain)
+                    {
+                        if ctx.stable().get::<ArchiveImage>(&key).is_some() {
+                            ctx.stable().remove(&key);
+                            deleted += 1;
+                        }
+                    }
+                    if deleted > 0 {
+                        ctx.count("dump.archives_deleted", deleted);
+                    }
                 }
                 ctx.count("dump.completed", 1);
                 let done = DumpReply::Done {
@@ -300,14 +325,17 @@ impl PairApp for DumpProcess {
     fn restore(&mut self, _snapshot: Payload) {}
 }
 
-/// Spawn a DUMPPROCESS pair named `$DUMP` on `node`.
+/// Spawn a DUMPPROCESS pair named `$DUMP` on `node`, retaining the last
+/// `archive_retain` (clamped to at least 1) archive generations per
+/// volume.
 pub fn spawn_dump_process(
     world: &mut World,
     node: encompass_sim::NodeId,
     cpu_primary: u8,
     cpu_backup: u8,
+    archive_retain: u64,
 ) -> PairHandle {
-    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, || {
-        DumpProcess::new("$DUMP")
+    guardian::spawn_pair(world, node, cpu_primary, cpu_backup, move || {
+        DumpProcess::with_retain("$DUMP", archive_retain)
     })
 }

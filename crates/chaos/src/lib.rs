@@ -18,9 +18,12 @@
 //! The sweep binary (`src/main.rs`) runs many seeds and fails loudly on
 //! the first invariant violation, printing the offending schedule.
 
+pub mod oracles;
 pub mod probe;
 pub mod runner;
 pub mod schedule;
+pub mod soak;
 
 pub use runner::{run_schedule, run_schedule_with, run_seed, FlightDump, RunReport};
-pub use schedule::{ChaosAction, Schedule, ScheduledDump, ScheduledEvent};
+pub use schedule::{ChaosAction, Schedule, ScheduledDump, ScheduledEvent, SoakEpoch, SoakPlan};
+pub use soak::{run_soak_schedule, run_soak_schedule_with, run_soak_seed, SoakReport};

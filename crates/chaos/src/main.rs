@@ -11,7 +11,9 @@
 //! Exit status is non-zero if any run violates an invariant (or a seed
 //! fails to reproduce its own determinism hash).
 
-use encompass_chaos::{run_schedule, run_schedule_with, RunReport, Schedule};
+use encompass_chaos::{
+    run_schedule, run_schedule_with, run_soak_schedule, run_soak_schedule_with, RunReport, Schedule,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +24,7 @@ fn main() {
     let mut dumps = false;
     let mut partitions: Option<u64> = None;
     let mut readers: Option<u64> = None;
+    let mut soak = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +61,10 @@ fn main() {
                 readers = Some(parse_num(args.get(i + 1), "--readers"));
                 i += 2;
             }
+            "--soak" => {
+                soak = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -70,10 +77,18 @@ fn main() {
         }
     }
 
-    let failed = match (seed, sweep) {
-        (Some(s), _) => run_single(s, window, dumps, partitions, readers),
-        (None, Some(count)) => run_sweep(start, count, window, dumps, partitions, readers),
-        (None, None) => run_sweep(0, 25, window, dumps, partitions, readers), // CI smoke default
+    let failed = if soak {
+        match (seed, sweep) {
+            (Some(s), _) => run_soak_single(s, window, dumps, partitions, readers),
+            (None, Some(count)) => run_soak_sweep(start, count, window, dumps, partitions, readers),
+            (None, None) => run_soak_sweep(0, 3, window, dumps, partitions, readers), // CI smoke
+        }
+    } else {
+        match (seed, sweep) {
+            (Some(s), _) => run_single(s, window, dumps, partitions, readers),
+            (None, Some(count)) => run_sweep(start, count, window, dumps, partitions, readers),
+            (None, None) => run_sweep(0, 25, window, dumps, partitions, readers), // CI smoke default
+        }
     };
     if failed {
         std::process::exit(1);
@@ -118,14 +133,99 @@ fn parse_num(arg: Option<&String>, flag: &str) -> u64 {
 fn print_usage() {
     println!(
         "usage: encompass-chaos [--seed N | --sweep COUNT [--start S]] [--window US] [--dumps] \
-         [--partitions N] [--readers N]\n\
+         [--partitions N] [--readers N] [--soak]\n\
          default: --sweep 25 (the CI smoke subset)\n\
          --window US overrides each schedule's group-commit window (microseconds)\n\
          --dumps enables each schedule's online-dump plan + trail purging\n\
          --partitions N forces N audit-trail partitions (and up to 2 volumes per node)\n\
          --readers N forces N read-only (snapshot) terminals per node; 0 replays\n\
-         historical schedules byte-for-byte"
+         historical schedules byte-for-byte\n\
+         --soak runs each seed as a simulated-hours soak (epochs of kill/dump/restore\n\
+         waves, long-hold writers, long-lived snapshot readers, liveness +\n\
+         bounded-state oracles, and for a quarter of seeds a full-disaster drill)"
     );
+}
+
+/// One soak seed, verbose, run twice (second run records) with the
+/// determinism-hash cross-check, like [`run_single`].
+fn run_soak_single(
+    seed: u64,
+    window: Option<u64>,
+    dumps: bool,
+    partitions: Option<u64>,
+    readers: Option<u64>,
+) -> bool {
+    let mut schedule = schedule_for(seed, window, dumps, partitions, readers);
+    schedule.soak_enabled = true;
+    print!("{}", schedule.describe());
+    let a = run_soak_schedule(&schedule);
+    let b = run_soak_schedule_with(&schedule, true);
+    println!("{}", a.summary_line());
+    if let Some(d) = &a.drill {
+        println!("  disaster drill: {d}");
+    }
+    let mut failed = false;
+    if a.run.trace_hash != b.run.trace_hash {
+        println!(
+            "DETERMINISM VIOLATION: recorded rerun produced hash {:016x} != {:016x}",
+            b.run.trace_hash, a.run.trace_hash
+        );
+        failed = true;
+    }
+    for v in &a.run.violations {
+        println!("  violation: {v}");
+        failed = true;
+    }
+    if failed {
+        dump_flight(&b.run);
+    } else {
+        println!("seed {seed}: all soak invariants hold, deterministic");
+    }
+    failed
+}
+
+fn run_soak_sweep(
+    start: u64,
+    count: u64,
+    window: Option<u64>,
+    dumps: bool,
+    partitions: Option<u64>,
+    readers: Option<u64>,
+) -> bool {
+    let mut failures = 0u64;
+    let mut restarts = 0u64;
+    let mut holds = 0u64;
+    let mut drills = 0u64;
+    let mut respawns = 0u64;
+    for seed in start..start + count {
+        let mut schedule = schedule_for(seed, window, dumps, partitions, readers);
+        schedule.soak_enabled = true;
+        let report = run_soak_schedule(&schedule);
+        println!("{}", report.summary_line());
+        restarts += report.reader_restarts;
+        holds += report.writer_commits;
+        respawns += report.client_respawns;
+        if report.drill.is_some() {
+            drills += 1;
+        }
+        if !report.ok() {
+            failures += 1;
+            println!("--- failing schedule (repro: --soak --seed {seed}) ---");
+            print!("{}", report.run.schedule_desc);
+            for v in &report.run.violations {
+                println!("  violation: {v}");
+            }
+            let recorded = run_soak_schedule_with(&schedule, true);
+            dump_flight(&recorded.run);
+        }
+    }
+    println!(
+        "soaked {count} schedules: {} ok, {failures} failed \
+         ({restarts} reader restarts, {holds} long-hold commits, {respawns} client respawns, \
+         {drills} disaster drills)",
+        count - failures
+    );
+    failures > 0
 }
 
 /// One seed, verbose: print the schedule, run it twice — the second time
@@ -164,7 +264,8 @@ fn run_single(
 }
 
 /// Print the implicated-transaction timelines of a recorded failing run
-/// and export the full recorder state to `flightrec.json`.
+/// and export the full recorder state to `flightrec.json` (plus the
+/// rendered timelines to `flight-timelines.txt`, for CI artifacts).
 fn dump_flight(report: &RunReport) {
     let Some(flight) = &report.flight else {
         return;
@@ -175,6 +276,10 @@ fn dump_flight(report: &RunReport) {
         println!("  implicated transactions: {}", report.implicated.join(", "));
         for t in &flight.timelines {
             print!("{t}");
+        }
+        let rendered: String = flight.timelines.concat();
+        if let Err(e) = std::fs::write("flight-timelines.txt", rendered) {
+            println!("  could not write flight-timelines.txt: {e}");
         }
     }
     match std::fs::write("flightrec.json", &flight.json) {

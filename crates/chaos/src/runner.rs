@@ -50,7 +50,7 @@ use guardian::{Rpc, Target, TimerOutcome};
 use std::collections::{BTreeMap, HashMap};
 
 /// Accounts preloaded per run (balance 1000 each).
-const ACCOUNTS: u64 = 120;
+pub(crate) const ACCOUNTS: u64 = 120;
 
 /// What one chaos run produced.
 #[derive(Clone, Debug)]
@@ -334,7 +334,7 @@ pub fn run_schedule_with(schedule: &Schedule, flight_recorder: bool) -> RunRepor
 /// Snapshot a generation-0 archive of every volume, straight from the
 /// (preloaded) media — the online-dump the paper's ROLLFORWARD starts
 /// from.
-fn snapshot_archives(world: &mut World, volumes: &[VolumeRef]) {
+pub(crate) fn snapshot_archives(world: &mut World, volumes: &[VolumeRef]) {
     for v in volumes {
         let files = world
             .stable()
@@ -355,7 +355,7 @@ fn snapshot_archives(world: &mut World, volumes: &[VolumeRef]) {
 
 /// Start every scheduled dump due at or before `upto`: one [`DumpClient`]
 /// per volume of the dump's node, spawned at the dump's own time.
-fn start_due_dumps(
+pub(crate) fn start_due_dumps(
     world: &mut World,
     volumes: &[VolumeRef],
     dumps: &[ScheduledDump],
@@ -388,10 +388,10 @@ fn start_due_dumps(
 /// One-shot client asking a node's `$DUMP` pair for one online dump. The
 /// request retries persistently — a CPU fault mid-copy forces a takeover
 /// that drops the dump, and the retry is what restarts it after the heal.
-struct DumpClient {
-    volume: VolumeRef,
-    generation: u64,
-    rpc: Rpc<DumpMsg, DumpReply>,
+pub(crate) struct DumpClient {
+    pub(crate) volume: VolumeRef,
+    pub(crate) generation: u64,
+    pub(crate) rpc: Rpc<DumpMsg, DumpReply>,
 }
 
 impl encompass_sim::Process for DumpClient {
@@ -427,13 +427,13 @@ impl encompass_sim::Process for DumpClient {
 
 /// One-shot client that sends a node's `$AUDIT` an empty forced append —
 /// the flush barrier that pushes every buffered image onto the trail.
-struct AuditFlushClient {
+pub(crate) struct AuditFlushClient {
     node: NodeId,
     rpc: Rpc<AuditMsg, AuditReply>,
 }
 
 impl AuditFlushClient {
-    fn new(node: NodeId) -> AuditFlushClient {
+    pub(crate) fn new(node: NodeId) -> AuditFlushClient {
         AuditFlushClient {
             node,
             rpc: Rpc::new(3),
@@ -472,7 +472,7 @@ impl encompass_sim::Process for AuditFlushClient {
     }
 }
 
-fn apply(world: &mut World, action: &ChaosAction) {
+pub(crate) fn apply(world: &mut World, action: &ChaosAction) {
     match action {
         ChaosAction::Fault(f) => world.inject(f.clone()),
         ChaosAction::KillServiceCpu { node, service } => {
@@ -505,7 +505,7 @@ fn apply(world: &mut World, action: &ChaosAction) {
     }
 }
 
-fn heal_everything(world: &mut World, schedule: &Schedule) {
+pub(crate) fn heal_everything(world: &mut World, schedule: &Schedule) {
     world.inject(Fault::HealAllLinks);
     for n in 0..schedule.nodes as u8 {
         let node = NodeId(n);
@@ -522,7 +522,7 @@ fn heal_everything(world: &mut World, schedule: &Schedule) {
 /// Every transid any node's Monitor Audit Trail records as committed,
 /// sorted and deduplicated — the ground truth the timeline-completeness
 /// test checks flight records against.
-fn committed_transids(world: &World, nodes: &[NodeId]) -> Vec<FlightTransid> {
+pub(crate) fn committed_transids(world: &World, nodes: &[NodeId]) -> Vec<FlightTransid> {
     let mut out: Vec<FlightTransid> = Vec::new();
     for &node in nodes {
         let Some(trail) = world.stable().get::<MonitorTrail>(&monitor_key(node)) else {
@@ -543,7 +543,7 @@ fn committed_transids(world: &World, nodes: &[NodeId]) -> Vec<FlightTransid> {
 
 /// Oracle: a transid is committed everywhere or aborted everywhere, as
 /// judged by each node's Monitor Audit Trail.
-fn check_atomicity(
+pub(crate) fn check_atomicity(
     world: &mut World,
     nodes: &[NodeId],
     violations: &mut Vec<String>,
@@ -586,7 +586,7 @@ fn outcome(committed: bool) -> &'static str {
 /// history record (`account:amount`), and backout removed the records of
 /// every aborted transaction, so the history file's sum must equal the
 /// total drained from the account balances.
-fn check_conservation(
+pub(crate) fn check_conservation(
     world: &mut World,
     catalog: &encompass_storage::Catalog,
     nodes: &[NodeId],
@@ -630,7 +630,7 @@ fn parse_history_amount(v: &Bytes) -> Option<i64> {
 /// Oracle: ROLLFORWARD from the latest completed dump (the fuzzy online
 /// archive, when one registered; the generation-0 snapshot otherwise)
 /// plus every surviving audit trail reproduces the live media exactly.
-fn check_convergence(
+pub(crate) fn check_convergence(
     world: &mut World,
     volumes: &[VolumeRef],
     trail_key_of: &BTreeMap<(NodeId, String), String>,

@@ -100,6 +100,65 @@ pub struct Schedule {
     /// read-write terminals so a zero here reproduces historical runs
     /// byte-for-byte.
     pub readonly_terminals_per_node: usize,
+    /// Run the soak plan below instead of the short timeline above.
+    /// Off by default (`--soak` turns it on); the plan is drawn for
+    /// every seed, after all other draws, so enabling it never shifts
+    /// the short-run fault timeline and the non-soak corpus replays
+    /// byte-identical traces.
+    pub soak_enabled: bool,
+    pub soak: SoakPlan,
+}
+
+/// One soak epoch's fault-and-dump plan.
+#[derive(Clone, Debug)]
+pub struct SoakEpoch {
+    /// Node whose processor dies this epoch.
+    pub kill_node: NodeId,
+    /// Processor killed when `kill_service` is `None`.
+    pub kill_cpu: CpuId,
+    /// When `Some`, kill the processor hosting this service's primary
+    /// instead of `kill_cpu` — the takeover window aimed at a specific
+    /// process pair.
+    pub kill_service: Option<String>,
+    /// Node whose volumes ONLINEDUMP this epoch (one rolling dump
+    /// generation per volume of the node).
+    pub dump_node: NodeId,
+}
+
+/// The `--soak` tier's plan: simulated hours per seed, structured as
+/// repeating epochs of kill → dump → restore waves with long-lived
+/// writer and snapshot-reader transactions spanning the epochs, plus an
+/// optional full-disaster drill (both mirrored drives of one volume
+/// lost mid-traffic, ROLLFORWARD from the latest fuzzy archive while
+/// the survivors keep serving).
+#[derive(Clone, Debug)]
+pub struct SoakPlan {
+    /// Number of fault epochs.
+    pub epochs: usize,
+    /// Epoch length in microseconds; the horizon is `epochs * gap` plus
+    /// the run-out, at least one simulated hour.
+    pub epoch_gap_us: u64,
+    /// Per-epoch draws, one entry per epoch.
+    pub plan: Vec<SoakEpoch>,
+    /// `Some((epoch, slot))`: during that epoch, fail both mirrored
+    /// drives of the volume at `slot` (modulo the actual slot count),
+    /// then recover it with ROLLFORWARD from the registry archive while
+    /// traffic continues elsewhere.
+    pub disaster: Option<(usize, usize)>,
+    /// Terminal think time (ms) — soak terminals pace themselves over
+    /// the horizon instead of burning through their budget up front.
+    pub think_ms: u64,
+    /// Transactions per terminal over the whole horizon.
+    pub transactions_per_terminal: u64,
+    /// Pause between a soak reader's snapshot reads (ms) — long enough
+    /// that the small snapshot-undo ring overflows under it and the
+    /// reader exercises the `SnapshotTooOld` restart path.
+    pub reader_pause_ms: u64,
+    /// How many epochs a soak writer holds its transaction open.
+    pub writer_hold_epochs: u64,
+    /// TMP trail purge interval (µs) while soaking — seconds, not the
+    /// aggressive short-run value.
+    pub trail_purge_interval_us: u64,
 }
 
 impl Schedule {
@@ -271,6 +330,47 @@ impl Schedule {
         // sweep run with `--readers 0` replays historical traces unchanged
         let readonly_terminals_per_node = rng.random_range(0..=2usize);
 
+        // soak plan — drawn after ALL other draws, for the same reason:
+        // the short-run corpus replays byte-identical whether or not a
+        // binary that knows about `--soak` generated the schedule
+        let soak_epochs = rng.random_range(6..=9usize);
+        let soak_total_us = rng.random_range(3_700_000_000..=4_500_000_000u64);
+        let mut soak_plan = Vec::with_capacity(soak_epochs);
+        for _ in 0..soak_epochs {
+            let kill_node = NodeId(rng.random_range(0..nodes as u8));
+            let kill_cpu = CpuId(rng.random_range(0..cpus_per_node));
+            let kill_service = if rng.random_bool(0.4) {
+                Some(if rng.random_bool(0.2) {
+                    format!("$TCP{}", kill_node.0)
+                } else {
+                    services[rng.random_range(0..services.len())].to_string()
+                })
+            } else {
+                None
+            };
+            let dump_node = NodeId(rng.random_range(0..nodes as u8));
+            soak_plan.push(SoakEpoch {
+                kill_node,
+                kill_cpu,
+                kill_service,
+                dump_node,
+            });
+        }
+        let disaster_roll = rng.random_range(0..4u8);
+        let disaster_epoch = rng.random_range(1..soak_epochs);
+        let disaster_slot = rng.random_range(0..16usize);
+        let soak = SoakPlan {
+            epochs: soak_epochs,
+            epoch_gap_us: soak_total_us / soak_epochs as u64,
+            plan: soak_plan,
+            disaster: (disaster_roll == 0).then_some((disaster_epoch, disaster_slot)),
+            think_ms: rng.random_range(15_000..=30_000u64),
+            transactions_per_terminal: rng.random_range(120..=180u64),
+            reader_pause_ms: rng.random_range(45_000..=90_000u64),
+            writer_hold_epochs: 2,
+            trail_purge_interval_us: rng.random_range(5_000_000..=15_000_000u64),
+        };
+
         Schedule {
             seed,
             nodes,
@@ -288,6 +388,8 @@ impl Schedule {
             volumes_per_node,
             audit_partitions,
             readonly_terminals_per_node,
+            soak_enabled: false,
+            soak,
         }
     }
 
@@ -335,6 +437,35 @@ impl Schedule {
                 self.trail_purge_interval_us, self.audit_rotate_every
             ));
         }
+        if self.soak_enabled {
+            let s = &self.soak;
+            out.push_str(&format!(
+                "  soak: {} epochs x {}s, {} txns/terminal think {}ms, reader pause {}ms, \
+                 writer hold {} epochs, trail-purge every {}ms\n",
+                s.epochs,
+                s.epoch_gap_us / 1_000_000,
+                s.transactions_per_terminal,
+                s.think_ms,
+                s.reader_pause_ms,
+                s.writer_hold_epochs,
+                s.trail_purge_interval_us / 1_000,
+            ));
+            for (e, ep) in s.plan.iter().enumerate() {
+                let kill = match &ep.kill_service {
+                    Some(svc) => format!("kill-service-cpu {} {}", ep.kill_node, svc),
+                    None => format!("kill-cpu {} cpu{}", ep.kill_node, ep.kill_cpu.0),
+                };
+                out.push_str(&format!(
+                    "  soak epoch {e}: {kill}, dump {}\n",
+                    ep.dump_node
+                ));
+            }
+            if let Some((epoch, slot)) = s.disaster {
+                out.push_str(&format!(
+                    "  soak disaster drill: epoch {epoch}, volume slot {slot}\n"
+                ));
+            }
+        }
         out
     }
 }
@@ -348,6 +479,23 @@ mod tests {
         let a = Schedule::generate(42).describe();
         let b = Schedule::generate(42).describe();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soak_plan_is_deterministic_and_at_least_an_hour() {
+        for seed in 0..50 {
+            let mut a = Schedule::generate(seed);
+            let mut b = Schedule::generate(seed);
+            a.soak_enabled = true;
+            b.soak_enabled = true;
+            assert_eq!(a.describe(), b.describe());
+            let s = &a.soak;
+            assert!(s.epochs as u64 * s.epoch_gap_us >= 3_600_000_000);
+            assert_eq!(s.plan.len(), s.epochs);
+            if let Some((epoch, _)) = s.disaster {
+                assert!(epoch >= 1 && epoch < s.epochs, "seed {seed}");
+            }
+        }
     }
 
     #[test]

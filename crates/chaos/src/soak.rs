@@ -1,0 +1,1186 @@
+//! The `--soak` tier: simulated hours per seed.
+//!
+//! A soak run stretches one seed over at least one simulated hour,
+//! structured as repeating fault *epochs*. Each epoch delivers one
+//! CPU-kill/takeover wave, one rolling ONLINEDUMP generation on a drawn
+//! node, and a restore; throughout, long-lived writer transactions (held
+//! open across epochs) and long-lived snapshot readers (fences pinned
+//! across fault waves, restarted on `SnapshotTooOld`) run alongside the
+//! normal bank terminals. A quarter of seeds additionally run one
+//! full-disaster drill: both mirrored drives of one volume fail
+//! mid-traffic, and the volume is recovered with ROLLFORWARD from its
+//! latest fuzzy archive while the survivors keep serving.
+//!
+//! On top of the short-run oracles (atomicity, conservation, leak
+//! freedom, convergence), the soak tier evaluates two families that only
+//! make sense over a long horizon — see [`crate::oracles`]:
+//!
+//! * **liveness** — every begun transaction reaches a terminal state,
+//!   monitor/audit boxcars and lock wait queues drain, purge floors
+//!   advance, and every long-lived client finishes;
+//! * **bounded state** — per-transid maps, snapshot-undo rings, reply
+//!   caches, and stable-storage archive sets stay within their caps at
+//!   every epoch boundary (a leak shows up as monotonic growth long
+//!   before it hurts a short run).
+
+use crate::oracles::{
+    bounded_violations, liveness_violations, ClientStatus, LivenessObservation, PurgeFloorTrack,
+    StateCaps, StateKind, StateObservation,
+};
+use crate::probe::{AuditStateProbe, TmpProbe, TmpStateProbe};
+use crate::runner::{
+    apply, check_atomicity, check_conservation, check_convergence, heal_everything,
+    snapshot_archives, AuditFlushClient, DumpClient, FlightDump, RunReport, ACCOUNTS,
+};
+use crate::schedule::{ChaosAction, Schedule};
+use bytes::Bytes;
+use encompass::app::{launch_bank_app, BankAppParams};
+use encompass::workload::account_key;
+use encompass_audit::rollforward::rollforward_volume;
+use encompass_sim::{
+    format_timeline, CpuId, Ctx, Fault, NodeId, Payload, Pid, Process, SimConfig, SimDuration,
+    SimTime, TimerId, World,
+};
+use encompass_storage::discprocess::{DiscError, DiscReply, DiscRequest};
+use encompass_storage::media::{
+    archive_key, dump_registry_key, media_key, ArchiveImage, DumpRegistry, VolumeMedia,
+};
+use encompass_storage::types::{Transid, VolumeRef};
+use encompass_storage::Catalog;
+use guardian::{Rpc, Target};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use tmf::session::{DbOp, SessionEvent, SessionOptions, TmfSession};
+use tmf::state::AbortReason;
+
+/// Snapshot-undo ring capacity while soaking: small enough that a
+/// long-lived reader's fence falls off the ring within an epoch or two,
+/// exercising the `SnapshotTooOld` restart path.
+const SOAK_SNAPSHOT_UNDO: usize = 64;
+/// Archive generations retained per volume while soaking.
+const SOAK_ARCHIVE_RETAIN: u64 = 2;
+
+/// What one soak run produced: the short-run report plus soak-specific
+/// tallies.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    pub run: RunReport,
+    /// Soak epochs played.
+    pub epochs: usize,
+    /// Read-only transactions restarted on `SnapshotTooOld`.
+    pub reader_restarts: u64,
+    /// Long-hold writer commits / aborts.
+    pub writer_commits: u64,
+    pub writer_aborts: u64,
+    /// Soak clients respawned after dying with their processor.
+    pub client_respawns: u64,
+    /// `Some(description)` when the full-disaster drill ran.
+    pub drill: Option<String>,
+}
+
+impl SoakReport {
+    pub fn ok(&self) -> bool {
+        self.run.ok()
+    }
+
+    pub fn summary_line(&self) -> String {
+        format!(
+            "seed {:>6}  hash {:016x}  commits {:>5}  aborts {:>4}  t_end {:>8}ms  \
+             epochs {}  restarts {:>2}  holds {:>3}  {}{}",
+            self.run.seed,
+            self.run.trace_hash,
+            self.run.commits,
+            self.run.aborts,
+            self.run.end_ms,
+            self.epochs,
+            self.reader_restarts,
+            self.writer_commits,
+            if self.drill.is_some() { "drill " } else { "" },
+            if self.ok() {
+                "ok".to_string()
+            } else {
+                format!("FAIL ({})", self.run.violations.len())
+            }
+        )
+    }
+}
+
+/// Generate the schedule for `seed` and soak it.
+pub fn run_soak_seed(seed: u64) -> SoakReport {
+    let mut schedule = Schedule::generate(seed);
+    schedule.soak_enabled = true;
+    run_soak_schedule(&schedule)
+}
+
+/// Run one soak schedule to completion and evaluate every oracle.
+pub fn run_soak_schedule(schedule: &Schedule) -> SoakReport {
+    run_soak_schedule_with(schedule, false)
+}
+
+/// [`run_soak_schedule`], optionally with the flight recorder on.
+/// Recording is a pure side channel, so the trace hash is identical
+/// either way and a failing seed replays the same execution recorded.
+pub fn run_soak_schedule_with(schedule: &Schedule, flight_recorder: bool) -> SoakReport {
+    let plan = &schedule.soak;
+    let gap = plan.epoch_gap_us;
+    let horizon = SimTime::from_micros(plan.epochs as u64 * gap);
+    let tmf = tmf::facility::TmfNodeConfig::builder()
+        .group_commit_window(SimDuration::from_micros(schedule.group_commit_window_us))
+        .audit_partitions(schedule.audit_partitions.max(1))
+        .trail_purge_interval(SimDuration::from_micros(plan.trail_purge_interval_us))
+        .audit_rotate_every(schedule.audit_rotate_every)
+        .archive_retain(SOAK_ARCHIVE_RETAIN)
+        .snapshot_undo_capacity(SOAK_SNAPSHOT_UNDO)
+        .build()
+        .expect("soak schedule produced an invalid TMF config");
+    let sim = if flight_recorder {
+        SimConfig::default().flight_recording()
+    } else {
+        SimConfig::default()
+    };
+    // Terminals pace themselves over the horizon: cap the drawn think
+    // time so each terminal's budget fits in ~60% of it, leaving the
+    // run-out phase to absorb fault-induced restarts.
+    let think_ms = plan
+        .think_ms
+        .min(horizon.as_millis() * 3 / 5 / plan.transactions_per_terminal.max(1));
+    let mut app = launch_bank_app(BankAppParams {
+        node_cpus: vec![schedule.cpus_per_node; schedule.nodes],
+        volumes_per_node: schedule.volumes_per_node.max(1),
+        accounts: ACCOUNTS,
+        terminals_per_node: schedule.terminals_per_node,
+        readonly_terminals_per_node: schedule.readonly_terminals_per_node,
+        transactions_per_terminal: plan.transactions_per_terminal,
+        think: SimDuration::from_millis(think_ms.max(1)),
+        hot_fraction: schedule.hot_fraction,
+        hot_set: 8,
+        seed: schedule.seed,
+        lock_wait: SimDuration::from_millis(300),
+        sim,
+        tmf,
+        ..BankAppParams::default()
+    });
+    let volumes: Vec<VolumeRef> = app.catalog.all_volumes();
+    snapshot_archives(&mut app.world, &volumes);
+
+    // Partition-slot layout, mirroring the bank app: slot j covers
+    // accounts [ACCOUNTS*j/slots, ...) on volume j%vpn of node j/vpn.
+    let vpn = schedule.volumes_per_node.max(1);
+    let slots: Vec<VolumeRef> = (0..schedule.nodes * vpn)
+        .map(|j| {
+            let name = if j % vpn == 0 {
+                "$BANK".to_string()
+            } else {
+                format!("$BANK{}", j % vpn)
+            };
+            VolumeRef::new(NodeId((j / vpn) as u8), &name)
+        })
+        .collect();
+    let drill: Option<(usize, usize)> = plan.disaster.map(|(e, s)| (e, s % slots.len()));
+    let drill_slot = drill.map(|(_, s)| s);
+
+    // Per-volume trail keys (a volume's images live on exactly one
+    // partition of its node's trail) — needed by the drill rollforward
+    // and the final convergence oracle.
+    let trail_key_of: BTreeMap<(NodeId, String), String> = app
+        .tmf
+        .iter()
+        .flat_map(|h| {
+            let node = h.node;
+            h.trail_key_of
+                .iter()
+                .map(move |(vol, key)| ((node, vol.clone()), key.clone()))
+        })
+        .collect();
+
+    // ---- long-lived soak clients ------------------------------------
+    // One long-hold writer and one long-lived snapshot reader per node.
+    // Writers never touch the drill volume: a transaction spanning the
+    // outage could have flushed-and-evicted images wiped by the drive
+    // loss yet commit after the drill's rollforward, which live media
+    // would then be missing — the end-of-run convergence oracle (which
+    // rolls forward again, with the commit on the trail) covers that
+    // data; the in-run drill intentionally only recovers what had
+    // settled by its own rollforward point.
+    let hold = SimDuration::from_micros(gap.saturating_mul(plan.writer_hold_epochs.max(1)));
+    let mut clients: Vec<ClientHandle> = Vec::new();
+    for (i, &node) in app.nodes.iter().enumerate() {
+        let slot = writer_slot(i, vpn, slots.len(), drill_slot);
+        clients.push(spawn_writer(
+            &mut app.world,
+            &app.catalog,
+            node,
+            slot,
+            slots.len(),
+            1,
+            hold,
+            horizon,
+        ));
+        clients.push(spawn_reader(
+            &mut app.world,
+            &app.catalog,
+            node,
+            1,
+            SimDuration::from_millis(plan.reader_pause_ms),
+            horizon,
+        ));
+    }
+
+    // ---- the epoch loop ---------------------------------------------
+    let mut bounded_obs: Vec<StateObservation> = Vec::new();
+    let mut floors: BTreeMap<String, PurgeFloorTrack> = BTreeMap::new();
+    let mut drill_desc: Option<String> = None;
+    let mut respawns = 0u64;
+    let max_generation = plan.epochs as u64 + 1;
+    for e in 0..plan.epochs {
+        let base = e as u64 * gap;
+        let ep = &plan.plan[e];
+        let drill_volume: Option<&VolumeRef> = drill
+            .filter(|&(de, _)| de == e)
+            .map(|(_, s)| &slots[s]);
+
+        // kill wave at 15% — skipped when the drill owns this epoch's
+        // node, so the lost volume's DISCPROCESS pair stays whole
+        let kill_skipped = drill_volume.is_some_and(|v| v.node == ep.kill_node);
+        if !kill_skipped {
+            app.world
+                .run_until(SimTime::from_micros(base + gap * 15 / 100));
+            match &ep.kill_service {
+                Some(svc) => apply(
+                    &mut app.world,
+                    &ChaosAction::KillServiceCpu {
+                        node: ep.kill_node,
+                        service: svc.clone(),
+                    },
+                ),
+                None => {
+                    if app.world.cpu_up(ep.kill_node, ep.kill_cpu) {
+                        app.world.inject(Fault::KillCpu(ep.kill_node, ep.kill_cpu));
+                    }
+                }
+            }
+        }
+
+        // disaster drill part 1 at 25%: both mirrored drives lost
+        if let Some(v) = drill_volume {
+            app.world
+                .run_until(SimTime::from_micros(base + gap * 25 / 100));
+            let key = media_key(v.node, &v.volume);
+            if let Some(media) = app.world.stable_mut().get_mut::<VolumeMedia>(&key) {
+                media.fail_drive(0);
+                media.fail_drive(1);
+            }
+            app.world.metrics_mut().add("chaos.drill_losses", 1);
+        }
+
+        // rolling dump generation at 35% on the drawn node
+        app.world
+            .run_until(SimTime::from_micros(base + gap * 35 / 100));
+        let cpu = (0..app.world.cpu_count(ep.dump_node))
+            .find(|&c| app.world.cpu_up(ep.dump_node, CpuId(c)))
+            .unwrap_or(0);
+        for v in volumes.iter().filter(|v| v.node == ep.dump_node) {
+            app.world.spawn(
+                ep.dump_node,
+                cpu,
+                Box::new(DumpClient {
+                    volume: v.clone(),
+                    generation: e as u64 + 1,
+                    rpc: Rpc::new(2),
+                }),
+            );
+        }
+
+        // restore wave at 55%
+        if !kill_skipped {
+            app.world
+                .run_until(SimTime::from_micros(base + gap * 55 / 100));
+            apply(
+                &mut app.world,
+                &ChaosAction::RestoreDownCpus { node: ep.kill_node },
+            );
+        }
+
+        // disaster drill part 2 at 75%: revive the drives and recover
+        // the volume with ROLLFORWARD from its registry archive while
+        // the rest of the cluster keeps serving
+        if let Some(v) = drill_volume {
+            app.world
+                .run_until(SimTime::from_micros(base + gap * 75 / 100));
+            let key = media_key(v.node, &v.volume);
+            if let Some(media) = app.world.stable_mut().get_mut::<VolumeMedia>(&key) {
+                media.revive_drive(0);
+                media.revive_drive(1);
+            }
+            let generation = app
+                .world
+                .stable()
+                .get::<DumpRegistry>(&dump_registry_key(v))
+                .map(|r| r.generation)
+                .unwrap_or(0);
+            let keys: Vec<String> = trail_key_of
+                .get(&(v.node, v.volume.clone()))
+                .map(|k| vec![k.clone()])
+                .unwrap_or_default();
+            let _ = rollforward_volume(&mut app.world, v, &keys, generation);
+            app.world.metrics_mut().add("chaos.drill_recoveries", 1);
+            drill_desc = Some(format!(
+                "epoch {e}: {}.{} lost both drives mid-traffic, rolled forward from \
+                 archive generation {generation}",
+                v.node, v.volume
+            ));
+        }
+
+        // epoch-boundary state probes (everything is healed by now)
+        app.world
+            .run_until(SimTime::from_micros(base + gap - 4_000_000));
+        let probes = spawn_state_probes(&mut app.world, &app.nodes, &volumes);
+        app.world
+            .run_until(SimTime::from_micros(base + gap - 1_000_000));
+        collect_state_probes(&probes, e, &mut bounded_obs);
+        observe_stable_state(&app.world, &volumes, e, max_generation, &mut bounded_obs);
+        track_purge_floors(&app.world, &volumes, &mut floors);
+
+        app.world.run_until(SimTime::from_micros(base + gap));
+        // respawn soak clients that died with their processor (a plain
+        // process does not survive a CPU kill); the replacement gets a
+        // fresh key generation so its inserts never collide
+        for idx in 0..clients.len() {
+            let c = &clients[idx];
+            if c.finished.borrow().is_none() && !app.world.is_alive(c.pid) {
+                *c.finished.borrow_mut() =
+                    Some("died with its processor; respawned".to_string());
+                respawns += 1;
+                app.world.metrics_mut().add("chaos.soak_respawns", 1);
+                let replacement = match c.kind {
+                    ClientKind::Writer { slot } => spawn_writer(
+                        &mut app.world,
+                        &app.catalog,
+                        c.node,
+                        slot,
+                        slots.len(),
+                        c.generation + 1,
+                        hold,
+                        horizon,
+                    ),
+                    ClientKind::Reader => spawn_reader(
+                        &mut app.world,
+                        &app.catalog,
+                        c.node,
+                        c.generation + 1,
+                        SimDuration::from_millis(plan.reader_pause_ms),
+                        horizon,
+                    ),
+                };
+                clients.push(replacement);
+            }
+        }
+    }
+
+    // ---- run out the workload, then drain ---------------------------
+    heal_everything(&mut app.world, schedule);
+    let mut violations = Vec::new();
+    let total_terminals = (schedule.nodes
+        * (schedule.terminals_per_node + schedule.readonly_terminals_per_node))
+        as u64;
+    let stall_deadline = horizon + SimDuration::from_secs(900);
+    loop {
+        let terminals_done =
+            app.world.metrics().get("tcp.terminals_finished") >= total_terminals;
+        let clients_done = clients
+            .iter()
+            .all(|c| c.finished.borrow().is_some() || !app.world.is_alive(c.pid));
+        if (terminals_done && clients_done) || app.world.now() >= stall_deadline {
+            break;
+        }
+        app.world.run_for(SimDuration::from_secs(2));
+    }
+    if app.world.metrics().get("tcp.terminals_finished") < total_terminals {
+        violations.push(format!(
+            "workload stalled: {}/{} terminals finished by t={}ms",
+            app.world.metrics().get("tcp.terminals_finished"),
+            total_terminals,
+            app.world.now().as_millis()
+        ));
+    }
+    // a client that died inside the final epoch has no boundary left to
+    // respawn it; excuse it (its transactions are still covered by the
+    // leak and atomicity oracles)
+    for c in &clients {
+        if c.finished.borrow().is_none() && !app.world.is_alive(c.pid) {
+            *c.finished.borrow_mut() = Some("died in the final epoch".to_string());
+        }
+    }
+    // safe-delivery tail: phase 2, abort notifications, backouts
+    app.world.run_for(SimDuration::from_secs(5));
+    // flush every AUDITPROCESS buffer to the trail media before the
+    // convergence oracle (and the liveness probes) read it
+    for &node in &app.nodes {
+        app.world
+            .spawn(node, 0, Box::new(AuditFlushClient::new(node)));
+    }
+    app.world.run_for(SimDuration::from_secs(2));
+
+    // ---- final probes -----------------------------------------------
+    let open_probes: Vec<_> = app
+        .nodes
+        .iter()
+        .map(|&n| (n, TmpProbe::spawn(&mut app.world, n)))
+        .collect();
+    let final_probes = spawn_state_probes(&mut app.world, &app.nodes, &volumes);
+    let lock_probes: Vec<_> = volumes
+        .iter()
+        .map(|v| {
+            let replies = encompass_storage::testkit::run_script(
+                &mut app.world,
+                v.node,
+                0,
+                Target::Named(v.node, v.volume.clone()),
+                vec![DiscRequest::LockAudit],
+            );
+            (v.clone(), replies)
+        })
+        .collect();
+    app.world.run_for(SimDuration::from_secs(3));
+    collect_state_probes(&final_probes, usize::MAX, &mut bounded_obs);
+    observe_stable_state(
+        &app.world,
+        &volumes,
+        usize::MAX,
+        max_generation,
+        &mut bounded_obs,
+    );
+    track_purge_floors(&app.world, &volumes, &mut floors);
+
+    let trace_hash = app.world.trace_hash();
+    let commits = app.world.metrics().get("tmf.commits");
+    let aborts = app.world.metrics().get("tmf.aborts");
+    let takeover_commit_completions =
+        app.world.metrics().get("tmf.takeover_commit_completions");
+    let dumps_completed = app.world.metrics().get("dump.completed");
+    let purged_trail_files = app.world.metrics().get("tmf.purged_trail_files");
+    let end_ms = app.world.now().as_millis();
+
+    // ---- oracles ----------------------------------------------------
+    let mut implicated: Vec<Transid> = Vec::new();
+    check_atomicity(&mut app.world, &app.nodes, &mut violations, &mut implicated);
+    check_conservation(&mut app.world, &app.catalog, &app.nodes, &mut violations);
+
+    // liveness observations from the final probes
+    let mut live_obs: Vec<LivenessObservation> = Vec::new();
+    for (node, slot) in &open_probes {
+        let mut o = LivenessObservation {
+            process: format!("$TMP@{node}"),
+            ..Default::default()
+        };
+        match &*slot.borrow() {
+            None => o.unreachable = true,
+            Some(open) => {
+                implicated.extend(open.iter().copied());
+                o.open_transids = open.iter().map(|t| t.to_string()).collect();
+            }
+        }
+        if let Some(r) = &*final_probes.tmp[node.0 as usize].1.borrow() {
+            o.monitor_boxcar = r.monitor_boxcar;
+            o.monitor_inflight = r.monitor_inflight;
+            o.outstanding_rpcs = r.deliveries
+                + r.early_releases
+                + r.backouts
+                + r.phase1_disc
+                + r.phase1_tmp
+                + r.remote_begins
+                + r.janitor_rpcs
+                + r.purge_rpcs;
+        }
+        live_obs.push(o);
+    }
+    for (node, slot) in &final_probes.audit {
+        let mut o = LivenessObservation {
+            process: format!("$AUDIT@{node}"),
+            ..Default::default()
+        };
+        match &*slot.borrow() {
+            None => o.unreachable = true,
+            Some(r) => {
+                o.audit_buffered = r.buffered;
+                o.audit_waiters = r.waiters;
+            }
+        }
+        live_obs.push(o);
+    }
+    for (vol, replies) in &lock_probes {
+        let mut o = LivenessObservation {
+            process: format!("{}@{}", vol.volume, vol.node),
+            ..Default::default()
+        };
+        match replies.borrow().first() {
+            Some(DiscReply::LockAudit { held, waiting }) => {
+                o.locks_held = *held;
+                o.lock_waiters = *waiting;
+            }
+            _ => o.unreachable = true,
+        }
+        live_obs.push(o);
+    }
+    implicated.sort();
+    implicated.dedup();
+
+    let client_statuses: Vec<ClientStatus> = clients
+        .iter()
+        .map(|c| ClientStatus {
+            name: c.name.clone(),
+            finished: c.finished.borrow().clone(),
+            last_state: c.last_state.borrow().clone(),
+        })
+        .collect();
+    let floor_tracks: Vec<PurgeFloorTrack> = floors.into_values().collect();
+    violations.extend(liveness_violations(&live_obs, &client_statuses, &floor_tracks));
+    violations.extend(bounded_violations(
+        &bounded_obs,
+        &StateCaps::soak(SOAK_SNAPSHOT_UNDO, SOAK_ARCHIVE_RETAIN as usize),
+    ));
+    check_convergence(&mut app.world, &volumes, &trail_key_of, &mut violations);
+
+    let flight = if flight_recorder {
+        let by_txn = app.world.flightrec().timelines();
+        let empty = Vec::new();
+        let timelines = implicated
+            .iter()
+            .map(|t| {
+                let ft = t.flight_id();
+                format_timeline(ft, by_txn.get(&ft).unwrap_or(&empty))
+            })
+            .collect();
+        Some(FlightDump {
+            json: app.world.flightrec().to_json(),
+            timelines,
+            timelines_by_txn: by_txn,
+            committed: crate::runner::committed_transids(&app.world, &app.nodes),
+        })
+    } else {
+        None
+    };
+
+    let mut schedule_desc = schedule.clone();
+    schedule_desc.soak_enabled = true;
+    SoakReport {
+        run: RunReport {
+            seed: schedule.seed,
+            trace_hash,
+            commits,
+            aborts,
+            takeover_commit_completions,
+            dumps_completed,
+            purged_trail_files,
+            end_ms,
+            violations,
+            schedule_desc: schedule_desc.describe(),
+            implicated: implicated.iter().map(|t| t.to_string()).collect(),
+            flight,
+        },
+        epochs: plan.epochs,
+        reader_restarts: app.world.metrics().get("chaos.reader_restarts"),
+        writer_commits: app.world.metrics().get("chaos.soak_writer_commits"),
+        writer_aborts: app.world.metrics().get("chaos.soak_writer_aborts"),
+        client_respawns: respawns,
+        drill: drill_desc,
+    }
+}
+
+/// Pick the partition slot a node's long-hold writer works, preferring a
+/// slot local to the node and never the drill volume's.
+fn writer_slot(node_idx: usize, vpn: usize, slots: usize, drill: Option<usize>) -> usize {
+    for j in node_idx * vpn..(node_idx + 1) * vpn {
+        if Some(j) != drill {
+            return j;
+        }
+    }
+    (0..slots).find(|&j| Some(j) != drill).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// epoch-boundary probes
+
+struct StateProbes {
+    tmp: Vec<(NodeId, crate::probe::TmpState)>,
+    audit: Vec<(NodeId, crate::probe::AuditState)>,
+    disc: Vec<(VolumeRef, encompass_storage::testkit::Replies)>,
+}
+
+fn spawn_state_probes(world: &mut World, nodes: &[NodeId], volumes: &[VolumeRef]) -> StateProbes {
+    let tmp = nodes
+        .iter()
+        .map(|&n| (n, TmpStateProbe::spawn(world, n)))
+        .collect();
+    let audit = nodes
+        .iter()
+        .map(|&n| (n, AuditStateProbe::spawn(world, n, "$AUDIT")))
+        .collect();
+    let disc = volumes
+        .iter()
+        .map(|v| {
+            let replies = encompass_storage::testkit::run_script(
+                world,
+                v.node,
+                0,
+                Target::Named(v.node, v.volume.clone()),
+                vec![DiscRequest::StateAudit],
+            );
+            (v.clone(), replies)
+        })
+        .collect();
+    StateProbes { tmp, audit, disc }
+}
+
+/// Fold whatever the probes answered into bounded-state observations.
+/// A probe that never heard back mid-run is skipped (the *final* probes
+/// feed the liveness oracle, which does flag unreachability).
+fn collect_state_probes(probes: &StateProbes, epoch: usize, out: &mut Vec<StateObservation>) {
+    for (node, slot) in &probes.tmp {
+        if let Some(r) = &*slot.borrow() {
+            out.push(StateObservation {
+                process: format!("$TMP@{node}"),
+                epoch,
+                kind: StateKind::Tmp(*r),
+            });
+        }
+    }
+    for (node, slot) in &probes.audit {
+        if let Some(r) = &*slot.borrow() {
+            out.push(StateObservation {
+                process: format!("$AUDIT@{node}"),
+                epoch,
+                kind: StateKind::Audit(*r),
+            });
+        }
+    }
+    for (vol, replies) in &probes.disc {
+        if let Some(DiscReply::State(r)) = replies.borrow().first() {
+            out.push(StateObservation {
+                process: format!("{}@{}", vol.volume, vol.node),
+                epoch,
+                kind: StateKind::Disc(*r),
+            });
+        }
+    }
+}
+
+/// Count the `archive:` keys each volume retains on stable storage —
+/// the bounded-state check for satellite retention: rolling dump
+/// generations must delete superseded archives.
+fn observe_stable_state(
+    world: &World,
+    volumes: &[VolumeRef],
+    epoch: usize,
+    max_generation: u64,
+    out: &mut Vec<StateObservation>,
+) {
+    for v in volumes {
+        let count = (0..=max_generation)
+            .filter(|&g| world.stable().get::<ArchiveImage>(&archive_key(v, g)).is_some())
+            .count();
+        out.push(StateObservation {
+            process: "stable-storage".to_string(),
+            epoch,
+            kind: StateKind::ArchiveKeys {
+                volume: format!("{}.{}", v.node, v.volume),
+                count,
+            },
+        });
+    }
+}
+
+/// Record each volume's dump-registry progress (generation and proven
+/// purge floor) for the liveness oracle's floor-advance check.
+fn track_purge_floors(
+    world: &World,
+    volumes: &[VolumeRef],
+    floors: &mut BTreeMap<String, PurgeFloorTrack>,
+) {
+    for v in volumes {
+        let Some(reg) = world.stable().get::<DumpRegistry>(&dump_registry_key(v)) else {
+            continue;
+        };
+        let name = format!("{}.{}", v.node, v.volume);
+        floors
+            .entry(name.clone())
+            .and_modify(|t| {
+                t.last_generation = reg.generation;
+                t.last_floor = reg.purge_floor;
+            })
+            .or_insert(PurgeFloorTrack {
+                volume: name,
+                first_generation: reg.generation,
+                last_generation: reg.generation,
+                first_floor: reg.purge_floor,
+                last_floor: reg.purge_floor,
+            });
+    }
+}
+
+// ---------------------------------------------------------------------
+// long-lived soak clients
+
+#[derive(Clone, Copy)]
+enum ClientKind {
+    Writer { slot: usize },
+    Reader,
+}
+
+struct ClientHandle {
+    name: String,
+    pid: Pid,
+    node: NodeId,
+    generation: u32,
+    kind: ClientKind,
+    finished: Rc<RefCell<Option<String>>>,
+    last_state: Rc<RefCell<String>>,
+}
+
+fn live_cpu(world: &World, node: NodeId) -> u8 {
+    (0..world.cpu_count(node))
+        .find(|&c| world.cpu_up(node, CpuId(c)))
+        .unwrap_or(0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_writer(
+    world: &mut World,
+    catalog: &Catalog,
+    node: NodeId,
+    slot: usize,
+    n_slots: usize,
+    generation: u32,
+    hold: SimDuration,
+    deadline: SimTime,
+) -> ClientHandle {
+    let low = ACCOUNTS * slot as u64 / n_slots as u64;
+    let name = format!("soak-writer[{node} slot {slot} g{generation}]");
+    let finished: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+    let last_state = Rc::new(RefCell::new("spawned".to_string()));
+    let cpu = live_cpu(world, node);
+    let pid = world.spawn(
+        node,
+        cpu,
+        Box::new(SoakWriter {
+            session: TmfSession::new(catalog.clone(), 7),
+            key_prefix: format!(
+                "{}:w{}g{}",
+                String::from_utf8_lossy(&account_key(low)),
+                node.0,
+                generation
+            ),
+            attempt: 0,
+            hold,
+            deadline,
+            state: WriterState::Idle,
+            commits: 0,
+            aborts: 0,
+            finished: finished.clone(),
+            last_state: last_state.clone(),
+        }),
+    );
+    ClientHandle {
+        name,
+        pid,
+        node,
+        generation,
+        kind: ClientKind::Writer { slot },
+        finished,
+        last_state,
+    }
+}
+
+fn spawn_reader(
+    world: &mut World,
+    catalog: &Catalog,
+    node: NodeId,
+    generation: u32,
+    pause: SimDuration,
+    deadline: SimTime,
+) -> ClientHandle {
+    let name = format!("soak-reader[{node} g{generation}]");
+    let finished: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+    let last_state = Rc::new(RefCell::new("spawned".to_string()));
+    let cpu = live_cpu(world, node);
+    let pid = world.spawn(
+        node,
+        cpu,
+        Box::new(SoakReader {
+            session: TmfSession::new(catalog.clone(), 8),
+            pause,
+            deadline,
+            step: node.0 as u64,
+            reads: 0,
+            restarts: 0,
+            state: ReaderState::Idle,
+            finished: finished.clone(),
+            last_state: last_state.clone(),
+        }),
+    );
+    ClientHandle {
+        name,
+        pid,
+        node,
+        generation,
+        kind: ClientKind::Reader,
+        finished,
+        last_state,
+    }
+}
+
+const TAG_HOLD: u64 = 1;
+const TAG_RETRY: u64 = 2;
+const TAG_PAUSE: u64 = 3;
+
+#[derive(Clone, Copy, PartialEq)]
+enum WriterState {
+    Idle,
+    WaitBegin,
+    WaitInsert1,
+    WaitInsert2,
+    Holding,
+    WaitEnd,
+    WaitAbort,
+    Done,
+}
+
+/// A long-hold writer: begins a transaction, inserts a balanced pair of
+/// records (+7 / −7, so conservation is untouched) into its partition
+/// slot, then sits on its locks for [`crate::schedule::SoakPlan::writer_hold_epochs`]
+/// epochs before committing — a transaction that spans fault epochs,
+/// pins purge floors, and exercises multi-epoch lock retention. On any
+/// failure it aborts, halves its hold, and retries with fresh keys.
+struct SoakWriter {
+    session: TmfSession,
+    key_prefix: String,
+    attempt: u64,
+    hold: SimDuration,
+    deadline: SimTime,
+    state: WriterState,
+    commits: u64,
+    aborts: u64,
+    finished: Rc<RefCell<Option<String>>>,
+    last_state: Rc<RefCell<String>>,
+}
+
+impl SoakWriter {
+    fn note(&self, s: String) {
+        *self.last_state.borrow_mut() = s;
+    }
+
+    fn key(&self, leg: char) -> Bytes {
+        Bytes::from(format!("{}.{}.{}", self.key_prefix, self.attempt, leg))
+    }
+
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.now() + SimDuration::from_secs(30) >= self.deadline {
+            self.state = WriterState::Done;
+            *self.finished.borrow_mut() =
+                Some(format!("commits={} aborts={}", self.commits, self.aborts));
+            self.note("done".to_string());
+            ctx.exit();
+            return;
+        }
+        self.attempt += 1;
+        self.state = WriterState::WaitBegin;
+        self.note(format!("beginning attempt {}", self.attempt));
+        self.session.begin(ctx, SessionOptions::default(), 0);
+    }
+
+    /// Abort if a transaction is open, otherwise back off and retry.
+    fn recover(&mut self, ctx: &mut Ctx<'_>) {
+        if self.session.transid().is_some() && !self.session.busy() {
+            self.state = WriterState::WaitAbort;
+            self.note("aborting".to_string());
+            self.session.abort(ctx, AbortReason::Voluntary, 0);
+        } else {
+            self.state = WriterState::Idle;
+            ctx.set_timer(SimDuration::from_secs(5), TAG_RETRY);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
+        match (self.state, ev) {
+            (WriterState::WaitBegin, SessionEvent::Began { transid, .. }) => {
+                self.state = WriterState::WaitInsert1;
+                self.note(format!("in {transid}, inserting"));
+                let refused = self.session.op(
+                    ctx,
+                    DbOp::Insert {
+                        file: "accounts".to_string(),
+                        key: self.key('a'),
+                        value: Bytes::from_static(b"7"),
+                    },
+                    0,
+                );
+                debug_assert!(refused.is_none());
+            }
+            (WriterState::WaitInsert1, SessionEvent::OpDone { reply: DiscReply::Ok, .. }) => {
+                self.state = WriterState::WaitInsert2;
+                let refused = self.session.op(
+                    ctx,
+                    DbOp::Insert {
+                        file: "accounts".to_string(),
+                        key: self.key('b'),
+                        value: Bytes::from_static(b"-7"),
+                    },
+                    0,
+                );
+                debug_assert!(refused.is_none());
+            }
+            (WriterState::WaitInsert2, SessionEvent::OpDone { reply: DiscReply::Ok, .. }) => {
+                self.state = WriterState::Holding;
+                let remaining = self.deadline.since(ctx.now()) - SimDuration::from_secs(25);
+                let hold = self.hold.min(remaining).max(SimDuration::from_secs(1));
+                self.note(format!(
+                    "holding {} for {}s",
+                    self.session
+                        .transid()
+                        .map(|t| t.to_string())
+                        .unwrap_or_default(),
+                    hold.as_millis() / 1000
+                ));
+                ctx.set_timer(hold, TAG_HOLD);
+            }
+            (_, SessionEvent::OpDone { .. }) => self.recover(ctx),
+            (WriterState::WaitEnd, SessionEvent::Committed { .. }) => {
+                self.commits += 1;
+                ctx.count("chaos.soak_writer_commits", 1);
+                self.start_attempt(ctx);
+            }
+            (_, SessionEvent::Aborted { .. }) => {
+                self.aborts += 1;
+                ctx.count("chaos.soak_writer_aborts", 1);
+                // halve the hold so a fault-prone epoch converges on a
+                // hold short enough to commit between waves
+                self.hold = self
+                    .hold
+                    .min(SimDuration::from_micros(self.hold.as_micros() / 2))
+                    .max(SimDuration::from_secs(10));
+                self.state = WriterState::Idle;
+                ctx.set_timer(SimDuration::from_secs(5), TAG_RETRY);
+            }
+            (_, SessionEvent::Failed { .. }) => self.recover(ctx),
+            (_, SessionEvent::Began { .. }) | (_, SessionEvent::Committed { .. }) => {
+                // stale event for a state we already left; ignore
+            }
+        }
+    }
+}
+
+impl Process for SoakWriter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.start_attempt(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        if let Ok(Some(ev)) = self.session.accept(ctx, payload) {
+            self.on_event(ctx, ev);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        match tag {
+            TAG_HOLD => {
+                if self.state == WriterState::Holding {
+                    self.state = WriterState::WaitEnd;
+                    self.note("ending".to_string());
+                    self.session.end(ctx, 0);
+                }
+            }
+            TAG_RETRY => {
+                if self.state != WriterState::Idle {
+                    return;
+                }
+                if self.session.transid().is_some() {
+                    self.recover(ctx);
+                } else {
+                    self.start_attempt(ctx);
+                }
+            }
+            _ => {
+                if let Some(ev) = self.session.on_timer(ctx, tag) {
+                    self.on_event(ctx, ev);
+                }
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "soak-writer"
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ReaderState {
+    Idle,
+    WaitBegin,
+    WaitRead,
+    Pausing,
+    WaitRestartAbort,
+    WaitEnd,
+    Done,
+}
+
+/// A long-lived snapshot reader: one read-only transaction held open
+/// across fault epochs, snapshot-reading a rotating account every
+/// [`crate::schedule::SoakPlan::reader_pause_ms`]. The small soak
+/// snapshot-undo ring guarantees its pinned fences eventually fall off;
+/// the reader then restarts the read-only transaction with a fresh
+/// fence, counted as `chaos.reader_restarts`.
+struct SoakReader {
+    session: TmfSession,
+    pause: SimDuration,
+    deadline: SimTime,
+    step: u64,
+    reads: u64,
+    restarts: u64,
+    state: ReaderState,
+    finished: Rc<RefCell<Option<String>>>,
+    last_state: Rc<RefCell<String>>,
+}
+
+impl SoakReader {
+    fn note(&self, s: String) {
+        *self.last_state.borrow_mut() = s;
+    }
+
+    fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = ReaderState::WaitBegin;
+        self.note("beginning read-only transaction".to_string());
+        self.session
+            .begin(ctx, SessionOptions::new().read_only(), 0);
+    }
+
+    fn finish_or_pause(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.now() + SimDuration::from_secs(10) >= self.deadline {
+            if self.session.transid().is_some() && !self.session.busy() {
+                self.state = ReaderState::WaitEnd;
+                self.note("ending".to_string());
+                self.session.end(ctx, 0);
+            } else {
+                self.done(ctx);
+            }
+        } else {
+            self.state = ReaderState::Pausing;
+            ctx.set_timer(self.pause, TAG_PAUSE);
+        }
+    }
+
+    fn done(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = ReaderState::Done;
+        *self.finished.borrow_mut() = Some(format!(
+            "reads={} restarts={}",
+            self.reads, self.restarts
+        ));
+        self.note("done".to_string());
+        ctx.exit();
+    }
+
+    fn read_next(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = ReaderState::WaitRead;
+        let idx = (self.step * 37) % ACCOUNTS;
+        self.step += 1;
+        self.note(format!("snapshot-reading acct{idx:08}"));
+        let refused = self.session.op(
+            ctx,
+            DbOp::Read {
+                file: "accounts".to_string(),
+                key: account_key(idx),
+            },
+            0,
+        );
+        debug_assert!(refused.is_none());
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: SessionEvent) {
+        match (self.state, ev) {
+            (ReaderState::WaitBegin, SessionEvent::Began { .. }) => self.read_next(ctx),
+            (ReaderState::WaitRead, SessionEvent::OpDone { reply, .. }) => match reply {
+                DiscReply::Err(DiscError::SnapshotTooOld) => {
+                    // the pinned fence fell off the snapshot-undo ring:
+                    // restart the read-only transaction for a fresh one
+                    self.restarts += 1;
+                    ctx.count("chaos.reader_restarts", 1);
+                    self.state = ReaderState::WaitRestartAbort;
+                    self.note("restarting on SnapshotTooOld".to_string());
+                    self.session.abort(ctx, AbortReason::Voluntary, 0);
+                }
+                _ => {
+                    // values (and transient VolumeDown during a fault
+                    // wave) are all fine — snapshot reads assert nothing
+                    self.reads += 1;
+                    self.finish_or_pause(ctx);
+                }
+            },
+            (ReaderState::WaitRestartAbort, SessionEvent::Aborted { .. }) => self.begin(ctx),
+            (ReaderState::WaitEnd, SessionEvent::Committed { .. })
+            | (ReaderState::WaitEnd, SessionEvent::Aborted { .. }) => self.done(ctx),
+            (_, SessionEvent::Aborted { .. }) => {
+                // aborted from outside (e.g. the TMP died with our
+                // processor's transactions): begin anew or wind down
+                if ctx.now() + SimDuration::from_secs(10) >= self.deadline {
+                    self.done(ctx);
+                } else {
+                    self.begin(ctx);
+                }
+            }
+            (_, SessionEvent::Failed { .. }) => {
+                if self.session.transid().is_some() && !self.session.busy() {
+                    self.state = ReaderState::WaitRestartAbort;
+                    self.session.abort(ctx, AbortReason::Voluntary, 0);
+                } else {
+                    self.state = ReaderState::Idle;
+                    ctx.set_timer(SimDuration::from_secs(5), TAG_RETRY);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Process for SoakReader {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.begin(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _src: Pid, payload: Payload) {
+        if let Ok(Some(ev)) = self.session.accept(ctx, payload) {
+            self.on_event(ctx, ev);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId, tag: u64) {
+        match tag {
+            TAG_PAUSE => {
+                if self.state == ReaderState::Pausing {
+                    if self.session.transid().is_some() {
+                        self.read_next(ctx);
+                    } else {
+                        self.begin(ctx);
+                    }
+                }
+            }
+            TAG_RETRY => {
+                if self.state == ReaderState::Idle {
+                    if ctx.now() + SimDuration::from_secs(10) >= self.deadline {
+                        self.done(ctx);
+                    } else if self.session.transid().is_none() {
+                        self.begin(ctx);
+                    }
+                }
+            }
+            _ => {
+                if let Some(ev) = self.session.on_timer(ctx, tag) {
+                    self.on_event(ctx, ev);
+                }
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "soak-reader"
+    }
+}

@@ -66,6 +66,18 @@ pub struct TmfNodeConfig {
     /// Interval of the TMP's trail-capacity purge pass. Zero (the
     /// default) disables purging, preserving historical traces.
     trail_purge_interval: SimDuration,
+    /// Archive generations the DUMPPROCESS retains per volume. When a
+    /// newer dump supersedes the registry entry, archives older than the
+    /// last `archive_retain` generations are deleted from stable storage
+    /// — ROLLFORWARD can still restore from any retained generation.
+    /// Private: set through the builder so validation always runs.
+    archive_retain: u64,
+    /// Capacity of each DISCPROCESS's per-volume snapshot before-image
+    /// ring (see DESIGN.md §D13). Smaller rings evict fences sooner,
+    /// forcing long-lived snapshot readers to restart with
+    /// `SnapshotTooOld`. Private: set through the builder so validation
+    /// always runs.
+    snapshot_undo_capacity: usize,
 }
 
 impl Default for TmfNodeConfig {
@@ -84,6 +96,8 @@ impl Default for TmfNodeConfig {
             dump_page_size: 64,
             audit_rotate_every: 4096,
             trail_purge_interval: SimDuration::ZERO,
+            archive_retain: 2,
+            snapshot_undo_capacity: 4096,
         }
     }
 }
@@ -119,6 +133,14 @@ impl TmfNodeConfig {
     pub fn trail_purge_interval(&self) -> SimDuration {
         self.trail_purge_interval
     }
+
+    pub fn archive_retain(&self) -> u64 {
+        self.archive_retain
+    }
+
+    pub fn snapshot_undo_capacity(&self) -> usize {
+        self.snapshot_undo_capacity
+    }
 }
 
 /// A rejected [`TmfNodeConfigBuilder::build`].
@@ -141,6 +163,11 @@ pub enum ConfigError {
     ZeroAuditRotate,
     /// An audit trail needs at least one partition.
     ZeroAuditPartitions,
+    /// At least the latest archive generation must be retained, or every
+    /// completed dump would immediately delete its own archive.
+    ZeroArchiveRetain,
+    /// The snapshot before-image ring must hold at least one image.
+    ZeroSnapshotUndo,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -156,6 +183,8 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDumpPageSize => write!(f, "dump_page_size must be >= 1"),
             ConfigError::ZeroAuditRotate => write!(f, "audit_rotate_every must be >= 1"),
             ConfigError::ZeroAuditPartitions => write!(f, "audit_partitions must be >= 1"),
+            ConfigError::ZeroArchiveRetain => write!(f, "archive_retain must be >= 1"),
+            ConfigError::ZeroSnapshotUndo => write!(f, "snapshot_undo_capacity must be >= 1"),
         }
     }
 }
@@ -235,6 +264,16 @@ impl TmfNodeConfigBuilder {
         self
     }
 
+    pub fn archive_retain(mut self, generations: u64) -> Self {
+        self.cfg.archive_retain = generations;
+        self
+    }
+
+    pub fn snapshot_undo_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.snapshot_undo_capacity = capacity;
+        self
+    }
+
     pub fn build(self) -> Result<TmfNodeConfig, ConfigError> {
         let c = &self.cfg;
         if c.audit_processes < 1 {
@@ -266,6 +305,12 @@ impl TmfNodeConfigBuilder {
         }
         if c.audit_partitions < 1 {
             return Err(ConfigError::ZeroAuditPartitions);
+        }
+        if c.archive_retain < 1 {
+            return Err(ConfigError::ZeroArchiveRetain);
+        }
+        if c.snapshot_undo_capacity < 1 {
+            return Err(ConfigError::ZeroSnapshotUndo);
         }
         Ok(self.cfg)
     }
@@ -387,6 +432,7 @@ pub fn spawn_tmf_node(
                 audit_service: Some(svc),
                 flush_interval: cfg.flush_interval,
                 dump_page_size: cfg.dump_page_size,
+                snapshot_undo_capacity: cfg.snapshot_undo_capacity,
                 ..DiscConfig::default()
             },
         ));
@@ -414,7 +460,8 @@ pub fn spawn_tmf_node(
 
     // the ONLINEDUMP pair, on the slot after the TMP's
     let (up, ub) = pair_cpus(2 + audit_count as u8 + volumes.len() as u8);
-    let dump = encompass_audit::dump::spawn_dump_process(world, node, up, ub);
+    let dump =
+        encompass_audit::dump::spawn_dump_process(world, node, up, ub, cfg.archive_retain);
 
     NodeHandles {
         node,

@@ -490,7 +490,8 @@ impl TmfSession {
             | DiscRequest::DumpBegin { .. }
             | DiscRequest::DumpScan { .. }
             | DiscRequest::DumpEnd { .. }
-            | DiscRequest::LockAudit => return None,
+            | DiscRequest::LockAudit
+            | DiscRequest::StateAudit => return None,
         };
         self.catalog.volume_for(file, key)
     }
@@ -690,7 +691,10 @@ impl TmfSession {
                     cookie,
                 })
             }
-            TmpReply::Phase1Ok | TmpReply::Disposition { .. } | TmpReply::Open { .. } => {
+            TmpReply::Phase1Ok
+            | TmpReply::Disposition { .. }
+            | TmpReply::Open { .. }
+            | TmpReply::State(_) => {
                 // these replies answer TMP-internal or utility requests,
                 // never a session verb
                 self.pending = None;

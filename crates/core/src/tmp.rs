@@ -84,6 +84,9 @@ pub enum TmpMsg {
     /// TMF utility: list the transids still present in this TMP's
     /// transaction table (post-quiesce verification tooling).
     ListOpen,
+    /// TMF utility: report the sizes of the TMP's per-transaction maps
+    /// (bounded-state oracle of the chaos soak tier).
+    StateAudit,
     // ---- TMP ↔ TMP (network) ----
     /// Remote transaction begin (critical response).
     RemoteBegin { transid: Transid },
@@ -109,6 +112,43 @@ pub enum TmpReply {
     Aborted,
     Disposition { state: Option<TxState> },
     Open { transids: Vec<Transid> },
+    /// Reply to [`TmpMsg::StateAudit`].
+    State(TmpStateReport),
+}
+
+/// Sizes of a TMP's per-transaction state, reported by
+/// [`TmpMsg::StateAudit`]. Everything here is either bounded by the
+/// transactions currently in flight or by a fixed capacity; the chaos
+/// soak tier's bounded-state oracle checks that at epoch boundaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TmpStateReport {
+    /// Entries in the transaction table.
+    pub txns: usize,
+    /// Table entries in a terminal state still awaiting safe-delivery
+    /// acknowledgements.
+    pub terminal_txns: usize,
+    /// Completion records waiting to board the next monitor force.
+    pub monitor_boxcar: usize,
+    /// Records in the monitor force currently in flight.
+    pub monitor_inflight: usize,
+    /// Outstanding safe-delivery rpcs (Phase2 / AbortTxn / ReleaseLocks).
+    pub deliveries: usize,
+    /// Outstanding early (COMMITTING-state) lock-release rpcs.
+    pub early_releases: usize,
+    /// Outstanding backout rpcs.
+    pub backouts: usize,
+    /// Outstanding phase-one rpcs to local volumes.
+    pub phase1_disc: usize,
+    /// Outstanding phase-one rpcs to child nodes.
+    pub phase1_tmp: usize,
+    /// Outstanding remote-begin rpcs.
+    pub remote_begins: usize,
+    /// Outstanding in-doubt disposition queries.
+    pub janitor_rpcs: usize,
+    /// Outstanding capacity-sweep purge rpcs.
+    pub purge_rpcs: usize,
+    /// Reply-cache occupancy (bounded by its capacity).
+    pub reply_cache: usize,
 }
 
 /// Configuration for one node's TMP.
@@ -1074,6 +1114,33 @@ impl TmpProcess {
                 let transids: Vec<Transid> = self.txns.keys().copied().collect();
                 // utility query: not cached (idempotent)
                 reply(ctx, req_id, from, TmpReply::Open { transids });
+            }
+            TmpMsg::StateAudit => {
+                let report = TmpStateReport {
+                    txns: self.txns.len(),
+                    terminal_txns: self
+                        .txns
+                        .values()
+                        .filter(|t| matches!(t.state, TxState::Ended | TxState::Aborted))
+                        .count(),
+                    monitor_boxcar: self.monitor_boxcar.len(),
+                    monitor_inflight: self
+                        .monitor_inflight
+                        .as_ref()
+                        .map(|b| b.len())
+                        .unwrap_or(0),
+                    deliveries: self.deliveries.len(),
+                    early_releases: self.early_releases.len(),
+                    backouts: self.backouts.len(),
+                    phase1_disc: self.phase1_disc.len(),
+                    phase1_tmp: self.phase1_tmp.len(),
+                    remote_begins: self.remote_begins.len(),
+                    janitor_rpcs: self.janitor_rpcs.len(),
+                    purge_rpcs: self.purge_rpcs.len(),
+                    reply_cache: self.replies.entries().len(),
+                };
+                // utility query: not cached (idempotent)
+                reply(ctx, req_id, from, TmpReply::State(report));
             }
             TmpMsg::RemoteBegin { transid } => {
                 ctx.count("tmf.remote_begins_received", 1);

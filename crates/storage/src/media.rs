@@ -31,6 +31,21 @@ pub fn archive_key(volume: &VolumeRef, generation: u64) -> String {
     format!("archive:{volume}:{generation}")
 }
 
+/// Stable-storage keys of archive generations a retention policy of
+/// `retain` generations supersedes once generation `generation` is
+/// registered: every `archive_key(volume, g)` with `g + retain <=
+/// generation`. The caller deletes these only *after* the registry update
+/// that makes the newer generation authoritative, so ROLLFORWARD can
+/// always restore from any still-retained generation.
+pub fn superseded_archive_keys(volume: &VolumeRef, generation: u64, retain: u64) -> Vec<String> {
+    if generation < retain.max(1) {
+        return Vec::new();
+    }
+    (0..=generation - retain.max(1))
+        .map(|g| archive_key(volume, g))
+        .collect()
+}
+
 /// The flushed content of one file.
 #[derive(Clone, Debug)]
 pub enum FileImage {
@@ -354,5 +369,22 @@ mod tests {
         assert_eq!(media_key(NodeId(2), "$DATA1"), "\\N2.$DATA1");
         let vr = VolumeRef::new(NodeId(0), "$D");
         assert_eq!(archive_key(&vr, 3), "archive:\\N0.$D:3");
+    }
+
+    #[test]
+    fn superseded_archives_keep_last_retain_generations() {
+        let vr = VolumeRef::new(NodeId(0), "$D");
+        // nothing to delete while fewer than `retain` generations exist
+        assert!(superseded_archive_keys(&vr, 0, 2).is_empty());
+        assert!(superseded_archive_keys(&vr, 1, 2).is_empty());
+        // generation 3 with retain 2 keeps {2, 3}, deletes {0, 1}
+        assert_eq!(
+            superseded_archive_keys(&vr, 3, 2),
+            vec![archive_key(&vr, 0), archive_key(&vr, 1)]
+        );
+        // retain 1 keeps only the newest
+        assert_eq!(superseded_archive_keys(&vr, 2, 1).len(), 2);
+        // a zero retain is clamped to 1: the newest survives regardless
+        assert_eq!(superseded_archive_keys(&vr, 2, 0).len(), 2);
     }
 }
